@@ -1,0 +1,95 @@
+// Command experiments regenerates the paper's figures and theorem tables.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run T31            # one experiment
+//	experiments                     # all experiments
+//	experiments -quick              # smaller colonies/horizons
+//	experiments -seed 7 -run F2
+//
+// Each experiment prints its tables, ASCII figures, and notes; the IDs
+// map to paper artifacts as indexed in DESIGN.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"taskalloc/internal/expt"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	quick := flag.Bool("quick", false, "smaller colonies and horizons")
+	seed := flag.Uint64("seed", 42, "random seed")
+	md := flag.Bool("md", false, "emit a markdown report (the EXPERIMENTS.md generator)")
+	flag.Parse()
+
+	if *md {
+		var ids []string
+		if *run != "" {
+			ids = strings.Split(*run, ",")
+			for i := range ids {
+				ids[i] = strings.TrimSpace(ids[i])
+			}
+		}
+		if err := expt.WriteMarkdownReport(os.Stdout, ids, expt.Params{Quick: *quick, Seed: *seed}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *list {
+		for _, e := range expt.All() {
+			fmt.Printf("%-4s  %-14s  %s\n", e.ID, e.Paper, e.Title)
+		}
+		return
+	}
+
+	var targets []expt.Experiment
+	if *run == "" {
+		targets = expt.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := expt.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			targets = append(targets, e)
+		}
+	}
+
+	params := expt.Params{Quick: *quick, Seed: *seed}
+	failed := 0
+	for _, e := range targets {
+		fmt.Printf("=== %s — %s (%s)\n", e.ID, e.Title, e.Paper)
+		start := time.Now()
+		res, err := e.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		for _, fig := range res.Figures {
+			fmt.Println(fig)
+		}
+		for _, tbl := range res.Tables {
+			fmt.Println(tbl.Render())
+		}
+		for _, n := range res.Notes {
+			fmt.Println("  note:", n)
+		}
+		fmt.Printf("  (%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,146 @@
+// Command sweep runs parameter sweeps over γ, ε, λ, n, or k and emits
+// CSV rows of the resulting average regret and closeness — the raw
+// material for regenerating the paper's trend curves at custom scales.
+//
+// Examples:
+//
+//	sweep -param gamma -values 0.01,0.02,0.04 -n 5000 -demands 800,800
+//	sweep -param epsilon -algorithm precise-sigmoid -values 0.8,0.4,0.2
+//	sweep -param n -values 2000,4000,8000 -repeat 3
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"taskalloc"
+)
+
+func main() {
+	var (
+		param      = flag.String("param", "gamma", "gamma | epsilon | gammaStar | n | shards")
+		valuesArg  = flag.String("values", "0.01,0.02,0.04", "comma-separated sweep values")
+		n          = flag.Int("n", 5000, "colony size (base)")
+		demandsArg = flag.String("demands", "800,800", "comma-separated demands")
+		algorithm  = flag.String("algorithm", "ant", "ant | precise-sigmoid | precise-adversarial | trivial")
+		gamma      = flag.Float64("gamma", 1.0/16, "learning rate (base)")
+		epsilon    = flag.Float64("epsilon", 0.5, "precision (base)")
+		gammaStar  = flag.Float64("gammaStar", 0.02, "sigmoid critical value (base)")
+		rounds     = flag.Int("rounds", 12000, "rounds per run")
+		repeat     = flag.Int("repeat", 1, "repetitions per value (seeds seed..seed+repeat-1)")
+		seed       = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+
+	demands, err := parseInts(*demandsArg)
+	if err != nil {
+		fatal("bad -demands: %v", err)
+	}
+	values := strings.Split(*valuesArg, ",")
+
+	w := csv.NewWriter(os.Stdout)
+	defer w.Flush()
+	_ = w.Write([]string{"param", "value", "seed", "avg_regret", "std_regret",
+		"closeness", "gamma_star", "peak_regret", "switches_per_round"})
+
+	for _, raw := range values {
+		raw = strings.TrimSpace(raw)
+		for rep := 0; rep < *repeat; rep++ {
+			cfg := taskalloc.Config{
+				Ants:    *n,
+				Demands: demands,
+				Gamma:   *gamma,
+				Epsilon: *epsilon,
+				Noise:   taskalloc.SigmoidNoise(*gammaStar),
+				Seed:    *seed + uint64(rep),
+				BurnIn:  uint64(*rounds) / 2,
+				Shards:  1,
+			}
+			switch *algorithm {
+			case "ant":
+				cfg.Algorithm = taskalloc.Ant
+			case "precise-sigmoid":
+				cfg.Algorithm = taskalloc.PreciseSigmoid
+			case "precise-adversarial":
+				cfg.Algorithm = taskalloc.PreciseAdversarial
+			case "trivial":
+				cfg.Algorithm = taskalloc.Trivial
+			default:
+				fatal("unknown algorithm %q", *algorithm)
+			}
+
+			switch *param {
+			case "gamma":
+				v, err := strconv.ParseFloat(raw, 64)
+				if err != nil {
+					fatal("bad value %q: %v", raw, err)
+				}
+				cfg.Gamma = v
+			case "epsilon":
+				v, err := strconv.ParseFloat(raw, 64)
+				if err != nil {
+					fatal("bad value %q: %v", raw, err)
+				}
+				cfg.Epsilon = v
+			case "gammaStar":
+				v, err := strconv.ParseFloat(raw, 64)
+				if err != nil {
+					fatal("bad value %q: %v", raw, err)
+				}
+				cfg.Noise = taskalloc.SigmoidNoise(v)
+			case "n":
+				v, err := strconv.Atoi(raw)
+				if err != nil {
+					fatal("bad value %q: %v", raw, err)
+				}
+				cfg.Ants = v
+			case "shards":
+				v, err := strconv.Atoi(raw)
+				if err != nil {
+					fatal("bad value %q: %v", raw, err)
+				}
+				cfg.Shards = v
+			default:
+				fatal("unknown -param %q", *param)
+			}
+
+			sim, err := taskalloc.New(cfg)
+			if err != nil {
+				fatal("config for %s=%s: %v", *param, raw, err)
+			}
+			sim.Run(*rounds, nil)
+			r := sim.Report()
+			_ = w.Write([]string{
+				*param, raw, fmt.Sprint(cfg.Seed),
+				fmt.Sprintf("%.6g", r.AvgRegret),
+				fmt.Sprintf("%.6g", r.StdRegret),
+				fmt.Sprintf("%.6g", r.Closeness),
+				fmt.Sprintf("%.6g", r.GammaStar),
+				fmt.Sprint(r.PeakRegret),
+				fmt.Sprintf("%.6g", float64(r.Switches)/float64(*rounds)),
+			})
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

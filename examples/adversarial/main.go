@@ -1,0 +1,64 @@
+// Adversarial noise: pit Algorithm Ant and Algorithm Precise Adversarial
+// against hostile grey-zone strategies, and show the Theorem 3.5 floor —
+// under adversarial feedback nobody beats γ*·Σd, but Precise Adversarial
+// gets within (1+ε) of it while switching tasks far less.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taskalloc"
+)
+
+func main() {
+	const (
+		ants    = 6000
+		gammaAd = 0.02
+		gamma   = 0.04 // 2·γad: keeps the stable zone clear of the grey boundary
+		epsilon = 0.5
+	)
+	demands := []int{1200, 1200}
+	floor := gammaAd * float64(demands[0]+demands[1])
+
+	fmt.Printf("adversarial threshold γad = %v, Theorem 3.5 floor = %.1f regret/round\n\n",
+		gammaAd, floor)
+
+	type leg struct {
+		label string
+		alg   taskalloc.Algorithm
+		grey  string
+	}
+	legs := []leg{
+		{"ant vs inverted lies", taskalloc.Ant, "inverted"},
+		{"ant vs alternating lies", taskalloc.Ant, "alternating"},
+		{"precise-adv vs inverted lies", taskalloc.PreciseAdversarial, "inverted"},
+		{"precise-adv vs alternating lies", taskalloc.PreciseAdversarial, "alternating"},
+	}
+	for i, l := range legs {
+		sim, err := taskalloc.New(taskalloc.Config{
+			Ants:      ants,
+			Demands:   demands,
+			Algorithm: l.alg,
+			Gamma:     gamma,
+			Epsilon:   epsilon,
+			Noise: taskalloc.Noise{
+				Kind:         taskalloc.NoiseAdversarial,
+				GammaAd:      gammaAd,
+				GreyStrategy: l.grey,
+			},
+			Seed:   uint64(10 + i),
+			BurnIn: 8000,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.Run(16000, nil)
+		rep := sim.Report()
+		fmt.Printf("%-32s avg regret %7.1f  (floor ×%.2f)  switches/round %.1f\n",
+			l.label, rep.AvgRegret, rep.AvgRegret/floor,
+			float64(rep.Switches)/float64(rep.Rounds))
+	}
+	fmt.Println("\nPrecise Adversarial holds the drained allocation for 4/5 of each phase,")
+	fmt.Println("so it pays near the floor with an order less churn than Algorithm Ant.")
+}

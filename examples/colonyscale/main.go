@@ -1,0 +1,47 @@
+// Colony scaling: the regret of Algorithm Ant normalized by γΣd stays a
+// small constant as the colony grows — the per-round regret is a
+// property of the demands and the learning rate, not of the colony size.
+// Also demonstrates the parallel engine: larger colonies use more shards.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"taskalloc"
+)
+
+func main() {
+	const gammaStar = 0.02
+	fmt.Println("n        Σd      avg regret   regret/(γΣd)   closeness   wall time")
+	for _, scale := range []int{2000, 4000, 8000, 16000} {
+		demands := []int{scale / 8, scale / 4} // Σd = 3n/8 ≤ n/2
+		shards := 1
+		if scale >= 8000 {
+			shards = 4
+		}
+		sim, err := taskalloc.New(taskalloc.Config{
+			Ants:             scale,
+			Demands:          demands,
+			Gamma:            1.0 / 16,
+			Noise:            taskalloc.SigmoidNoise(gammaStar),
+			Seed:             uint64(scale),
+			Shards:           shards,
+			BurnIn:           4000,
+			CheckAssumptions: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		sim.Run(10000, nil)
+		dur := time.Since(start)
+		rep := sim.Report()
+		sum := float64(demands[0] + demands[1])
+		fmt.Printf("%-8d %-7.0f %-12.1f %-14.3f %-11.3f %s\n",
+			scale, sum, rep.AvgRegret, rep.AvgRegret/((1.0/16)*sum),
+			rep.Closeness, dur.Round(time.Millisecond))
+	}
+	fmt.Println("\nregret/(γΣd) is flat in n: the paper's guarantee is scale-free.")
+}

@@ -1,0 +1,60 @@
+// Dynamic demand: the paper's motivating scenario — a colony reallocates
+// workers between foraging, nursing, and nest maintenance as the
+// environment shifts (a food bonanza, then a brood-care emergency),
+// without any ant knowing the demands. Demonstrates the algorithms'
+// self-stabilization: each change is just another "arbitrary initial
+// allocation" for Theorem 3.1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"taskalloc"
+)
+
+func main() {
+	const (
+		ants   = 12000
+		rounds = 24000
+	)
+	// Tasks: 0 = foraging, 1 = nursing, 2 = nest maintenance.
+	baseline := []int{2000, 1500, 500}
+	bonanza := []int{3500, 1000, 500}  // t=8000: rich food source found
+	emergency := []int{800, 3000, 400} // t=16000: brood-care emergency
+
+	sim, err := taskalloc.New(taskalloc.Config{
+		Ants:    ants,
+		Demands: baseline,
+		DemandChanges: []taskalloc.DemandChange{
+			{At: 8000, Demands: bonanza},
+			{At: 16000, Demands: emergency},
+		},
+		Noise:  taskalloc.SigmoidNoise(1.0 / 32),
+		Seed:   2,
+		BurnIn: 2000,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := []string{"foraging", "nursing", "maintenance"}
+	checkpoints := map[uint64][]int{
+		7999:  baseline,
+		15999: bonanza,
+		23999: emergency,
+	}
+	sim.Run(rounds, func(round uint64, loads []int, demands []int) {
+		if want, ok := checkpoints[round]; ok {
+			fmt.Printf("t=%5d (just before next shift):\n", round)
+			for j, name := range names {
+				fmt.Printf("  %-12s load %5d  demand %5d  deficit %+d\n",
+					name, loads[j], want[j], want[j]-loads[j])
+			}
+		}
+	})
+
+	rep := sim.Report()
+	fmt.Println("\noverall:", rep)
+	fmt.Println("peak regret marks the demand-shift spikes; the colony re-converged after each.")
+}

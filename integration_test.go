@@ -1,0 +1,204 @@
+package taskalloc
+
+import (
+	"math"
+	"testing"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/colony"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/metrics"
+	"taskalloc/internal/noise"
+	"taskalloc/internal/trace"
+)
+
+// TestTraceAndRecorderAgree attaches both a trace and the built-in
+// recorder to the same run and checks that the regret series they derive
+// are identical — cross-module consistency between internal/trace,
+// internal/metrics, and the public observer plumbing.
+func TestTraceAndRecorderAgree(t *testing.T) {
+	sim, err := New(Config{
+		Ants: 1000, Demands: []int{200, 150},
+		Noise: SigmoidNoise(0.03), Seed: 21, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := trace.New(2, 1, 0)
+	rec := metrics.NewRecorder(2, 1.0/16, agent.DefaultCs, 0)
+	sim.Run(500, func(round uint64, loads []int, demands []int) {
+		dv := demand.Vector(demands)
+		tr.Observe(round, loads, dv)
+		rec.Observe(round, loads, dv)
+	})
+	series := tr.RegretSeries()
+	total := int64(0)
+	for _, r := range series {
+		total += int64(r)
+	}
+	if total != rec.TotalRegret() {
+		t.Fatalf("trace total %d != recorder total %d", total, rec.TotalRegret())
+	}
+	// The built-in recorder (driven by the same engine) must agree too.
+	if sim.Report().TotalRegret != total {
+		t.Fatalf("public report total %d != observer total %d",
+			sim.Report().TotalRegret, total)
+	}
+}
+
+// TestDecompositionConsistencyUnderSimulation: R = R⁺ + R≈ + R⁻ holds on
+// a live trajectory, not just synthetic loads.
+func TestDecompositionConsistencyUnderSimulation(t *testing.T) {
+	sim, err := New(Config{
+		Ants: 1500, Demands: []int{300},
+		Noise: SigmoidNoise(0.03), Seed: 22, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder(1, 1.0/16, agent.DefaultCs, 0)
+	sim.Run(2000, func(round uint64, loads []int, demands []int) {
+		rec.Observe(round, loads, demand.Vector(demands))
+	})
+	plus, approx, minus := rec.Decomposition()
+	if plus+approx+minus != rec.TotalRegret() {
+		t.Fatalf("decomposition %d+%d+%d != total %d",
+			plus, approx, minus, rec.TotalRegret())
+	}
+	if plus == 0 || minus == 0 {
+		t.Fatal("a from-idle run must visit both the overload and lack regimes")
+	}
+}
+
+// TestPotentialsSettleUnderPerfectFeedback: the Claim 4.5 potentials Φ
+// and Ψ reach and hold zero once Algorithm Ant saturates every task
+// under noiseless feedback.
+func TestPotentialsSettleUnderPerfectFeedback(t *testing.T) {
+	gamma := 1.0 / 16
+	sim, err := New(Config{
+		Ants: 1500, Demands: []int{200, 200},
+		Noise: PerfectNoise(), Gamma: gamma, Seed: 23, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(2500, nil) // converge (γ/cd drain from the all-join overshoot)
+	zeroPhi, total := 0, 0
+	sim.Run(500, func(round uint64, loads []int, demands []int) {
+		if round%2 != 0 {
+			return // potentials are defined at phase ends (even rounds)
+		}
+		total++
+		if metrics.Phi(loads, demand.Vector(demands), gamma) == 0 &&
+			metrics.Psi(loads, demand.Vector(demands), gamma) == 0 {
+			zeroPhi++
+		}
+	})
+	if zeroPhi < total*9/10 {
+		t.Fatalf("potentials at zero in only %d/%d phase ends", zeroPhi, total)
+	}
+}
+
+// TestBandViolationsConcentrateInConvergence: Theorem 3.1's second claim —
+// after the transient, deficits stay within 5γd+3 in nearly all rounds.
+func TestBandViolationsConcentrateInConvergence(t *testing.T) {
+	gamma := 1.0 / 16
+	sim, err := New(Config{
+		Ants: 2000, Demands: []int{300, 300},
+		Noise: SigmoidNoise(gamma / 2), Gamma: gamma, Seed: 24, Shards: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(2500, nil) // transient
+	rec := metrics.NewRecorder(2, gamma, agent.DefaultCs, 0)
+	const window = 3000
+	sim.Run(window, func(round uint64, loads []int, demands []int) {
+		rec.Observe(round, loads, demand.Vector(demands))
+	})
+	for j, v := range rec.BoundViolations() {
+		if float64(v) > 0.02*window {
+			t.Fatalf("task %d: %d/%d post-transient band violations", j, v, window)
+		}
+	}
+}
+
+// TestReportFieldsCoherent: the public Report's fields must be mutually
+// consistent on a real run.
+func TestReportFieldsCoherent(t *testing.T) {
+	sim, err := New(Config{
+		Ants: 800, Demands: []int{150, 150},
+		Noise: SigmoidNoise(0.03), Seed: 25, Shards: 1, BurnIn: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1200, nil)
+	rep := sim.Report()
+	if rep.Rounds != 1200 {
+		t.Fatalf("Rounds %d", rep.Rounds)
+	}
+	if rep.PeakRegret < int(rep.AvgRegret) {
+		t.Fatal("peak below average")
+	}
+	if float64(rep.TotalRegret) < rep.AvgRegret*float64(1200-400) {
+		t.Fatal("total regret below post-burn mass")
+	}
+	wantClose := rep.AvgRegret / (rep.GammaStar * 300)
+	if math.Abs(rep.Closeness-wantClose) > 1e-9 {
+		t.Fatalf("closeness %v, want %v", rep.Closeness, wantClose)
+	}
+	if len(rep.MaxAbsDeficit) != 2 || len(rep.ZeroCrossings) != 2 {
+		t.Fatal("per-task slices wrong length")
+	}
+	for _, m := range rep.MaxAbsDeficit {
+		if m < 150 {
+			t.Fatal("from-idle run must have seen the full initial deficit")
+		}
+	}
+}
+
+// TestPublicAndInternalEnginesIdentical: the facade adds a recorder but
+// must not perturb the trajectory — same seed through the public API and
+// the internal engine gives identical loads.
+func TestPublicAndInternalEnginesIdentical(t *testing.T) {
+	// Public run.
+	sim, err := New(Config{
+		Ants: 600, Demands: []int{120}, Gamma: 0.05,
+		Noise: Noise{Kind: NoiseSigmoid, Lambda: 2}, Seed: 26, Shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pub []int
+	sim.Run(300, func(_ uint64, loads []int, _ []int) {
+		pub = append(pub, loads[0])
+	})
+	// Equivalent internal run.
+	e, err := newInternalEngineForTest(600, 120, 0.05, 2, 26, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var internal []int
+	e.Run(300, func(_ uint64, loads []int, _ demand.Vector) {
+		internal = append(internal, loads[0])
+	})
+	for i := range pub {
+		if pub[i] != internal[i] {
+			t.Fatalf("trajectories diverge at round %d: %d vs %d", i+1, pub[i], internal[i])
+		}
+	}
+}
+
+// newInternalEngineForTest mirrors the facade's engine construction for
+// the determinism cross-check above.
+func newInternalEngineForTest(n, d int, gamma, lambda float64, seed uint64, shards int) (*colony.Engine, error) {
+	return colony.New(colony.Config{
+		N:        n,
+		Schedule: demand.Static{V: demand.Vector{d}},
+		Model:    noise.SigmoidModel{Lambda: lambda},
+		Factory:  agent.AntFactory(1, agent.DefaultParams(gamma)),
+		Seed:     seed,
+		Shards:   shards,
+	})
+}

@@ -1,0 +1,157 @@
+// Package agent implements the paper's ant automata: Algorithm Ant
+// (Theorem 3.1), Algorithm Precise Sigmoid (Theorem 3.2), Algorithm
+// Precise Adversarial (Theorem 3.6), and the trivial algorithm of
+// Appendix D. Every agent is a constant-memory state machine driven only
+// by the binary per-task feedback it receives each round; agents never
+// observe loads, demands, or other ants.
+//
+// The simulation engines (package colony, package meanfield) construct n
+// agents from a Factory, feed them one Feedback per round, and count the
+// resulting assignments.
+package agent
+
+import (
+	"fmt"
+	"math"
+
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// Idle is the assignment of an ant that works on no task.
+const Idle int32 = -1
+
+// Feedback exposes one round's feedback to an agent. Signals are sampled
+// lazily so that a working ant that only inspects its own task costs one
+// RNG draw instead of k.
+//
+// For a Bernoulli (sigmoid) model, repeated Sample calls for the same task
+// would draw fresh coins; agents must sample each task at most once per
+// round, which all implementations in this package do.
+type Feedback struct {
+	desc []noise.TaskFeedback
+	r    *rng.Rng
+}
+
+// NewFeedback wraps the per-task descriptors and the sampling stream for
+// one ant-round.
+func NewFeedback(desc []noise.TaskFeedback, r *rng.Rng) Feedback {
+	return Feedback{desc: desc, r: r}
+}
+
+// Tasks returns the number of tasks.
+func (f *Feedback) Tasks() int { return len(f.desc) }
+
+// Sample returns this ant's signal for task j.
+func (f *Feedback) Sample(j int) noise.Signal {
+	d := &f.desc[j]
+	if d.Deterministic {
+		return d.Value
+	}
+	if f.r.Bernoulli(d.LackProb) {
+		return noise.Lack
+	}
+	return noise.Overload
+}
+
+// Agent is one ant's decision automaton. Implementations keep only
+// constant memory (up to O(k) signal registers, as the paper permits) and
+// derive their position within a phase from the global round number t,
+// reflecting the paper's full-synchronization assumption.
+type Agent interface {
+	// Step consumes the feedback for round t (t >= 1) and returns the
+	// ant's assignment for round t: a task index or Idle. r is the
+	// ant's random stream, also used by fb's lazy sampling.
+	Step(t uint64, fb *Feedback, r *rng.Rng) int32
+	// Assignment returns the assignment chosen by the last Step (or the
+	// initial assignment before any Step).
+	Assignment() int32
+	// Reset re-initializes the automaton: assignment a, cleared memory.
+	Reset(a int32)
+	// MemoryBits reports the automaton's state-memory footprint in bits
+	// (excluding the shared global clock), for the Theorem 3.3 tables.
+	MemoryBits() int
+	// PhaseLen returns the synchronous phase length in rounds.
+	PhaseLen() int
+}
+
+// Factory builds identical agents for a colony.
+type Factory struct {
+	// Name identifies the algorithm in reports.
+	Name string
+	// New constructs a fresh agent with cleared state and Idle assignment.
+	New func() Agent
+}
+
+// Params collects the tunable constants shared by the paper's algorithms.
+type Params struct {
+	// Gamma is the learning rate γ. Theorems 3.1/3.2/3.6 require
+	// γ ∈ [γ*, 1/16]; sub-critical values are permitted by Validate only
+	// through NewHugger (the Theorem 3.3 lower-bound witness).
+	Gamma float64
+	// Cs scales the temporary drop-out probability cs·γ. The paper's
+	// pseudocode prints "cs ← 213"; the analysis pins cs to
+	// [20/9 + 2/(cd−1), 1/(2γ)] (see DESIGN.md), so the default is 2.4.
+	Cs float64
+	// Cd scales the permanent leave probability γ/cd. Default 19.
+	Cd float64
+	// Epsilon is the precision parameter ε of the Precise algorithms.
+	Epsilon float64
+	// CChi is the median-amplification constant c_χ of Algorithm Precise
+	// Sigmoid. Default 10.
+	CChi float64
+}
+
+// Default constants from the paper (cs resolved per DESIGN.md).
+const (
+	DefaultCs   = 2.4
+	DefaultCd   = 19
+	DefaultCChi = 10
+	// MaxGamma is the largest learning rate the analysis supports.
+	MaxGamma = 1.0 / 16
+)
+
+// DefaultParams returns the paper's constants with the given learning
+// rate and no precision parameter.
+func DefaultParams(gamma float64) Params {
+	return Params{Gamma: gamma, Cs: DefaultCs, Cd: DefaultCd, CChi: DefaultCChi}
+}
+
+// DefaultPreciseParams returns the paper's constants with the given
+// learning rate and precision.
+func DefaultPreciseParams(gamma, epsilon float64) Params {
+	p := DefaultParams(gamma)
+	p.Epsilon = epsilon
+	return p
+}
+
+// Validate checks the parameter ranges required by the theorems.
+// needEpsilon should be true for the Precise algorithms.
+func (p Params) Validate(needEpsilon bool) error {
+	if p.Gamma <= 0 || p.Gamma > MaxGamma {
+		return fmt.Errorf("agent: gamma %v outside (0, 1/16]", p.Gamma)
+	}
+	if p.Cs <= 0 || p.Cd <= 0 {
+		return fmt.Errorf("agent: non-positive constants cs=%v cd=%v", p.Cs, p.Cd)
+	}
+	if p.Cs*p.Gamma >= 1 {
+		return fmt.Errorf("agent: cs*gamma = %v >= 1", p.Cs*p.Gamma)
+	}
+	if needEpsilon {
+		if p.Epsilon <= 0 || p.Epsilon >= 1 {
+			return fmt.Errorf("agent: epsilon %v outside (0, 1)", p.Epsilon)
+		}
+		if p.CChi <= 0 {
+			return fmt.Errorf("agent: non-positive cChi %v", p.CChi)
+		}
+	}
+	return nil
+}
+
+// bitsFor returns ceil(log2(values)) for values >= 1.
+func bitsFor(values int) int {
+	if values <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(values))))
+}

@@ -1,0 +1,743 @@
+package agent
+
+import (
+	"math"
+	"testing"
+
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// detFb builds a deterministic Feedback where task j reads signals[j].
+func detFb(r *rng.Rng, signals ...noise.Signal) Feedback {
+	desc := make([]noise.TaskFeedback, len(signals))
+	for j, s := range signals {
+		desc[j] = noise.Det(s)
+	}
+	return NewFeedback(desc, r)
+}
+
+func TestFeedbackSampleDeterministic(t *testing.T) {
+	r := rng.New(1)
+	fb := detFb(r, noise.Lack, noise.Overload)
+	if fb.Tasks() != 2 {
+		t.Fatalf("Tasks = %d", fb.Tasks())
+	}
+	for i := 0; i < 10; i++ {
+		if fb.Sample(0) != noise.Lack || fb.Sample(1) != noise.Overload {
+			t.Fatal("deterministic sampling changed value")
+		}
+	}
+}
+
+func TestFeedbackSampleBernoulli(t *testing.T) {
+	r := rng.New(2)
+	desc := []noise.TaskFeedback{noise.Bern(0.7)}
+	fb := NewFeedback(desc, r)
+	lacks := 0
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		if fb.Sample(0) == noise.Lack {
+			lacks++
+		}
+	}
+	got := float64(lacks) / trials
+	if math.Abs(got-0.7) > 0.01 {
+		t.Fatalf("lack frequency %v, want 0.7", got)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	ok := DefaultParams(0.05)
+	if err := ok.Validate(false); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	bad := []Params{
+		{Gamma: 0, Cs: 2.4, Cd: 19},
+		{Gamma: 0.2, Cs: 2.4, Cd: 19}, // > 1/16
+		{Gamma: 0.05, Cs: 0, Cd: 19},
+		{Gamma: 0.05, Cs: 2.4, Cd: 0},
+		{Gamma: 0.05, Cs: 30, Cd: 19}, // cs*gamma >= 1
+	}
+	for i, p := range bad {
+		if err := p.Validate(false); err == nil {
+			t.Fatalf("bad params %d accepted: %+v", i, p)
+		}
+	}
+	// Epsilon checks only when requested.
+	p := DefaultParams(0.05)
+	if err := p.Validate(true); err == nil {
+		t.Fatal("missing epsilon accepted")
+	}
+	p.Epsilon = 0.5
+	if err := p.Validate(true); err != nil {
+		t.Fatalf("valid precise params rejected: %v", err)
+	}
+	p.Epsilon = 1
+	if err := p.Validate(true); err == nil {
+		t.Fatal("epsilon = 1 accepted")
+	}
+	p = DefaultPreciseParams(0.05, 0.5)
+	p.CChi = 0
+	if err := p.Validate(true); err == nil {
+		t.Fatal("cChi = 0 accepted")
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 1024: 10, 1025: 11}
+	for v, want := range cases {
+		if got := bitsFor(v); got != want {
+			t.Fatalf("bitsFor(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// --- Algorithm Ant -------------------------------------------------------
+
+func TestAntJoinsOnDoubleLack(t *testing.T) {
+	r := rng.New(3)
+	a := NewAnt(1, DefaultParams(0.05))
+	fb := detFb(r, noise.Lack)
+	a.Step(1, &fb, r) // s1 = lack, idle stays idle
+	if a.Assignment() != Idle {
+		t.Fatal("idle ant changed assignment in sub-round 1")
+	}
+	a.Step(2, &fb, r) // s2 = lack -> join task 0
+	if a.Assignment() != 0 {
+		t.Fatalf("assignment %d, want 0", a.Assignment())
+	}
+}
+
+func TestAntStaysIdleOnMixedSamples(t *testing.T) {
+	p := DefaultParams(0.05)
+	for _, sig := range [][2]noise.Signal{
+		{noise.Lack, noise.Overload},
+		{noise.Overload, noise.Lack},
+		{noise.Overload, noise.Overload},
+	} {
+		r := rng.New(4)
+		a := NewAnt(1, p)
+		fb1 := detFb(r, sig[0])
+		fb2 := detFb(r, sig[1])
+		a.Step(1, &fb1, r)
+		a.Step(2, &fb2, r)
+		if a.Assignment() != Idle {
+			t.Fatalf("idle ant joined on samples %v/%v", sig[0], sig[1])
+		}
+	}
+}
+
+func TestAntJoinUniformAmongLacking(t *testing.T) {
+	r := rng.New(5)
+	p := DefaultParams(0.05)
+	counts := make([]int, 3)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		a := NewAnt(3, p)
+		// Tasks 0 and 2 lack in both samples; task 1 is overloaded.
+		fb1 := detFb(r, noise.Lack, noise.Overload, noise.Lack)
+		fb2 := detFb(r, noise.Lack, noise.Overload, noise.Lack)
+		a.Step(1, &fb1, r)
+		a.Step(2, &fb2, r)
+		if got := a.Assignment(); got == Idle {
+			t.Fatal("ant failed to join with two lacking tasks")
+		} else {
+			counts[got]++
+		}
+	}
+	if counts[1] != 0 {
+		t.Fatalf("ant joined overloaded task %d times", counts[1])
+	}
+	frac0 := float64(counts[0]) / trials
+	if math.Abs(frac0-0.5) > 0.02 {
+		t.Fatalf("join split %v, want ~0.5", frac0)
+	}
+}
+
+func TestAntTemporaryPauseRate(t *testing.T) {
+	r := rng.New(6)
+	p := DefaultParams(0.05) // cs*gamma = 0.12
+	paused := 0
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		a := NewAnt(1, p)
+		a.Reset(0) // working on task 0
+		fb := detFb(r, noise.Overload)
+		if a.Step(1, &fb, r) == Idle {
+			paused++
+		}
+	}
+	got := float64(paused) / trials
+	want := p.Cs * p.Gamma
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("pause rate %v, want %v", got, want)
+	}
+}
+
+func TestAntPermanentLeaveRate(t *testing.T) {
+	r := rng.New(7)
+	p := DefaultParams(0.05)
+	left := 0
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		a := NewAnt(1, p)
+		a.Reset(0)
+		fb := detFb(r, noise.Overload)
+		a.Step(1, &fb, r)
+		a.Step(2, &fb, r)
+		if a.Assignment() == Idle {
+			left++
+		}
+	}
+	got := float64(left) / trials
+	want := p.Gamma / p.Cd // ~0.00263
+	if math.Abs(got-want) > 0.0006 {
+		t.Fatalf("leave rate %v, want %v", got, want)
+	}
+}
+
+func TestAntResumesAfterPause(t *testing.T) {
+	// A paused ant whose second sample reads Lack must resume its task:
+	// with s1 = overload, s2 = lack the decision is "stay".
+	p := DefaultParams(0.0625) // max gamma: cs*gamma = 0.15
+	resumed := 0
+	const trials = 20000
+	r := rng.New(8)
+	for i := 0; i < trials; i++ {
+		a := NewAnt(1, p)
+		a.Reset(0)
+		fb1 := detFb(r, noise.Overload)
+		fb2 := detFb(r, noise.Lack)
+		mid := a.Step(1, &fb1, r)
+		a.Step(2, &fb2, r)
+		if a.Assignment() != 0 {
+			t.Fatalf("ant with mixed samples left permanently (mid=%d)", mid)
+		}
+		if mid == Idle {
+			resumed++
+		}
+	}
+	if resumed == 0 {
+		t.Fatal("no ant ever paused; pause path untested")
+	}
+}
+
+func TestAntNeverLeavesOnDoubleLack(t *testing.T) {
+	r := rng.New(9)
+	p := DefaultParams(0.05)
+	for i := 0; i < 5000; i++ {
+		a := NewAnt(2, p)
+		a.Reset(1)
+		fb := detFb(r, noise.Lack, noise.Lack)
+		a.Step(1, &fb, r)
+		a.Step(2, &fb, r)
+		if a.Assignment() != 1 {
+			t.Fatal("working ant left despite double lack")
+		}
+	}
+}
+
+func TestAntResetClearsState(t *testing.T) {
+	r := rng.New(10)
+	a := NewAnt(2, DefaultParams(0.05))
+	fb := detFb(r, noise.Lack, noise.Lack)
+	a.Step(1, &fb, r)
+	a.Step(2, &fb, r)
+	a.Reset(Idle)
+	if a.Assignment() != Idle {
+		t.Fatal("Reset did not set assignment")
+	}
+	a.Reset(1)
+	if a.Assignment() != 1 {
+		t.Fatal("Reset to task failed")
+	}
+}
+
+func TestAntMeta(t *testing.T) {
+	a := NewAnt(4, DefaultParams(0.05))
+	if a.PhaseLen() != 2 {
+		t.Fatalf("PhaseLen = %d", a.PhaseLen())
+	}
+	// cur (3 bits for 5 values) + pause flag + 4 signal bits = 8.
+	if a.MemoryBits() != 3+1+4 {
+		t.Fatalf("MemoryBits = %d", a.MemoryBits())
+	}
+	f := AntFactory(4, DefaultParams(0.05))
+	if f.Name == "" || f.New() == nil {
+		t.Fatal("factory broken")
+	}
+}
+
+func TestAntConstructorPanics(t *testing.T) {
+	mustPanic(t, "k=0", func() { NewAnt(0, DefaultParams(0.05)) })
+	mustPanic(t, "bad gamma", func() { NewAnt(1, DefaultParams(0.5)) })
+	mustPanic(t, "factory bad params", func() { AntFactory(1, DefaultParams(0)) })
+}
+
+func TestHuggerAllowsSubCriticalGamma(t *testing.T) {
+	p := DefaultParams(0.001) // would be fine for Ant too; check tiny gamma
+	h := NewHugger(3, p)
+	if h == nil {
+		t.Fatal("hugger nil")
+	}
+	mustPanic(t, "hugger gamma>1/16", func() { NewHugger(1, DefaultParams(0.2)) })
+	f := HuggerFactory(3, p)
+	if f.New() == nil {
+		t.Fatal("hugger factory broken")
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// --- Algorithm Precise Sigmoid --------------------------------------------
+
+func TestPreciseSigmoidHalfPhase(t *testing.T) {
+	a := NewPreciseSigmoid(1, DefaultPreciseParams(0.05, 0.5))
+	// m = ceil(2*10/0.5 + 1) = 41.
+	if a.HalfPhase() != 41 {
+		t.Fatalf("m = %d, want 41", a.HalfPhase())
+	}
+	if a.PhaseLen() != 82 {
+		t.Fatalf("PhaseLen = %d, want 82", a.PhaseLen())
+	}
+}
+
+// runPSPhase drives one full 2m-round phase with fixed signals per half.
+func runPSPhase(a *PreciseSigmoid, r *rng.Rng, start uint64, first, second noise.Signal) uint64 {
+	m := uint64(a.HalfPhase())
+	t := start
+	for i := uint64(0); i < m; i++ {
+		fb := detFb(r, first)
+		a.Step(t, &fb, r)
+		t++
+	}
+	for i := uint64(0); i < m; i++ {
+		fb := detFb(r, second)
+		a.Step(t, &fb, r)
+		t++
+	}
+	return t
+}
+
+func TestPreciseSigmoidJoinsOnDoubleLackMedian(t *testing.T) {
+	r := rng.New(11)
+	a := NewPreciseSigmoid(1, DefaultPreciseParams(0.05, 0.5))
+	runPSPhase(a, r, 1, noise.Lack, noise.Lack)
+	if a.Assignment() != 0 {
+		t.Fatalf("assignment %d, want 0", a.Assignment())
+	}
+}
+
+func TestPreciseSigmoidStaysOnMixedMedians(t *testing.T) {
+	r := rng.New(12)
+	a := NewPreciseSigmoid(1, DefaultPreciseParams(0.05, 0.5))
+	runPSPhase(a, r, 1, noise.Overload, noise.Lack)
+	if a.Assignment() != Idle {
+		t.Fatal("idle ant joined on mixed medians")
+	}
+}
+
+func TestPreciseSigmoidMedianRobustToMinorityNoise(t *testing.T) {
+	// Minority of wrong signals must not change the decision.
+	r := rng.New(13)
+	a := NewPreciseSigmoid(1, DefaultPreciseParams(0.05, 0.5))
+	m := a.HalfPhase()
+	tt := uint64(1)
+	for i := 0; i < m; i++ {
+		sig := noise.Lack
+		if i < m/3 { // minority overload
+			sig = noise.Overload
+		}
+		fb := detFb(r, sig)
+		a.Step(tt, &fb, r)
+		tt++
+	}
+	for i := 0; i < m; i++ {
+		sig := noise.Lack
+		if i%3 == 0 { // minority overload
+			sig = noise.Overload
+		}
+		fb := detFb(r, sig)
+		a.Step(tt, &fb, r)
+		tt++
+	}
+	if a.Assignment() != 0 {
+		t.Fatal("median failed to filter minority noise")
+	}
+}
+
+func TestPreciseSigmoidLeaveRateScaledDown(t *testing.T) {
+	r := rng.New(14)
+	p := DefaultPreciseParams(0.05, 0.5)
+	left := 0
+	const trials = 120000
+	a := NewPreciseSigmoid(1, p) // reuse one automaton, reset per trial
+	for i := 0; i < trials; i++ {
+		a.Reset(0)
+		runPSPhase(a, r, 1, noise.Overload, noise.Overload)
+		if a.Assignment() == Idle {
+			left++
+		}
+	}
+	got := float64(left) / trials
+	want := p.Gamma / (p.CChi * p.Cd) // ~2.6e-4
+	if math.Abs(got-want) > 3e-4 {
+		t.Fatalf("leave rate %v, want %v", got, want)
+	}
+	if left == 0 {
+		t.Fatal("no leave ever observed; path untested")
+	}
+}
+
+func TestPreciseSigmoidPauseAtHalfPhase(t *testing.T) {
+	r := rng.New(15)
+	p := DefaultPreciseParams(0.0625, 0.9) // pause prob = eps*cs*gamma/cchi = 0.0135
+	m := NewPreciseSigmoid(1, p).HalfPhase()
+	paused := 0
+	const trials = 60000
+	for i := 0; i < trials; i++ {
+		a := NewPreciseSigmoid(1, p)
+		a.Reset(0)
+		tt := uint64(1)
+		for j := 0; j < m; j++ {
+			fb := detFb(r, noise.Overload)
+			a.Step(tt, &fb, r)
+			tt++
+		}
+		if a.Assignment() == Idle {
+			paused++
+		}
+	}
+	got := float64(paused) / trials
+	want := p.Epsilon * p.Cs * p.Gamma / p.CChi
+	if math.Abs(got-want) > 0.005 {
+		t.Fatalf("pause rate %v, want %v", got, want)
+	}
+}
+
+func TestPreciseSigmoidMemoryGrowsLogInvEps(t *testing.T) {
+	small := NewPreciseSigmoid(1, DefaultPreciseParams(0.05, 0.5))
+	tiny := NewPreciseSigmoid(1, DefaultPreciseParams(0.05, 0.05))
+	if tiny.MemoryBits() <= small.MemoryBits() {
+		t.Fatal("memory should grow as epsilon shrinks")
+	}
+	// Counter width is log2(m); for a 10x epsilon drop, the growth must
+	// be only a few bits per task, not 10x.
+	if tiny.MemoryBits() > small.MemoryBits()+16 {
+		t.Fatalf("memory grew too fast: %d -> %d", small.MemoryBits(), tiny.MemoryBits())
+	}
+}
+
+func TestPreciseSigmoidFactoryAndPanics(t *testing.T) {
+	f := PreciseSigmoidFactory(2, DefaultPreciseParams(0.05, 0.5))
+	if f.New() == nil || f.Name == "" {
+		t.Fatal("factory broken")
+	}
+	mustPanic(t, "no epsilon", func() { NewPreciseSigmoid(1, DefaultParams(0.05)) })
+	mustPanic(t, "k=0", func() { NewPreciseSigmoid(0, DefaultPreciseParams(0.05, 0.5)) })
+	mustPanic(t, "factory", func() { PreciseSigmoidFactory(1, DefaultParams(0.05)) })
+}
+
+// --- Algorithm Precise Adversarial -----------------------------------------
+
+func TestPreciseAdversarialSubPhases(t *testing.T) {
+	a := NewPreciseAdversarial(1, DefaultPreciseParams(0.05, 0.5))
+	r1, r2 := a.SubPhases()
+	if r1 != 64 || r2 != 256 {
+		t.Fatalf("(r1, r2) = (%d, %d), want (64, 256)", r1, r2)
+	}
+	if a.PhaseLen() != 320 {
+		t.Fatalf("PhaseLen = %d", a.PhaseLen())
+	}
+}
+
+// runPAPhase drives one full phase with the own-task signal produced by
+// sig(roundInPhase) (1-based within the phase).
+func runPAPhase(a *PreciseAdversarial, r *rng.Rng, start uint64, sig func(i int) noise.Signal) uint64 {
+	L := a.PhaseLen()
+	t := start
+	for i := 1; i <= L; i++ {
+		fb := detFb(r, sig(i))
+		a.Step(t, &fb, r)
+		t++
+	}
+	return t
+}
+
+func TestPreciseAdversarialIdleJoinsOnAllLack(t *testing.T) {
+	r := rng.New(16)
+	a := NewPreciseAdversarial(1, DefaultPreciseParams(0.05, 0.5))
+	runPAPhase(a, r, 1, func(int) noise.Signal { return noise.Lack })
+	if a.Assignment() != 0 {
+		t.Fatalf("assignment %d, want 0", a.Assignment())
+	}
+}
+
+func TestPreciseAdversarialIdleStaysOnAnyOverload(t *testing.T) {
+	r := rng.New(17)
+	a := NewPreciseAdversarial(1, DefaultPreciseParams(0.05, 0.5))
+	runPAPhase(a, r, 1, func(i int) noise.Signal {
+		if i == 100 {
+			return noise.Overload
+		}
+		return noise.Lack
+	})
+	if a.Assignment() != Idle {
+		t.Fatal("idle ant joined despite an Overload sample")
+	}
+}
+
+func TestPreciseAdversarialWorkerResumesWhenLackAppears(t *testing.T) {
+	// Own-task feedback flips to Lack at round 5 while the ant is still
+	// working, so the captured state is "working": the ant must hold its
+	// task through sub-phase 2 and resume at the phase end.
+	r := rng.New(18)
+	a := NewPreciseAdversarial(1, DefaultPreciseParams(0.05, 0.5))
+	a.Reset(0)
+	runPAPhase(a, r, 1, func(i int) noise.Signal {
+		if i >= 5 {
+			return noise.Lack
+		}
+		return noise.Overload
+	})
+	if a.Assignment() != 0 {
+		t.Fatalf("assignment %d, want 0", a.Assignment())
+	}
+}
+
+func TestPreciseAdversarialAllOverloadLeaveRate(t *testing.T) {
+	// An all-Overload phase makes the cumulative drain permanent: the
+	// per-phase leave probability is 1−(1−εγ/32)^(r1−1) ≈ γ — the
+	// "reduces by a factor of roughly γ" of the Appendix C proof sketch
+	// (drain coins in rounds [2, r1) plus the phase-close coin).
+	r := rng.New(19)
+	p := DefaultPreciseParams(0.05, 0.5)
+	left := 0
+	const trials = 30000
+	a := NewPreciseAdversarial(1, p)
+	r1, _ := a.SubPhases()
+	for i := 0; i < trials; i++ {
+		a.Reset(0)
+		runPAPhase(a, r, 1, func(int) noise.Signal { return noise.Overload })
+		if a.Assignment() == Idle {
+			left++
+		}
+	}
+	got := float64(left) / trials
+	q := p.Epsilon * p.Gamma / 32
+	want := 1 - math.Pow(1-q, float64(r1-1))
+	if math.Abs(got-want) > 0.004 {
+		t.Fatalf("leave rate %v, want %v ~ γ", got, want)
+	}
+}
+
+func TestPreciseAdversarialDrainsDuringSubPhase1(t *testing.T) {
+	// With all-Overload feedback, a cohort of workers should thin
+	// roughly geometrically at rate eps*gamma/32 per round during
+	// sub-phase 1 and hold the drained level during sub-phase 2.
+	r := rng.New(20)
+	p := DefaultPreciseParams(0.0625, 0.9)
+	const n = 20000
+	ants := make([]*PreciseAdversarial, n)
+	for i := range ants {
+		ants[i] = NewPreciseAdversarial(1, p)
+		ants[i].Reset(0)
+	}
+	r1, _ := ants[0].SubPhases()
+	working := func(t uint64) int {
+		count := 0
+		for _, a := range ants {
+			fb := detFb(r, noise.Overload)
+			if a.Step(t, &fb, r) == 0 {
+				count++
+			}
+		}
+		return count
+	}
+	var atEndOfDrain int
+	t0 := uint64(1)
+	for i := 1; i <= r1; i++ {
+		atEndOfDrain = working(t0)
+		t0++
+	}
+	rate := p.Epsilon * p.Gamma / 32
+	wantFrac := math.Pow(1-rate, float64(r1-2)) // drain active in rounds [2, r1)
+	gotFrac := float64(atEndOfDrain) / n
+	if math.Abs(gotFrac-wantFrac) > 0.03 {
+		t.Fatalf("drained fraction %v, want ~%v", gotFrac, wantFrac)
+	}
+	if gotFrac > 0.99 {
+		t.Fatal("no draining happened at all")
+	}
+}
+
+func TestPreciseAdversarialResetAndMeta(t *testing.T) {
+	a := NewPreciseAdversarial(3, DefaultPreciseParams(0.05, 0.5))
+	a.Reset(2)
+	if a.Assignment() != 2 {
+		t.Fatal("Reset failed")
+	}
+	if a.MemoryBits() != bitsFor(4)+3+3 {
+		t.Fatalf("MemoryBits = %d", a.MemoryBits())
+	}
+	f := PreciseAdversarialFactory(3, DefaultPreciseParams(0.05, 0.5))
+	if f.New() == nil || f.Name == "" {
+		t.Fatal("factory broken")
+	}
+	mustPanic(t, "k=0", func() { NewPreciseAdversarial(0, DefaultPreciseParams(0.05, 0.5)) })
+	mustPanic(t, "no eps", func() { NewPreciseAdversarial(1, DefaultParams(0.05)) })
+	mustPanic(t, "factory", func() { PreciseAdversarialFactory(1, DefaultParams(0.05)) })
+}
+
+// --- Trivial ---------------------------------------------------------------
+
+func TestTrivialJoinsImmediately(t *testing.T) {
+	r := rng.New(21)
+	a := NewTrivial(2)
+	fb := detFb(r, noise.Overload, noise.Lack)
+	a.Step(1, &fb, r)
+	if a.Assignment() != 1 {
+		t.Fatalf("assignment %d, want 1", a.Assignment())
+	}
+}
+
+func TestTrivialLeavesOnOverload(t *testing.T) {
+	r := rng.New(22)
+	a := NewTrivial(2)
+	a.Reset(0)
+	fb := detFb(r, noise.Overload, noise.Lack)
+	a.Step(1, &fb, r)
+	if a.Assignment() != Idle {
+		t.Fatal("working ant did not leave on Overload")
+	}
+}
+
+func TestTrivialStaysOnLack(t *testing.T) {
+	r := rng.New(23)
+	a := NewTrivial(1)
+	a.Reset(0)
+	for i := uint64(1); i < 20; i++ {
+		fb := detFb(r, noise.Lack)
+		a.Step(i, &fb, r)
+		if a.Assignment() != 0 {
+			t.Fatal("working ant left on Lack")
+		}
+	}
+}
+
+func TestTrivialStaysIdleWithoutLack(t *testing.T) {
+	r := rng.New(24)
+	a := NewTrivial(3)
+	fb := detFb(r, noise.Overload, noise.Overload, noise.Overload)
+	a.Step(1, &fb, r)
+	if a.Assignment() != Idle {
+		t.Fatal("idle ant joined without any Lack")
+	}
+}
+
+func TestTrivialJoinUniform(t *testing.T) {
+	r := rng.New(25)
+	counts := make([]int, 2)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		a := NewTrivial(2)
+		fb := detFb(r, noise.Lack, noise.Lack)
+		a.Step(1, &fb, r)
+		counts[a.Assignment()]++
+	}
+	frac := float64(counts[0]) / trials
+	if math.Abs(frac-0.5) > 0.02 {
+		t.Fatalf("join split %v, want ~0.5", frac)
+	}
+}
+
+func TestTrivialMeta(t *testing.T) {
+	a := NewTrivial(7)
+	if a.PhaseLen() != 1 {
+		t.Fatal("PhaseLen")
+	}
+	if a.MemoryBits() != 3 {
+		t.Fatalf("MemoryBits = %d, want 3", a.MemoryBits())
+	}
+	f := TrivialFactory(7)
+	if f.Name != "trivial" || f.New() == nil {
+		t.Fatal("factory broken")
+	}
+	mustPanic(t, "k=0", func() { NewTrivial(0) })
+}
+
+// --- Cross-cutting properties ----------------------------------------------
+
+// TestAssignmentsAlwaysValid drives every automaton with random feedback
+// for many rounds and checks the assignment invariant.
+func TestAssignmentsAlwaysValid(t *testing.T) {
+	const k = 4
+	factories := []Factory{
+		AntFactory(k, DefaultParams(0.05)),
+		PreciseSigmoidFactory(k, DefaultPreciseParams(0.05, 0.4)),
+		PreciseAdversarialFactory(k, DefaultPreciseParams(0.05, 0.4)),
+		TrivialFactory(k),
+		HuggerFactory(k, DefaultParams(0.01)),
+	}
+	for _, f := range factories {
+		r := rng.New(42)
+		a := f.New()
+		desc := make([]noise.TaskFeedback, k)
+		for j := range desc {
+			desc[j] = noise.Bern(0.5)
+		}
+		for tt := uint64(1); tt <= 3000; tt++ {
+			fb := NewFeedback(desc, r)
+			got := a.Step(tt, &fb, r)
+			if got != a.Assignment() {
+				t.Fatalf("%s: Step return %d != Assignment %d", f.Name, got, a.Assignment())
+			}
+			if got < Idle || got >= k {
+				t.Fatalf("%s: invalid assignment %d at t=%d", f.Name, got, tt)
+			}
+		}
+	}
+}
+
+// TestDeterministicTrajectories: identical seeds must give identical
+// trajectories for every automaton.
+func TestDeterministicTrajectories(t *testing.T) {
+	const k = 3
+	factories := []Factory{
+		AntFactory(k, DefaultParams(0.05)),
+		PreciseSigmoidFactory(k, DefaultPreciseParams(0.05, 0.4)),
+		PreciseAdversarialFactory(k, DefaultPreciseParams(0.05, 0.4)),
+		TrivialFactory(k),
+	}
+	for _, f := range factories {
+		run := func() []int32 {
+			r := rng.New(1234)
+			a := f.New()
+			desc := make([]noise.TaskFeedback, k)
+			for j := range desc {
+				desc[j] = noise.Bern(0.6)
+			}
+			out := make([]int32, 0, 500)
+			for tt := uint64(1); tt <= 500; tt++ {
+				fb := NewFeedback(desc, r)
+				out = append(out, a.Step(tt, &fb, r))
+			}
+			return out
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: trajectories diverged at round %d", f.Name, i)
+			}
+		}
+	}
+}

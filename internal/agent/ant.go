@@ -1,0 +1,147 @@
+package agent
+
+import (
+	"fmt"
+
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// Ant implements Algorithm Ant (Section 4, Theorem 3.1).
+//
+// Time is divided into phases of two rounds. In the first (odd) round the
+// ant records the feedback vector s1 and, if working, temporarily pauses
+// with probability cs·γ — collectively thinning the workforce so that the
+// second sample is taken at a load about (1−cs·γ)·W. In the second (even)
+// round it records s2 and decides:
+//
+//   - a working ant whose own task showed Overload in BOTH samples leaves
+//     permanently with probability γ/cd, otherwise resumes;
+//   - an idle ant joins a task drawn uniformly from those showing Lack in
+//     BOTH samples, if any.
+//
+// The two samples straddle the grey zone whenever the deficit is inside
+// it, so with high probability the load only ever moves toward the stable
+// zone [d(1+γ), d(1+(0.9cs−1)γ)] — a distributed, noisy gradient descent
+// with learning rate γ.
+type Ant struct {
+	p      Params
+	k      int
+	cur    int32 // currentTask: assignment at the start of the phase
+	assign int32 // assignment returned by the last Step
+	s1     []noise.Signal
+}
+
+// NewAnt returns an Algorithm Ant automaton for k tasks. It panics if the
+// parameters are invalid (use Params.Validate to pre-check).
+func NewAnt(k int, p Params) *Ant {
+	if err := p.Validate(false); err != nil {
+		panic(err)
+	}
+	return newAntUnchecked(k, p)
+}
+
+// NewHugger returns Algorithm Ant run with a deliberately sub-critical
+// learning rate γ < γ*. This violates the premise of Theorem 3.1 and is
+// the constructive witness for the Theorem 3.3 lower bound: with both
+// samples routinely landing inside the grey zone, the automaton's
+// decisions degenerate to noise and the deficit exhibits ω(γ*·d)
+// oscillations. Only the γ range check is waived; everything else is
+// validated.
+func NewHugger(k int, p Params) *Ant {
+	if p.Gamma <= 0 || p.Gamma > MaxGamma || p.Cs <= 0 || p.Cd <= 0 || p.Cs*p.Gamma >= 1 {
+		panic(fmt.Errorf("agent: invalid hugger params %+v", p))
+	}
+	return newAntUnchecked(k, p)
+}
+
+func newAntUnchecked(k int, p Params) *Ant {
+	if k <= 0 {
+		panic("agent: NewAnt needs k >= 1")
+	}
+	return &Ant{p: p, k: k, cur: Idle, assign: Idle, s1: make([]noise.Signal, k)}
+}
+
+// Step implements Agent. Odd rounds are the first sub-round of a phase,
+// even rounds the second, mirroring the paper's "t mod 2" convention.
+func (a *Ant) Step(t uint64, fb *Feedback, r *rng.Rng) int32 {
+	if t%2 == 1 {
+		a.cur = a.assign
+		if a.cur == Idle {
+			// Idle ants need the full vector: any task may be joined.
+			for j := 0; j < a.k; j++ {
+				a.s1[j] = fb.Sample(j)
+			}
+			return a.assign
+		}
+		// A working ant only ever consults its own task's signal.
+		a.s1[a.cur] = fb.Sample(int(a.cur))
+		if r.Bernoulli(a.p.Cs * a.p.Gamma) {
+			a.assign = Idle // temporary pause for the spaced second sample
+		}
+		return a.assign
+	}
+
+	// Second sub-round: decide using both samples.
+	if a.cur == Idle {
+		// Reservoir-sample a uniform task among {j : s1=s2=Lack}.
+		count := 0
+		choice := Idle
+		for j := 0; j < a.k; j++ {
+			if a.s1[j] == noise.Lack && fb.Sample(j) == noise.Lack {
+				count++
+				if r.Intn(count) == 0 {
+					choice = int32(j)
+				}
+			}
+		}
+		a.assign = choice
+		return a.assign
+	}
+	s2 := fb.Sample(int(a.cur))
+	if a.s1[a.cur] == noise.Overload && s2 == noise.Overload && r.Bernoulli(a.p.Gamma/a.p.Cd) {
+		a.assign = Idle // permanent leave
+	} else {
+		a.assign = a.cur // resume (also un-pauses a temporary drop-out)
+	}
+	return a.assign
+}
+
+// Assignment implements Agent.
+func (a *Ant) Assignment() int32 { return a.assign }
+
+// Reset implements Agent.
+func (a *Ant) Reset(assign int32) {
+	a.assign = assign
+	a.cur = assign
+	for j := range a.s1 {
+		a.s1[j] = noise.Lack
+	}
+}
+
+// MemoryBits implements Agent: current task (k+1 values), pause flag, and
+// the k-bit first-sample register.
+func (a *Ant) MemoryBits() int { return bitsFor(a.k+1) + 1 + a.k }
+
+// PhaseLen implements Agent.
+func (a *Ant) PhaseLen() int { return 2 }
+
+// AntFactory returns a Factory producing Algorithm Ant agents.
+func AntFactory(k int, p Params) Factory {
+	if err := p.Validate(false); err != nil {
+		panic(err)
+	}
+	return Factory{
+		Name: fmt.Sprintf("ant(γ=%.4g)", p.Gamma),
+		New:  func() Agent { return NewAnt(k, p) },
+	}
+}
+
+// HuggerFactory returns a Factory producing sub-critical Algorithm Ant
+// agents (the Theorem 3.3 witness).
+func HuggerFactory(k int, p Params) Factory {
+	return Factory{
+		Name: fmt.Sprintf("hugger(γ=%.4g)", p.Gamma),
+		New:  func() Agent { return NewHugger(k, p) },
+	}
+}

@@ -1,0 +1,219 @@
+package agent
+
+import (
+	"fmt"
+
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// PreciseAdversarial implements Algorithm Precise Adversarial
+// (Appendix C, Theorem 3.6).
+//
+// Each phase has two sub-phases. During the first (r1 = ⌈32/ε⌉ rounds)
+// working ants drain gradually — each still-working ant pauses with
+// probability ε·γ/32 per round — producing a sequence of samples spaced
+// about ε·γ/32 apart in load. Each ant remembers the assignment it held
+// in the round its own task's feedback first read Lack (round r_min):
+// at that moment the deficit crossed zero, so that assignment level is
+// the ant's best estimate of the correct workforce. Throughout the
+// second sub-phase (r2 = 4·r1 rounds) the ant holds that assignment,
+// keeping the load within ~ε·γ·d of the demand for 4/5 of the phase. At
+// the phase end every surviving worker resumes its task; a worker whose
+// samples were ALL Overload leaves permanently with probability ε·γ/32,
+// and an idle ant joins a task whose samples were ALL Lack.
+//
+// Two ambiguities in the paper's pseudocode are resolved toward its own
+// proof sketch (both recorded in DESIGN.md):
+//
+//  1. The draining is cumulative (a paused ant stays paused until the
+//     sub-phase decision): re-applying the per-round "idle w.p. εγ/32"
+//     independently would keep the load static at W(1−εγ/32) instead of
+//     sweeping it downward, contradicting the stated "samples spaced
+//     roughly εγ/32 apart".
+//  2. At the phase close of an all-Overload phase, ants that drained away
+//     during the phase stay out permanently (and surviving workers
+//     additionally leave w.p. εγ/32 as written). The literal text would
+//     resume every drained ant, making the per-phase reduction εγ/32 and
+//     the drain from an overload take Θ(32/(εγ)) phases — contradicting
+//     the proof sketch's "the number of ants reduces by a factor of
+//     roughly γ" per phase, which is exactly what the cumulative drain
+//     fraction (32/ε)·(εγ/32) = γ delivers.
+type PreciseAdversarial struct {
+	p      Params
+	k      int
+	r1, r2 int
+	cur    int32
+	assign int32
+	// allLack[j] is true while every sample of task j this phase read
+	// Lack; allOver is the same for Overload on the ant's own task.
+	allLack []bool
+	allOver bool
+	// captured records whether r_min has been seen; capturedIdle is the
+	// assignment held at that round (true = paused).
+	captured     bool
+	capturedIdle bool
+}
+
+// NewPreciseAdversarial returns an Algorithm Precise Adversarial
+// automaton for k tasks. It panics on invalid parameters.
+func NewPreciseAdversarial(k int, p Params) *PreciseAdversarial {
+	if err := p.Validate(true); err != nil {
+		panic(err)
+	}
+	if k <= 0 {
+		panic("agent: NewPreciseAdversarial needs k >= 1")
+	}
+	r1 := int(32 / p.Epsilon)
+	if float64(r1) < 32/p.Epsilon {
+		r1++ // ceil
+	}
+	return &PreciseAdversarial{
+		p: p, k: k, r1: r1, r2: 4 * r1,
+		cur: Idle, assign: Idle,
+		allLack: make([]bool, k),
+	}
+}
+
+// Step implements Agent with r = t mod (r1+r2); r = 1 opens a phase,
+// r = 0 closes it.
+func (a *PreciseAdversarial) Step(t uint64, fb *Feedback, r *rng.Rng) int32 {
+	cycle := uint64(a.r1 + a.r2)
+	rr := t % cycle
+
+	if rr == 1 {
+		a.cur = a.assign
+		for j := range a.allLack {
+			a.allLack[j] = true
+		}
+		a.allOver = true
+		a.captured = false
+		a.capturedIdle = false
+	}
+
+	// Sample. Idle ants track every task (they may join any of them at
+	// the phase end); workers only consult their own task.
+	var own noise.Signal
+	if a.cur == Idle {
+		for j := 0; j < a.k; j++ {
+			if fb.Sample(j) == noise.Lack {
+				a.allOver = false
+			} else {
+				a.allLack[j] = false
+			}
+		}
+	} else {
+		own = fb.Sample(int(a.cur))
+		if own == noise.Lack {
+			a.allOver = false
+		} else {
+			a.allLack[a.cur] = false
+		}
+	}
+
+	switch {
+	case rr >= 1 && rr < uint64(a.r1):
+		if a.cur != Idle {
+			// Gradual drain: still-working ants pause w.p. εγ/32.
+			if rr >= 2 && a.assign != Idle && r.Bernoulli(a.p.Epsilon*a.p.Gamma/32) {
+				a.assign = Idle
+			}
+			// Capture the assignment held when the own-task feedback
+			// first flips to Lack (round r_min of the pseudocode).
+			if !a.captured && own == noise.Lack {
+				a.captured = true
+				a.capturedIdle = a.assign == Idle
+			}
+		}
+		return a.assign
+
+	case rr == uint64(a.r1):
+		if a.cur != Idle {
+			if !a.captured {
+				// r_min = r1: the feedback never flipped; hold the
+				// drained state through the second sub-phase.
+				a.captured = true
+				a.capturedIdle = a.assign == Idle
+			}
+			if a.capturedIdle {
+				a.assign = Idle
+			} else {
+				a.assign = a.cur
+			}
+		}
+		return a.assign
+
+	case rr != 0: // second sub-phase interior: hold the r_min assignment
+		return a.assign
+
+	default: // rr == 0: phase close
+		if a.cur == Idle {
+			count := 0
+			choice := Idle
+			for j := 0; j < a.k; j++ {
+				if a.allLack[j] {
+					count++
+					if r.Intn(count) == 0 {
+						choice = int32(j)
+					}
+				}
+			}
+			a.assign = choice
+			return a.assign
+		}
+		if a.allOver {
+			// All samples read Overload: the phase's drain becomes
+			// permanent — ants that paused stay out (the γ-factor
+			// reduction of the Appendix C proof sketch), and surviving
+			// workers leave w.p. εγ/32 per the pseudocode.
+			if a.assign != Idle {
+				if r.Bernoulli(a.p.Epsilon * a.p.Gamma / 32) {
+					a.assign = Idle
+				} else {
+					a.assign = a.cur
+				}
+			}
+		} else {
+			a.assign = a.cur // resume for the next phase
+		}
+		return a.assign
+	}
+}
+
+// Assignment implements Agent.
+func (a *PreciseAdversarial) Assignment() int32 { return a.assign }
+
+// Reset implements Agent.
+func (a *PreciseAdversarial) Reset(assign int32) {
+	a.assign = assign
+	a.cur = assign
+	for j := range a.allLack {
+		a.allLack[j] = false
+	}
+	a.allOver = false
+	a.captured = false
+	a.capturedIdle = false
+}
+
+// MemoryBits implements Agent: current task, k all-Lack bits, the
+// all-Overload bit, and the two capture bits. Phase position comes from
+// the shared clock.
+func (a *PreciseAdversarial) MemoryBits() int { return bitsFor(a.k+1) + a.k + 3 }
+
+// PhaseLen implements Agent.
+func (a *PreciseAdversarial) PhaseLen() int { return a.r1 + a.r2 }
+
+// SubPhases returns (r1, r2).
+func (a *PreciseAdversarial) SubPhases() (int, int) { return a.r1, a.r2 }
+
+// PreciseAdversarialFactory returns a Factory producing Algorithm Precise
+// Adversarial agents.
+func PreciseAdversarialFactory(k int, p Params) Factory {
+	if err := p.Validate(true); err != nil {
+		panic(err)
+	}
+	return Factory{
+		Name: fmt.Sprintf("precise-adversarial(γ=%.4g, ε=%.4g)", p.Gamma, p.Epsilon),
+		New:  func() Agent { return NewPreciseAdversarial(k, p) },
+	}
+}

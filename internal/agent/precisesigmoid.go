@@ -1,0 +1,186 @@
+package agent
+
+import (
+	"fmt"
+
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// PreciseSigmoid implements Algorithm Precise Sigmoid (Section 5,
+// Theorem 3.2).
+//
+// It is Algorithm Ant run at the much smaller step size ε·γ/c_χ, made
+// safe by median amplification: instead of trusting single samples, each
+// phase consists of 2m rounds (m = ⌈2c_χ/ε + 1⌉). The first m rounds are
+// sampled at full load and reduced to the median signal ŝ1; the ant then
+// pauses with probability ε·cs·γ/c_χ, and the remaining m rounds are
+// sampled at the thinned load and reduced to ŝ2. Decisions are exactly
+// Algorithm Ant's, with the permanent-leave probability scaled down to
+// γ/(c_χ·cd). The median drives the per-round error probability of the
+// sigmoid noise back below 1/n⁸, so Theorem 3.1's machinery applies at
+// step size ε·γ/c_χ, yielding an ε-close assignment.
+//
+// Signals are binary, so each median is a strict-majority vote; ties
+// resolve to Overload (the conservative direction: never join, may
+// leave only with the scaled-down probability).
+type PreciseSigmoid struct {
+	p      Params
+	k      int
+	m      int // half-phase length; full phase is 2m rounds
+	cur    int32
+	assign int32
+	// lack1/lack2 count Lack signals per task in each half-phase; the
+	// median of m binary samples is Lack iff 2*count > m.
+	lack1, lack2 []int32
+	med1         []noise.Signal
+}
+
+// NewPreciseSigmoid returns an Algorithm Precise Sigmoid automaton for k
+// tasks. It panics on invalid parameters.
+func NewPreciseSigmoid(k int, p Params) *PreciseSigmoid {
+	if err := p.Validate(true); err != nil {
+		panic(err)
+	}
+	if k <= 0 {
+		panic("agent: NewPreciseSigmoid needs k >= 1")
+	}
+	m := int(2*p.CChi/p.Epsilon + 1)
+	if float64(m) < 2*p.CChi/p.Epsilon+1 {
+		m++ // ceil
+	}
+	return &PreciseSigmoid{
+		p: p, k: k, m: m,
+		cur: Idle, assign: Idle,
+		lack1: make([]int32, k),
+		lack2: make([]int32, k),
+		med1:  make([]noise.Signal, k),
+	}
+}
+
+// Step implements Agent, following the paper's pseudocode with
+// r = t mod 2m; r = 1 opens a phase, r = 0 closes it.
+func (a *PreciseSigmoid) Step(t uint64, fb *Feedback, r *rng.Rng) int32 {
+	m := uint64(a.m)
+	rr := t % (2 * m)
+
+	if rr == 1 {
+		a.cur = a.assign
+		for j := range a.lack1 {
+			a.lack1[j] = 0
+			a.lack2[j] = 0
+		}
+	}
+
+	switch {
+	case rr >= 1 && rr <= m:
+		a.record(fb, a.lack1)
+		if rr == m {
+			a.reduce(a.lack1, a.med1)
+			if a.cur != Idle && r.Bernoulli(a.p.Epsilon*a.p.Cs*a.p.Gamma/a.p.CChi) {
+				a.assign = Idle // temporary pause for the second half-phase
+			}
+		}
+		return a.assign
+
+	default: // rr in [m+1, 2m-1] or rr == 0
+		a.record(fb, a.lack2)
+		if rr != 0 {
+			return a.assign
+		}
+		// Phase close: compute ŝ2 and decide, exactly as Algorithm Ant
+		// but at the scaled-down step size.
+		if a.cur == Idle {
+			count := 0
+			choice := Idle
+			for j := 0; j < a.k; j++ {
+				if a.med1[j] == noise.Lack && a.median2(j) == noise.Lack {
+					count++
+					if r.Intn(count) == 0 {
+						choice = int32(j)
+					}
+				}
+			}
+			a.assign = choice
+			return a.assign
+		}
+		j := int(a.cur)
+		if a.med1[j] == noise.Overload && a.median2(j) == noise.Overload &&
+			r.Bernoulli(a.p.Gamma/(a.p.CChi*a.p.Cd)) {
+			a.assign = Idle
+		} else {
+			a.assign = a.cur
+		}
+		return a.assign
+	}
+}
+
+// record samples every task once and accumulates Lack counts into dst.
+// Working ants could restrict to their own task, but idle ants need the
+// full vector and the automaton does not know its future, so the paper's
+// "collect feedback from all tasks" convention is kept.
+func (a *PreciseSigmoid) record(fb *Feedback, dst []int32) {
+	for j := 0; j < a.k; j++ {
+		if fb.Sample(j) == noise.Lack {
+			dst[j]++
+		}
+	}
+}
+
+// reduce writes the per-task strict-majority signal of counts into out.
+func (a *PreciseSigmoid) reduce(counts []int32, out []noise.Signal) {
+	for j, c := range counts {
+		if 2*int(c) > a.m {
+			out[j] = noise.Lack
+		} else {
+			out[j] = noise.Overload
+		}
+	}
+}
+
+// median2 returns the second half-phase's majority signal for task j.
+func (a *PreciseSigmoid) median2(j int) noise.Signal {
+	if 2*int(a.lack2[j]) > a.m {
+		return noise.Lack
+	}
+	return noise.Overload
+}
+
+// Assignment implements Agent.
+func (a *PreciseSigmoid) Assignment() int32 { return a.assign }
+
+// Reset implements Agent.
+func (a *PreciseSigmoid) Reset(assign int32) {
+	a.assign = assign
+	a.cur = assign
+	for j := range a.lack1 {
+		a.lack1[j] = 0
+		a.lack2[j] = 0
+		a.med1[j] = noise.Overload
+	}
+}
+
+// MemoryBits implements Agent: current task, pause flag, and per task two
+// ⌈log₂(m+1)⌉-bit counters plus the ŝ1 register. The per-task counter
+// width is the O(log(1/ε)) of Theorem 3.2.
+func (a *PreciseSigmoid) MemoryBits() int {
+	return bitsFor(a.k+1) + 1 + a.k*(2*bitsFor(a.m+1)+1)
+}
+
+// PhaseLen implements Agent.
+func (a *PreciseSigmoid) PhaseLen() int { return 2 * a.m }
+
+// HalfPhase returns m, the number of samples per median.
+func (a *PreciseSigmoid) HalfPhase() int { return a.m }
+
+// PreciseSigmoidFactory returns a Factory producing Algorithm Precise
+// Sigmoid agents.
+func PreciseSigmoidFactory(k int, p Params) Factory {
+	if err := p.Validate(true); err != nil {
+		panic(err)
+	}
+	return Factory{
+		Name: fmt.Sprintf("precise-sigmoid(γ=%.4g, ε=%.4g)", p.Gamma, p.Epsilon),
+		New:  func() Agent { return NewPreciseSigmoid(k, p) },
+	}
+}

@@ -1,0 +1,69 @@
+package agent
+
+import (
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// Trivial implements the memoryless algorithm of Appendix D: an idle ant
+// joins a uniformly random task among those whose current feedback reads
+// Lack; a working ant keeps working until its task's feedback reads
+// Overload, at which point it leaves immediately.
+//
+// Under the sequential scheduler (colony.Sequential) this converges to a
+// Θ(γ*·Σd) average regret (Appendix D.1). Under the synchronous
+// scheduler every ant reacts to the same stale signal simultaneously and
+// the system oscillates between empty and flooded for e^Ω(n) rounds
+// (Appendix D.2) — the motivating failure that Algorithm Ant's phased
+// two-sample design repairs.
+type Trivial struct {
+	k      int
+	assign int32
+}
+
+// NewTrivial returns a trivial-algorithm automaton for k tasks.
+func NewTrivial(k int) *Trivial {
+	if k <= 0 {
+		panic("agent: NewTrivial needs k >= 1")
+	}
+	return &Trivial{k: k, assign: Idle}
+}
+
+// Step implements Agent.
+func (a *Trivial) Step(_ uint64, fb *Feedback, r *rng.Rng) int32 {
+	if a.assign == Idle {
+		count := 0
+		choice := Idle
+		for j := 0; j < a.k; j++ {
+			if fb.Sample(j) == noise.Lack {
+				count++
+				if r.Intn(count) == 0 {
+					choice = int32(j)
+				}
+			}
+		}
+		a.assign = choice
+		return a.assign
+	}
+	if fb.Sample(int(a.assign)) == noise.Overload {
+		a.assign = Idle
+	}
+	return a.assign
+}
+
+// Assignment implements Agent.
+func (a *Trivial) Assignment() int32 { return a.assign }
+
+// Reset implements Agent.
+func (a *Trivial) Reset(assign int32) { a.assign = assign }
+
+// MemoryBits implements Agent: just the current task.
+func (a *Trivial) MemoryBits() int { return bitsFor(a.k + 1) }
+
+// PhaseLen implements Agent.
+func (a *Trivial) PhaseLen() int { return 1 }
+
+// TrivialFactory returns a Factory producing trivial-algorithm agents.
+func TrivialFactory(k int) Factory {
+	return Factory{Name: "trivial", New: func() Agent { return NewTrivial(k) }}
+}

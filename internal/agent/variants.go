@@ -1,0 +1,157 @@
+package agent
+
+import (
+	"fmt"
+
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// PhaseShifted wraps an agent and shifts its view of the global clock by
+// a fixed offset. The paper's algorithms assume all ants share the phase
+// boundary ("full synchronization", achievable with one extra bit and
+// limited communication — see package clock); this wrapper breaks that
+// assumption on purpose, so experiments can measure how much the
+// guarantee depends on it.
+type PhaseShifted struct {
+	Inner  Agent
+	Offset uint64
+}
+
+// Step implements Agent.
+func (p *PhaseShifted) Step(t uint64, fb *Feedback, r *rng.Rng) int32 {
+	return p.Inner.Step(t+p.Offset, fb, r)
+}
+
+// Assignment implements Agent.
+func (p *PhaseShifted) Assignment() int32 { return p.Inner.Assignment() }
+
+// Reset implements Agent.
+func (p *PhaseShifted) Reset(a int32) { p.Inner.Reset(a) }
+
+// MemoryBits implements Agent (the offset is physical clock skew, not
+// stored state).
+func (p *PhaseShifted) MemoryBits() int { return p.Inner.MemoryBits() }
+
+// PhaseLen implements Agent.
+func (p *PhaseShifted) PhaseLen() int { return p.Inner.PhaseLen() }
+
+// DesyncFactory wraps base so that a frac fraction of the constructed
+// agents run with their phase shifted by offset rounds. Construction
+// order is deterministic (engines build agents sequentially), so runs
+// are reproducible.
+func DesyncFactory(base Factory, frac float64, offset uint64) Factory {
+	if frac < 0 || frac > 1 {
+		panic("agent: DesyncFactory frac outside [0, 1]")
+	}
+	built := 0
+	shifted := 0
+	return Factory{
+		Name: fmt.Sprintf("%s+desync(%.0f%%,+%d)", base.Name, frac*100, offset),
+		New: func() Agent {
+			built++
+			a := base.New()
+			// Deterministic thinning: shift when running behind quota.
+			if float64(shifted) < frac*float64(built) {
+				shifted++
+				return &PhaseShifted{Inner: a, Offset: offset}
+			}
+			return a
+		},
+	}
+}
+
+// SingleFeedbackAnt is Algorithm Ant restricted to one observed task per
+// round, per Remark 3.4: "this is not necessary and only the initial cost
+// would change if each ant could only receive feedback from one
+// (adaptively) chosen task". A working ant watches its own task exactly
+// as Algorithm Ant does; an idle ant picks ONE candidate task uniformly
+// at random at each phase start and joins it only if both of that task's
+// samples read Lack. Steady-state behavior matches Algorithm Ant; the
+// initial fill is up to k× slower because idle ants probe one task at a
+// time.
+type SingleFeedbackAnt struct {
+	p         Params
+	k         int
+	cur       int32
+	assign    int32
+	candidate int32
+	s1        noise.Signal
+}
+
+// NewSingleFeedbackAnt returns a single-observation Algorithm Ant for k
+// tasks. It panics on invalid parameters.
+func NewSingleFeedbackAnt(k int, p Params) *SingleFeedbackAnt {
+	if err := p.Validate(false); err != nil {
+		panic(err)
+	}
+	if k <= 0 {
+		panic("agent: NewSingleFeedbackAnt needs k >= 1")
+	}
+	return &SingleFeedbackAnt{p: p, k: k, cur: Idle, assign: Idle, candidate: Idle}
+}
+
+// Step implements Agent.
+func (a *SingleFeedbackAnt) Step(t uint64, fb *Feedback, r *rng.Rng) int32 {
+	if t%2 == 1 {
+		a.cur = a.assign
+		if a.cur == Idle {
+			a.candidate = int32(r.Intn(a.k))
+			a.s1 = fb.Sample(int(a.candidate))
+			return a.assign
+		}
+		a.candidate = a.cur
+		a.s1 = fb.Sample(int(a.cur))
+		if r.Bernoulli(a.p.Cs * a.p.Gamma) {
+			a.assign = Idle
+		}
+		return a.assign
+	}
+
+	s2 := fb.Sample(int(a.candidate))
+	if a.cur == Idle {
+		if a.s1 == noise.Lack && s2 == noise.Lack {
+			a.assign = a.candidate
+		} else {
+			a.assign = Idle
+		}
+		return a.assign
+	}
+	if a.s1 == noise.Overload && s2 == noise.Overload && r.Bernoulli(a.p.Gamma/a.p.Cd) {
+		a.assign = Idle
+	} else {
+		a.assign = a.cur
+	}
+	return a.assign
+}
+
+// Assignment implements Agent.
+func (a *SingleFeedbackAnt) Assignment() int32 { return a.assign }
+
+// Reset implements Agent.
+func (a *SingleFeedbackAnt) Reset(assign int32) {
+	a.assign = assign
+	a.cur = assign
+	a.candidate = assign
+	a.s1 = noise.Lack
+}
+
+// MemoryBits implements Agent: current task, candidate task, one signal
+// bit, and the pause flag — constant in k, unlike Algorithm Ant's O(k)
+// sample register.
+func (a *SingleFeedbackAnt) MemoryBits() int { return 2*bitsFor(a.k+1) + 2 }
+
+// PhaseLen implements Agent.
+func (a *SingleFeedbackAnt) PhaseLen() int { return 2 }
+
+// SingleFeedbackAntFactory returns a Factory producing single-observation
+// Algorithm Ant agents.
+func SingleFeedbackAntFactory(k int, p Params) Factory {
+	if err := p.Validate(false); err != nil {
+		panic(err)
+	}
+	return Factory{
+		Name: fmt.Sprintf("ant-single-obs(γ=%.4g)", p.Gamma),
+		New:  func() Agent { return NewSingleFeedbackAnt(k, p) },
+	}
+}

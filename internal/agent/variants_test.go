@@ -1,0 +1,171 @@
+package agent
+
+import (
+	"math"
+	"testing"
+
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+func TestPhaseShiftedDelegates(t *testing.T) {
+	r := rng.New(1)
+	inner := NewAnt(2, DefaultParams(0.05))
+	p := &PhaseShifted{Inner: inner, Offset: 1}
+	p.Reset(1)
+	if p.Assignment() != 1 || inner.Assignment() != 1 {
+		t.Fatal("Reset/Assignment not delegated")
+	}
+	if p.MemoryBits() != inner.MemoryBits() || p.PhaseLen() != inner.PhaseLen() {
+		t.Fatal("meta not delegated")
+	}
+	// With offset 1, global round 1 is the inner agent's round 2 (an
+	// even, decision round): an idle inner agent with stale Lack sample
+	// and Lack feedback joins immediately — behavior differs from an
+	// unshifted agent, which merely records s1 at round 1.
+	fb := detFb(r, noise.Lack, noise.Lack)
+	p.Reset(Idle)
+	p.Step(1, &fb, r)
+	un := NewAnt(2, DefaultParams(0.05))
+	fb2 := detFb(r, noise.Lack, noise.Lack)
+	un.Step(1, &fb2, r)
+	if un.Assignment() != Idle {
+		t.Fatal("unshifted agent should not decide at round 1")
+	}
+}
+
+func TestDesyncFactoryFraction(t *testing.T) {
+	base := AntFactory(2, DefaultParams(0.05))
+	fac := DesyncFactory(base, 0.3, 1)
+	if fac.Name == base.Name {
+		t.Fatal("desync factory should rename")
+	}
+	shifted := 0
+	const total = 1000
+	for i := 0; i < total; i++ {
+		if _, ok := fac.New().(*PhaseShifted); ok {
+			shifted++
+		}
+	}
+	if shifted != 300 {
+		t.Fatalf("shifted %d/1000, want exactly 300 (deterministic thinning)", shifted)
+	}
+	mustPanic(t, "bad frac", func() { DesyncFactory(base, 1.5, 1) })
+}
+
+func TestDesyncFactoryZeroAndFull(t *testing.T) {
+	base := TrivialFactory(2)
+	none := DesyncFactory(base, 0, 1)
+	for i := 0; i < 50; i++ {
+		if _, ok := none.New().(*PhaseShifted); ok {
+			t.Fatal("frac=0 produced a shifted agent")
+		}
+	}
+	all := DesyncFactory(base, 1, 1)
+	for i := 0; i < 50; i++ {
+		if _, ok := all.New().(*PhaseShifted); !ok {
+			t.Fatal("frac=1 produced an unshifted agent")
+		}
+	}
+}
+
+func TestSingleFeedbackAntJoinsCandidateOnDoubleLack(t *testing.T) {
+	r := rng.New(2)
+	a := NewSingleFeedbackAnt(1, DefaultParams(0.05))
+	fb := detFb(r, noise.Lack)
+	a.Step(1, &fb, r)
+	a.Step(2, &fb, r)
+	if a.Assignment() != 0 {
+		t.Fatalf("assignment %d, want 0", a.Assignment())
+	}
+}
+
+func TestSingleFeedbackAntCandidateUniform(t *testing.T) {
+	r := rng.New(3)
+	counts := make([]int, 3)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		a := NewSingleFeedbackAnt(3, DefaultParams(0.05))
+		fb := detFb(r, noise.Lack, noise.Lack, noise.Lack)
+		a.Step(1, &fb, r)
+		a.Step(2, &fb, r)
+		if got := a.Assignment(); got != Idle {
+			counts[got]++
+		}
+	}
+	for j, c := range counts {
+		frac := float64(c) / trials
+		if math.Abs(frac-1.0/3) > 0.02 {
+			t.Fatalf("candidate %d frequency %v, want ~1/3", j, frac)
+		}
+	}
+}
+
+func TestSingleFeedbackAntMixedSamplesNoJoin(t *testing.T) {
+	r := rng.New(4)
+	a := NewSingleFeedbackAnt(1, DefaultParams(0.05))
+	fb1 := detFb(r, noise.Lack)
+	fb2 := detFb(r, noise.Overload)
+	a.Step(1, &fb1, r)
+	a.Step(2, &fb2, r)
+	if a.Assignment() != Idle {
+		t.Fatal("joined on mixed samples")
+	}
+}
+
+func TestSingleFeedbackAntLeaveRate(t *testing.T) {
+	r := rng.New(5)
+	p := DefaultParams(0.05)
+	left := 0
+	const trials = 200000
+	a := NewSingleFeedbackAnt(1, p)
+	for i := 0; i < trials; i++ {
+		a.Reset(0)
+		fb := detFb(r, noise.Overload)
+		a.Step(1, &fb, r)
+		a.Step(2, &fb, r)
+		if a.Assignment() == Idle {
+			left++
+		}
+	}
+	got := float64(left) / trials
+	want := p.Gamma / p.Cd
+	if math.Abs(got-want) > 0.0006 {
+		t.Fatalf("leave rate %v, want %v", got, want)
+	}
+}
+
+func TestSingleFeedbackAntMemoryConstantInK(t *testing.T) {
+	small := NewSingleFeedbackAnt(2, DefaultParams(0.05))
+	big := NewSingleFeedbackAnt(64, DefaultParams(0.05))
+	full := NewAnt(64, DefaultParams(0.05))
+	if big.MemoryBits() >= full.MemoryBits() {
+		t.Fatalf("single-obs memory %d should be below full Ant's %d at k=64",
+			big.MemoryBits(), full.MemoryBits())
+	}
+	// Growth is only the 2·log k task registers.
+	if big.MemoryBits()-small.MemoryBits() > 12 {
+		t.Fatalf("memory grew too fast: %d -> %d", small.MemoryBits(), big.MemoryBits())
+	}
+	if small.PhaseLen() != 2 {
+		t.Fatal("phase length")
+	}
+}
+
+func TestSingleFeedbackAntFactoryAndPanics(t *testing.T) {
+	fac := SingleFeedbackAntFactory(3, DefaultParams(0.05))
+	if fac.New() == nil || fac.Name == "" {
+		t.Fatal("factory broken")
+	}
+	mustPanic(t, "k=0", func() { NewSingleFeedbackAnt(0, DefaultParams(0.05)) })
+	mustPanic(t, "bad gamma", func() { NewSingleFeedbackAnt(1, DefaultParams(0.5)) })
+	mustPanic(t, "factory", func() { SingleFeedbackAntFactory(1, DefaultParams(0)) })
+}
+
+func TestSingleFeedbackAntReset(t *testing.T) {
+	a := NewSingleFeedbackAnt(3, DefaultParams(0.05))
+	a.Reset(2)
+	if a.Assignment() != 2 {
+		t.Fatal("Reset failed")
+	}
+}

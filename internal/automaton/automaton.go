@@ -1,0 +1,328 @@
+// Package automaton gives the paper's ants an explicit finite-state-
+// machine representation. The paper models ants as finite automata and
+// imposes Assumption 2.2: every pair of states must be mutually reachable
+// under some feedback sequence (no absorbing roles). This package builds
+// the transition structure of the trivial algorithm and of Algorithm
+// Ant's phase-level dynamics, checks that assumption by graph search, and
+// accounts state memory in bits for the Theorem 3.3 memory/precision
+// tables.
+package automaton
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// FSM is a nondeterministic transition structure: Next[s][a] lists the
+// states reachable with positive probability from state s on letter a.
+// Letters abstract one observation step (a feedback vector, or a whole
+// phase's worth of feedback for phase-level machines).
+type FSM struct {
+	states   int
+	alphabet int
+	start    int
+	labels   []string
+	next     [][][]int
+}
+
+// New creates an FSM with the given state count, alphabet size, and start
+// state, and no transitions.
+func New(states, alphabet, start int) *FSM {
+	if states <= 0 || alphabet <= 0 || start < 0 || start >= states {
+		panic("automaton: invalid New arguments")
+	}
+	next := make([][][]int, states)
+	for s := range next {
+		next[s] = make([][]int, alphabet)
+	}
+	return &FSM{
+		states:   states,
+		alphabet: alphabet,
+		start:    start,
+		labels:   make([]string, states),
+		next:     next,
+	}
+}
+
+// States returns the state count.
+func (f *FSM) States() int { return f.states }
+
+// Alphabet returns the alphabet size.
+func (f *FSM) Alphabet() int { return f.alphabet }
+
+// Start returns the start state.
+func (f *FSM) Start() int { return f.start }
+
+// SetLabel names a state for reports.
+func (f *FSM) SetLabel(s int, label string) { f.labels[s] = label }
+
+// Label returns the state's name (or "s<i>").
+func (f *FSM) Label(s int) string {
+	if f.labels[s] != "" {
+		return f.labels[s]
+	}
+	return fmt.Sprintf("s%d", s)
+}
+
+// Add records that letter a can move state s to state to (with positive
+// probability). Duplicates are ignored.
+func (f *FSM) Add(s, a, to int) {
+	if s < 0 || s >= f.states || a < 0 || a >= f.alphabet || to < 0 || to >= f.states {
+		panic("automaton: Add out of range")
+	}
+	for _, t := range f.next[s][a] {
+		if t == to {
+			return
+		}
+	}
+	f.next[s][a] = append(f.next[s][a], to)
+}
+
+// Successors returns the transition set for (s, a); callers must not
+// mutate it.
+func (f *FSM) Successors(s, a int) []int { return f.next[s][a] }
+
+// Validate checks completeness: every (state, letter) pair must have at
+// least one successor (an automaton always does *something*).
+func (f *FSM) Validate() error {
+	for s := 0; s < f.states; s++ {
+		for a := 0; a < f.alphabet; a++ {
+			if len(f.next[s][a]) == 0 {
+				return fmt.Errorf("automaton: state %s has no transition on letter %d",
+					f.Label(s), a)
+			}
+		}
+	}
+	return nil
+}
+
+// Reachable returns the set of states reachable from s under any letter
+// sequence (BFS over the union graph).
+func (f *FSM) Reachable(s int) []bool {
+	if s < 0 || s >= f.states {
+		panic("automaton: Reachable out of range")
+	}
+	seen := make([]bool, f.states)
+	queue := []int{s}
+	seen[s] = true
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for a := 0; a < f.alphabet; a++ {
+			for _, to := range f.next[cur][a] {
+				if !seen[to] {
+					seen[to] = true
+					queue = append(queue, to)
+				}
+			}
+		}
+	}
+	return seen
+}
+
+// StronglyConnected reports whether every state can reach every other —
+// the paper's Assumption 2.2.
+func (f *FSM) StronglyConnected() bool {
+	// Forward reachability from state 0, then reverse reachability: a
+	// directed graph is strongly connected iff both cover all states.
+	fwd := f.Reachable(0)
+	for _, ok := range fwd {
+		if !ok {
+			return false
+		}
+	}
+	rev := f.reverse()
+	back := rev.Reachable(0)
+	for _, ok := range back {
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// reverse returns the edge-reversed FSM.
+func (f *FSM) reverse() *FSM {
+	r := New(f.states, f.alphabet, f.start)
+	for s := 0; s < f.states; s++ {
+		for a := 0; a < f.alphabet; a++ {
+			for _, to := range f.next[s][a] {
+				r.Add(to, a, s)
+			}
+		}
+	}
+	return r
+}
+
+// CheckAssumption22 returns nil when the machine satisfies Assumption 2.2
+// and a descriptive error naming an unreachable pair otherwise.
+func (f *FSM) CheckAssumption22() error {
+	for s := 0; s < f.states; s++ {
+		seen := f.Reachable(s)
+		for to, ok := range seen {
+			if !ok {
+				return fmt.Errorf("automaton: state %s cannot reach %s",
+					f.Label(s), f.Label(to))
+			}
+		}
+	}
+	return nil
+}
+
+// MemoryBits returns ⌈log₂(states)⌉.
+func (f *FSM) MemoryBits() int {
+	if f.states <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(f.states))))
+}
+
+// Diameter returns the longest shortest path between any ordered state
+// pair (how many observations an adversary needs to force any
+// transition), or -1 if the machine is not strongly connected.
+func (f *FSM) Diameter() int {
+	maxDist := 0
+	for s := 0; s < f.states; s++ {
+		dist := make([]int, f.states)
+		for i := range dist {
+			dist[i] = -1
+		}
+		dist[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for a := 0; a < f.alphabet; a++ {
+				for _, to := range f.next[cur][a] {
+					if dist[to] < 0 {
+						dist[to] = dist[cur] + 1
+						queue = append(queue, to)
+					}
+				}
+			}
+		}
+		for _, d := range dist {
+			if d < 0 {
+				return -1
+			}
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+	}
+	return maxDist
+}
+
+// --- Machines for the paper's algorithms -----------------------------------
+
+// TrivialFSM builds the trivial algorithm's machine for k tasks. States
+// are 0 = idle and 1+j = working on task j. Letters are feedback vectors:
+// bit j of the letter is 1 when task j reads Lack. It panics for k > 16
+// (the letter space is 2^k).
+func TrivialFSM(k int) *FSM {
+	if k <= 0 || k > 16 {
+		panic("automaton: TrivialFSM needs 1 <= k <= 16")
+	}
+	f := New(k+1, 1<<k, 0)
+	f.SetLabel(0, "idle")
+	for j := 0; j < k; j++ {
+		f.SetLabel(1+j, fmt.Sprintf("task%d", j))
+	}
+	for a := 0; a < 1<<k; a++ {
+		// From idle: join any lacking task; stay if none lack.
+		joined := false
+		for j := 0; j < k; j++ {
+			if a&(1<<j) != 0 {
+				f.Add(0, a, 1+j)
+				joined = true
+			}
+		}
+		if !joined {
+			f.Add(0, a, 0)
+		}
+		// From task j: stay on Lack, leave on Overload.
+		for j := 0; j < k; j++ {
+			if a&(1<<j) != 0 {
+				f.Add(1+j, a, 1+j)
+			} else {
+				f.Add(1+j, a, 0)
+			}
+		}
+	}
+	return f
+}
+
+// AntPhaseFSM builds Algorithm Ant's phase-level machine for k tasks: one
+// letter is the pair (s1, s2) of feedback vectors observed in a phase,
+// encoded as s1 | s2<<k with bit j = 1 meaning Lack. States are 0 = idle
+// and 1+j = working on task j (the within-phase pause is transient and
+// does not survive a phase boundary). It panics for k > 8.
+func AntPhaseFSM(k int) *FSM {
+	if k <= 0 || k > 8 {
+		panic("automaton: AntPhaseFSM needs 1 <= k <= 8")
+	}
+	f := New(k+1, 1<<(2*k), 0)
+	f.SetLabel(0, "idle")
+	for j := 0; j < k; j++ {
+		f.SetLabel(1+j, fmt.Sprintf("task%d", j))
+	}
+	for a := 0; a < 1<<(2*k); a++ {
+		s1 := a & (1<<k - 1)
+		s2 := a >> k
+		// From idle: join any task with Lack in both samples.
+		joined := false
+		for j := 0; j < k; j++ {
+			if s1&(1<<j) != 0 && s2&(1<<j) != 0 {
+				f.Add(0, a, 1+j)
+				joined = true
+			}
+		}
+		if !joined {
+			f.Add(0, a, 0)
+		}
+		// From task j: leave with positive probability only when both
+		// samples read Overload; staying is always possible.
+		for j := 0; j < k; j++ {
+			f.Add(1+j, a, 1+j)
+			if s1&(1<<j) == 0 && s2&(1<<j) == 0 {
+				f.Add(1+j, a, 0)
+			}
+		}
+	}
+	return f
+}
+
+// StubbornFSM builds a deliberately broken machine violating
+// Assumption 2.2: a worker that never leaves its task. Used to test the
+// checker's negative path and as the counter-example the paper's
+// assumption rules out.
+func StubbornFSM(k int) *FSM {
+	if k <= 0 || k > 16 {
+		panic("automaton: StubbornFSM needs 1 <= k <= 16")
+	}
+	f := New(k+1, 1<<k, 0)
+	f.SetLabel(0, "idle")
+	for j := 0; j < k; j++ {
+		f.SetLabel(1+j, fmt.Sprintf("task%d", j))
+	}
+	for a := 0; a < 1<<k; a++ {
+		joined := false
+		for j := 0; j < k; j++ {
+			if a&(1<<j) != 0 {
+				f.Add(0, a, 1+j)
+				joined = true
+			}
+		}
+		if !joined {
+			f.Add(0, a, 0)
+		}
+		for j := 0; j < k; j++ {
+			f.Add(1+j, a, 1+j) // never leaves
+		}
+	}
+	return f
+}
+
+// ErrNotStronglyConnected is a sentinel for reporting.
+var ErrNotStronglyConnected = errors.New("automaton: not strongly connected")

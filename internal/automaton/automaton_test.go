@@ -1,0 +1,232 @@
+package automaton
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAdd(t *testing.T) {
+	f := New(3, 2, 0)
+	if f.States() != 3 || f.Alphabet() != 2 || f.Start() != 0 {
+		t.Fatal("accessors broken")
+	}
+	f.Add(0, 0, 1)
+	f.Add(0, 0, 1) // duplicate ignored
+	if got := f.Successors(0, 0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("successors %v", got)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	mustPanic(t, "states", func() { New(0, 2, 0) })
+	mustPanic(t, "alphabet", func() { New(2, 0, 0) })
+	mustPanic(t, "start", func() { New(2, 1, 5) })
+	f := New(2, 1, 0)
+	mustPanic(t, "add s", func() { f.Add(5, 0, 0) })
+	mustPanic(t, "add a", func() { f.Add(0, 3, 0) })
+	mustPanic(t, "add to", func() { f.Add(0, 0, 9) })
+	mustPanic(t, "reach", func() { f.Reachable(7) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestValidate(t *testing.T) {
+	f := New(2, 1, 0)
+	f.Add(0, 0, 1)
+	if err := f.Validate(); err == nil {
+		t.Fatal("incomplete FSM validated")
+	}
+	f.Add(1, 0, 0)
+	if err := f.Validate(); err != nil {
+		t.Fatalf("complete FSM rejected: %v", err)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	f := New(2, 1, 0)
+	f.SetLabel(0, "idle")
+	if f.Label(0) != "idle" || f.Label(1) != "s1" {
+		t.Fatal("labels broken")
+	}
+}
+
+func TestReachableAndStronglyConnected(t *testing.T) {
+	// Cycle 0 -> 1 -> 2 -> 0: strongly connected.
+	f := New(3, 1, 0)
+	f.Add(0, 0, 1)
+	f.Add(1, 0, 2)
+	f.Add(2, 0, 0)
+	if !f.StronglyConnected() {
+		t.Fatal("cycle not strongly connected")
+	}
+	if err := f.CheckAssumption22(); err != nil {
+		t.Fatal(err)
+	}
+	// Chain 0 -> 1 -> 2: not strongly connected.
+	g := New(3, 1, 0)
+	g.Add(0, 0, 1)
+	g.Add(1, 0, 2)
+	g.Add(2, 0, 2)
+	if g.StronglyConnected() {
+		t.Fatal("chain reported strongly connected")
+	}
+	if err := g.CheckAssumption22(); err == nil {
+		t.Fatal("CheckAssumption22 missed the violation")
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	f := New(3, 1, 0)
+	f.Add(0, 0, 1)
+	f.Add(1, 0, 2)
+	f.Add(2, 0, 0)
+	if got := f.Diameter(); got != 2 {
+		t.Fatalf("cycle diameter %d, want 2", got)
+	}
+	g := New(2, 1, 0)
+	g.Add(0, 0, 1)
+	g.Add(1, 0, 1)
+	if got := g.Diameter(); got != -1 {
+		t.Fatalf("disconnected diameter %d, want -1", got)
+	}
+}
+
+func TestMemoryBits(t *testing.T) {
+	if got := New(1, 1, 0).MemoryBits(); got != 0 {
+		t.Fatalf("1 state: %d bits", got)
+	}
+	if got := New(5, 1, 0).MemoryBits(); got != 3 {
+		t.Fatalf("5 states: %d bits", got)
+	}
+}
+
+// TestTrivialFSMSatisfiesAssumption22: the paper's baseline is a legal
+// ant automaton for every task count.
+func TestTrivialFSMSatisfiesAssumption22(t *testing.T) {
+	for k := 1; k <= 6; k++ {
+		f := TrivialFSM(k)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := f.CheckAssumption22(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if f.States() != k+1 || f.Alphabet() != 1<<k {
+			t.Fatalf("k=%d: wrong shape", k)
+		}
+	}
+}
+
+func TestTrivialFSMTransitions(t *testing.T) {
+	f := TrivialFSM(2)
+	// Letter 0b01: task 0 lacks, task 1 overloaded.
+	succ := f.Successors(0, 0b01)
+	if len(succ) != 1 || succ[0] != 1 {
+		t.Fatalf("idle on 01 -> %v, want [task0]", succ)
+	}
+	// Working on task 1 (state 2) with letter 0b01: overloaded -> idle.
+	succ = f.Successors(2, 0b01)
+	if len(succ) != 1 || succ[0] != 0 {
+		t.Fatalf("task1 on 01 -> %v, want [idle]", succ)
+	}
+	// Letter 0b00: idle stays idle.
+	succ = f.Successors(0, 0)
+	if len(succ) != 1 || succ[0] != 0 {
+		t.Fatalf("idle on 00 -> %v", succ)
+	}
+}
+
+// TestAntPhaseFSMSatisfiesAssumption22 is the paper's requirement applied
+// to Algorithm Ant itself.
+func TestAntPhaseFSMSatisfiesAssumption22(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		f := AntPhaseFSM(k)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := f.CheckAssumption22(); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}
+
+func TestAntPhaseFSMTransitions(t *testing.T) {
+	f := AntPhaseFSM(1)
+	// Letter encoding: s1 | s2<<1, bit = Lack.
+	const (
+		oo = 0b00
+		lo = 0b01 // s1 lack, s2 overload
+		ol = 0b10
+		ll = 0b11
+	)
+	// Idle joins only on double lack.
+	if s := f.Successors(0, ll); len(s) != 1 || s[0] != 1 {
+		t.Fatalf("idle on ll -> %v", s)
+	}
+	for _, a := range []int{oo, lo, ol} {
+		if s := f.Successors(0, a); len(s) != 1 || s[0] != 0 {
+			t.Fatalf("idle on %02b -> %v", a, s)
+		}
+	}
+	// Worker can leave only on double overload (and staying is possible).
+	if s := f.Successors(1, oo); len(s) != 2 {
+		t.Fatalf("worker on oo -> %v, want {stay, leave}", s)
+	}
+	for _, a := range []int{lo, ol, ll} {
+		if s := f.Successors(1, a); len(s) != 1 || s[0] != 1 {
+			t.Fatalf("worker on %02b -> %v, want stay only", a, s)
+		}
+	}
+}
+
+// TestStubbornFSMViolatesAssumption22: the counter-example the paper's
+// assumption forbids must be caught.
+func TestStubbornFSMViolatesAssumption22(t *testing.T) {
+	for k := 1; k <= 4; k++ {
+		f := StubbornFSM(k)
+		if err := f.Validate(); err != nil {
+			t.Fatalf("k=%d incomplete: %v", k, err)
+		}
+		if f.StronglyConnected() {
+			t.Fatalf("k=%d: stubborn machine reported strongly connected", k)
+		}
+		if err := f.CheckAssumption22(); err == nil {
+			t.Fatalf("k=%d: violation not caught", k)
+		}
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	mustPanic(t, "trivial k=0", func() { TrivialFSM(0) })
+	mustPanic(t, "trivial k=17", func() { TrivialFSM(17) })
+	mustPanic(t, "ant k=9", func() { AntPhaseFSM(9) })
+	mustPanic(t, "stubborn k=0", func() { StubbornFSM(0) })
+}
+
+// TestStronglyConnectedAgreesWithPairwise: the two-BFS shortcut must
+// agree with the all-pairs definition on random machines.
+func TestStronglyConnectedAgreesWithPairwise(t *testing.T) {
+	f := func(edges [12]uint8) bool {
+		const states, alphabet = 4, 2
+		m := New(states, alphabet, 0)
+		for i, e := range edges {
+			s := i % states
+			a := (i / states) % alphabet
+			m.Add(s, a, int(e)%states)
+		}
+		fast := m.StronglyConnected()
+		slow := m.CheckAssumption22() == nil
+		return fast == slow
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package clock implements the self-stabilizing phase synchronization
+// the paper assumes away in footnote 2: Algorithm Ant needs all ants to
+// agree on which round opens a phase ("day" vs "night"), and the paper
+// notes this is achievable with one extra bit of memory and very limited
+// communication (citing Boczkowski, Korman & Natale, SODA 2017).
+//
+// The substrate here is a 1-bit self-stabilizing clock: every ant keeps
+// one phase bit that it flips every round (its local "day/night"), and
+// each round it observes the bits of a few uniformly random peers and
+// adopts the majority when its own bit is outvoted. Because everybody
+// flips in lockstep, agreement on the bit is exactly agreement on the
+// phase boundary, and best-of-k majority dynamics drives any initial bit
+// configuration to consensus in O(log n) rounds w.h.p. — from which
+// point Algorithm Ant's premise holds.
+package clock
+
+import (
+	"fmt"
+
+	"taskalloc/internal/rng"
+)
+
+// Sync is a colony of 1-bit phase clocks. Not safe for concurrent use.
+type Sync struct {
+	bits    []uint8
+	scratch []uint8
+	r       *rng.Rng
+	sample  int
+	round   uint64
+}
+
+// New builds a synchronizer for n ants, each observing sample (an odd
+// number >= 1) random peers per round. Initial bits are uniform random —
+// the worst case for consensus.
+func New(n, sample int, seed uint64) *Sync {
+	if n < 2 {
+		panic("clock: New needs n >= 2")
+	}
+	if sample < 1 || sample%2 == 0 {
+		panic("clock: sample size must be odd and >= 1")
+	}
+	s := &Sync{
+		bits:    make([]uint8, n),
+		scratch: make([]uint8, n),
+		r:       rng.New(seed),
+		sample:  sample,
+	}
+	for i := range s.bits {
+		s.bits[i] = uint8(s.r.Intn(2))
+	}
+	return s
+}
+
+// SetBits overwrites the bit configuration (for adversarial starts).
+func (s *Sync) SetBits(bits []uint8) {
+	if len(bits) != len(s.bits) {
+		panic("clock: SetBits length mismatch")
+	}
+	for i, b := range bits {
+		s.bits[i] = b & 1
+	}
+}
+
+// N returns the number of clocks.
+func (s *Sync) N() int { return len(s.bits) }
+
+// Round returns the number of completed rounds.
+func (s *Sync) Round() uint64 { return s.round }
+
+// Bit returns ant i's current phase bit.
+func (s *Sync) Bit(i int) uint8 { return s.bits[i] }
+
+// Step advances one synchronous round: every ant flips its bit (the
+// clock tick), then samples `sample` peers from the pre-correction state
+// and adopts the majority bit. Sampling is with replacement and may hit
+// the ant itself — the dynamics tolerate both.
+func (s *Sync) Step() {
+	n := len(s.bits)
+	// Tick.
+	for i := range s.bits {
+		s.bits[i] ^= 1
+	}
+	// Correct: everyone observes the POST-tick bits of peers
+	// simultaneously, so use a snapshot.
+	copy(s.scratch, s.bits)
+	for i := range s.bits {
+		ones := 0
+		for j := 0; j < s.sample; j++ {
+			ones += int(s.scratch[s.r.Intn(n)])
+		}
+		if 2*ones > s.sample {
+			s.bits[i] = 1
+		} else {
+			s.bits[i] = 0
+		}
+	}
+	s.round++
+}
+
+// Agreement returns the fraction of ants holding the majority bit, in
+// [0.5, 1].
+func (s *Sync) Agreement() float64 {
+	ones := 0
+	for _, b := range s.bits {
+		ones += int(b)
+	}
+	n := len(s.bits)
+	if 2*ones >= n {
+		return float64(ones) / float64(n)
+	}
+	return float64(n-ones) / float64(n)
+}
+
+// Synchronized reports whether agreement has reached thresh.
+func (s *Sync) Synchronized(thresh float64) bool { return s.Agreement() >= thresh }
+
+// RoundsToSync steps until agreement reaches thresh or maxRounds passes,
+// returning the number of rounds taken and whether the threshold was
+// reached.
+func (s *Sync) RoundsToSync(thresh float64, maxRounds int) (int, bool) {
+	if s.Synchronized(thresh) {
+		return 0, true
+	}
+	for i := 1; i <= maxRounds; i++ {
+		s.Step()
+		if s.Synchronized(thresh) {
+			return i, true
+		}
+	}
+	return maxRounds, false
+}
+
+// MemoryBits returns the per-ant memory of the synchronizer: one bit.
+func (s *Sync) MemoryBits() int { return 1 }
+
+// String summarizes the state.
+func (s *Sync) String() string {
+	return fmt.Sprintf("clock.Sync{n=%d sample=%d round=%d agreement=%.3f}",
+		len(s.bits), s.sample, s.round, s.Agreement())
+}

@@ -1,0 +1,157 @@
+package clock
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	mustPanic(t, "n=1", func() { New(1, 3, 1) })
+	mustPanic(t, "even sample", func() { New(10, 2, 1) })
+	mustPanic(t, "zero sample", func() { New(10, 0, 1) })
+	s := New(10, 3, 1)
+	if s.N() != 10 || s.MemoryBits() != 1 || s.Round() != 0 {
+		t.Fatal("accessors broken")
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestSetBits(t *testing.T) {
+	s := New(4, 3, 1)
+	s.SetBits([]uint8{1, 1, 1, 0})
+	if s.Bit(0) != 1 || s.Bit(3) != 0 {
+		t.Fatal("SetBits failed")
+	}
+	if got := s.Agreement(); got != 0.75 {
+		t.Fatalf("Agreement = %v, want 0.75", got)
+	}
+	mustPanic(t, "length", func() { s.SetBits([]uint8{1}) })
+}
+
+func TestAgreementRange(t *testing.T) {
+	s := New(100, 3, 2)
+	a := s.Agreement()
+	if a < 0.5 || a > 1 {
+		t.Fatalf("Agreement %v outside [0.5, 1]", a)
+	}
+}
+
+// TestConsensusPreserved: once all bits agree, they stay in agreement
+// forever (the tick flips everyone together; majority keeps it).
+func TestConsensusPreserved(t *testing.T) {
+	s := New(200, 3, 3)
+	s.SetBits(make([]uint8, 200)) // all zero
+	for i := 0; i < 50; i++ {
+		s.Step()
+		if s.Agreement() != 1 {
+			t.Fatalf("consensus broken at round %d: %v", i+1, s.Agreement())
+		}
+	}
+}
+
+// TestTickAlternates: under consensus the common bit alternates each
+// round — the day/night phase signal Algorithm Ant needs.
+func TestTickAlternates(t *testing.T) {
+	s := New(50, 3, 4)
+	s.SetBits(make([]uint8, 50))
+	prev := s.Bit(0)
+	for i := 0; i < 20; i++ {
+		s.Step()
+		if s.Bit(0) == prev {
+			t.Fatalf("bit did not alternate at round %d", i+1)
+		}
+		prev = s.Bit(0)
+	}
+}
+
+// TestConvergesFromRandom: from uniform random bits, best-of-3 majority
+// reaches full agreement quickly (O(log n) w.h.p.).
+func TestConvergesFromRandom(t *testing.T) {
+	for _, n := range []int{100, 1000, 10000} {
+		s := New(n, 3, uint64(n))
+		rounds, ok := s.RoundsToSync(1.0, 200)
+		if !ok {
+			t.Fatalf("n=%d: no consensus in 200 rounds (agreement %v)", n, s.Agreement())
+		}
+		if rounds > 100 {
+			t.Fatalf("n=%d: consensus took %d rounds", n, rounds)
+		}
+	}
+}
+
+// TestConvergesFromNearTie: an adversarial 50/50 split still resolves.
+func TestConvergesFromNearTie(t *testing.T) {
+	n := 2000
+	s := New(n, 5, 9)
+	bits := make([]uint8, n)
+	for i := n / 2; i < n; i++ {
+		bits[i] = 1
+	}
+	s.SetBits(bits)
+	if _, ok := s.RoundsToSync(1.0, 500); !ok {
+		t.Fatalf("tie not resolved: agreement %v", s.Agreement())
+	}
+}
+
+// TestLargerSamplesConvergeFaster (statistically): best-of-5 should not
+// be slower than best-of-1 (which is just a voter-model random walk).
+func TestLargerSamplesConvergeFaster(t *testing.T) {
+	avg := func(sample int) float64 {
+		total := 0.0
+		const reps = 10
+		for rep := 0; rep < reps; rep++ {
+			s := New(500, sample, uint64(100+rep))
+			r, ok := s.RoundsToSync(0.99, 5000)
+			if !ok {
+				r = 5000
+			}
+			total += float64(r)
+		}
+		return total / reps
+	}
+	slow := avg(1)
+	fast := avg(5)
+	if fast > slow+5 && fast > 2*slow {
+		t.Fatalf("best-of-5 (%v rounds) much slower than best-of-1 (%v)", fast, slow)
+	}
+}
+
+// TestRoundsToSyncAlreadySynced returns immediately.
+func TestRoundsToSyncAlreadySynced(t *testing.T) {
+	s := New(10, 3, 5)
+	s.SetBits(make([]uint8, 10))
+	r, ok := s.RoundsToSync(1.0, 100)
+	if !ok || r != 0 {
+		t.Fatalf("(%d, %v), want (0, true)", r, ok)
+	}
+}
+
+// TestDeterminism: same seed, same trajectory.
+func TestDeterminism(t *testing.T) {
+	a := New(300, 3, 7)
+	b := New(300, 3, 7)
+	for i := 0; i < 50; i++ {
+		a.Step()
+		b.Step()
+	}
+	for i := 0; i < 300; i++ {
+		if a.Bit(i) != b.Bit(i) {
+			t.Fatalf("diverged at ant %d", i)
+		}
+	}
+	if math.Abs(a.Agreement()-b.Agreement()) > 0 {
+		t.Fatal("agreement diverged")
+	}
+}

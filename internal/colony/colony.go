@@ -1,0 +1,456 @@
+// Package colony is the simulation substrate: it advances n ant automata
+// through the paper's synchronous rounds, draws their noisy feedback,
+// counts loads, and reports the trajectory to observers.
+//
+// Two schedulers are provided. Engine is the synchronous model of
+// Section 2: every ant receives feedback derived from the previous
+// round's loads and all ants act concurrently; its hot loop is sharded
+// across a goroutine pool with one deterministic RNG stream per shard.
+// Sequential is the model of Appendix D.1: one uniformly random ant acts
+// per round.
+package colony
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// Initializer produces the initial assignment of every ant (task index or
+// agent.Idle). Self-stabilization experiments exercise adversarial
+// initializations.
+type Initializer func(n, k int, r *rng.Rng) []int32
+
+// AllIdle starts every ant idle.
+func AllIdle(n, _ int, _ *rng.Rng) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = agent.Idle
+	}
+	return out
+}
+
+// UniformRandom assigns every ant independently and uniformly to one of
+// the k tasks or idle.
+func UniformRandom(n, k int, r *rng.Rng) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(r.Intn(k+1)) - 1
+	}
+	return out
+}
+
+// Concentrated returns an Initializer that puts every ant on one task —
+// the worst-case flood used to exercise the R⁺ (overload) analysis.
+func Concentrated(task int) Initializer {
+	return func(n, k int, _ *rng.Rng) []int32 {
+		if task < 0 || task >= k {
+			panic(fmt.Sprintf("colony: Concentrated task %d outside [0,%d)", task, k))
+		}
+		out := make([]int32, n)
+		for i := range out {
+			out[i] = int32(task)
+		}
+		return out
+	}
+}
+
+// Exact returns an Initializer assigning exactly the demanded number of
+// ants to each task (remaining ants idle) — the zero-regret start used to
+// measure steady-state oscillation in isolation.
+func Exact(dem demand.Vector) Initializer {
+	return func(n, k int, _ *rng.Rng) []int32 {
+		if k != len(dem) {
+			panic("colony: Exact demand length mismatch")
+		}
+		if dem.Sum() > n {
+			panic("colony: Exact demand exceeds colony size")
+		}
+		out := make([]int32, n)
+		i := 0
+		for j, d := range dem {
+			for c := 0; c < d; c++ {
+				out[i] = int32(j)
+				i++
+			}
+		}
+		for ; i < n; i++ {
+			out[i] = agent.Idle
+		}
+		return out
+	}
+}
+
+// Observer receives the state after each round: the round number t, the
+// loads W(j)_t, and the demands in force. The slices are owned by the
+// engine and must not be retained or mutated.
+type Observer func(t uint64, loads []int, dem demand.Vector)
+
+// Config assembles a simulation.
+type Config struct {
+	// N is the number of ants.
+	N int
+	// Schedule supplies the (possibly time-varying) demand vector.
+	Schedule demand.Schedule
+	// Model is the feedback noise model.
+	Model noise.Model
+	// Factory constructs the ant automata.
+	Factory agent.Factory
+	// Init sets the initial assignment; nil means AllIdle.
+	Init Initializer
+	// Seed drives all randomness. Runs with equal (Config, Shards) are
+	// bit-identical.
+	Seed uint64
+	// Shards is the parallel fan-out of the synchronous engine;
+	// 0 means GOMAXPROCS. Results depend on the shard count (each shard
+	// owns an RNG stream), so fix it for reproducibility.
+	Shards int
+}
+
+func (c Config) validate() error {
+	if c.N <= 0 {
+		return errors.New("colony: need N >= 1")
+	}
+	if c.Schedule == nil || c.Schedule.Tasks() <= 0 {
+		return errors.New("colony: need a schedule with >= 1 task")
+	}
+	if c.Model == nil {
+		return errors.New("colony: need a noise model")
+	}
+	if c.Factory.New == nil {
+		return errors.New("colony: need an agent factory")
+	}
+	if c.Shards < 0 {
+		return errors.New("colony: negative shard count")
+	}
+	return nil
+}
+
+// Engine is the synchronous scheduler. Not safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	k      int
+	agents []agent.Agent
+	shards []shard
+	loads  []int
+	// nextCounts[s] accumulates shard s's per-assignment counts
+	// (index 0 = idle, 1+j = task j).
+	deficits []float64
+	fbDesc   []noise.TaskFeedback
+	round    uint64
+	wg       sync.WaitGroup
+	switches uint64
+	active   int
+}
+
+type shard struct {
+	lo, hi   int // ant index range [lo, hi)
+	r        *rng.Rng
+	counts   []int // per-assignment accumulator, len k+1
+	switches uint64
+}
+
+// New builds a synchronous engine and applies the initializer.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	k := cfg.Schedule.Tasks()
+	e := &Engine{
+		cfg:      cfg,
+		k:        k,
+		agents:   make([]agent.Agent, cfg.N),
+		loads:    make([]int, k),
+		deficits: make([]float64, k),
+		fbDesc:   make([]noise.TaskFeedback, k),
+		active:   cfg.N,
+	}
+	for i := range e.agents {
+		e.agents[i] = cfg.Factory.New()
+	}
+
+	shards := cfg.Shards
+	if shards == 0 {
+		shards = runtime.GOMAXPROCS(0)
+	}
+	if shards > cfg.N {
+		shards = cfg.N
+	}
+	master := rng.New(cfg.Seed)
+	per := cfg.N / shards
+	rem := cfg.N % shards
+	lo := 0
+	for s := 0; s < shards; s++ {
+		hi := lo + per
+		if s < rem {
+			hi++
+		}
+		e.shards = append(e.shards, shard{
+			lo: lo, hi: hi,
+			r:      master.Fork(uint64(s) + 1),
+			counts: make([]int, k+1),
+		})
+		lo = hi
+	}
+
+	init := cfg.Init
+	if init == nil {
+		init = AllIdle
+	}
+	initRng := master.Fork(0)
+	assign := init(cfg.N, k, initRng)
+	if len(assign) != cfg.N {
+		return nil, fmt.Errorf("colony: initializer returned %d assignments, want %d",
+			len(assign), cfg.N)
+	}
+	for i, a := range assign {
+		if a < agent.Idle || a >= int32(k) {
+			return nil, fmt.Errorf("colony: initializer assignment %d out of range", a)
+		}
+		e.agents[i].Reset(a)
+		if a != agent.Idle {
+			e.loads[a]++
+		}
+	}
+	return e, nil
+}
+
+// Tasks returns the number of tasks.
+func (e *Engine) Tasks() int { return e.k }
+
+// N returns the number of ants.
+func (e *Engine) N() int { return e.cfg.N }
+
+// Round returns the index of the last completed round (0 before any Step).
+func (e *Engine) Round() uint64 { return e.round }
+
+// Loads returns the current per-task loads. The engine owns the slice.
+func (e *Engine) Loads() []int { return e.loads }
+
+// Idle returns the number of idle (active) ants.
+func (e *Engine) Idle() int {
+	working := 0
+	for _, w := range e.loads {
+		working += w
+	}
+	return e.active - working
+}
+
+// Active returns the number of active ants (see Resize).
+func (e *Engine) Active() int { return e.active }
+
+// Resize changes the active colony size to m in [1, N]: ants with index
+// >= m stop participating (they are neither stepped nor counted — the
+// paper's "ants dying"), and previously inactive ants re-enter idle with
+// cleared memory ("ants hatching"). The paper's Section 6 notes the
+// algorithms tolerate such changes because of their self-stabilization;
+// experiment S4 measures it. Takes effect from the next Step.
+func (e *Engine) Resize(m int) {
+	if m < 1 || m > e.cfg.N {
+		panic(fmt.Sprintf("colony: Resize to %d outside [1, %d]", m, e.cfg.N))
+	}
+	if m > e.active {
+		// Newly hatched ants start idle with fresh state.
+		for i := e.active; i < m; i++ {
+			e.agents[i].Reset(agent.Idle)
+		}
+	} else {
+		// Dying ants release their tasks immediately so the loads seen
+		// by the next round's feedback reflect the real workforce.
+		for i := m; i < e.active; i++ {
+			if a := e.agents[i].Assignment(); a != agent.Idle {
+				e.loads[a]--
+			}
+		}
+	}
+	e.active = m
+}
+
+// Demands returns the demand vector in force for the next round.
+func (e *Engine) Demands() demand.Vector { return e.cfg.Schedule.At(e.round + 1) }
+
+// Step advances the simulation by one synchronous round: feedback is
+// derived from the loads at the end of the previous round, all ants act
+// concurrently, and the loads are re-counted.
+func (e *Engine) Step() {
+	t := e.round + 1
+	dem := e.cfg.Schedule.At(t)
+	for j := 0; j < e.k; j++ {
+		e.deficits[j] = float64(dem[j] - e.loads[j])
+	}
+	e.cfg.Model.Describe(noise.Env{Round: t, Deficit: e.deficits, Demand: dem}, e.fbDesc)
+
+	if len(e.shards) == 1 {
+		s := &e.shards[0]
+		s.run(t, e.active, e.agents, e.fbDesc)
+	} else {
+		e.wg.Add(len(e.shards))
+		for i := range e.shards {
+			s := &e.shards[i]
+			go func() {
+				defer e.wg.Done()
+				s.run(t, e.active, e.agents, e.fbDesc)
+			}()
+		}
+		e.wg.Wait()
+	}
+
+	for j := range e.loads {
+		e.loads[j] = 0
+	}
+	for i := range e.shards {
+		c := e.shards[i].counts
+		for j := 0; j < e.k; j++ {
+			e.loads[j] += c[j+1]
+		}
+		e.switches += e.shards[i].switches
+	}
+	e.round = t
+}
+
+// Switches returns the cumulative number of assignment changes (an ant
+// moving between a task and idle or between tasks) across all rounds —
+// the churn measure Theorem 3.6 remarks on.
+func (e *Engine) Switches() uint64 { return e.switches }
+
+// run advances one shard's ants for round t, accumulating assignment
+// counts into s.counts. Ants with index >= active are skipped (see
+// Engine.Resize).
+func (s *shard) run(t uint64, active int, agents []agent.Agent, fbDesc []noise.TaskFeedback) {
+	for j := range s.counts {
+		s.counts[j] = 0
+	}
+	s.switches = 0
+	hi := s.hi
+	if hi > active {
+		hi = active
+	}
+	// One Feedback serves every ant in the shard: it carries only the
+	// shared per-task descriptors and the shard's RNG (sampling state
+	// lives in the RNG, not the Feedback), and hoisting it out of the
+	// loop removes a per-ant heap allocation.
+	fb := agent.NewFeedback(fbDesc, s.r)
+	for i := s.lo; i < hi; i++ {
+		old := agents[i].Assignment()
+		a := agents[i].Step(t, &fb, s.r)
+		s.counts[a+1]++
+		if a != old {
+			s.switches++
+		}
+	}
+}
+
+// Run advances the engine by rounds rounds, invoking obs (if non-nil)
+// after each.
+func (e *Engine) Run(rounds int, obs Observer) {
+	for i := 0; i < rounds; i++ {
+		e.Step()
+		if obs != nil {
+			obs(e.round, e.loads, e.cfg.Schedule.At(e.round))
+		}
+	}
+}
+
+// Sequential is the Appendix D.1 scheduler: each round one uniformly
+// random ant receives feedback (derived from the current loads) and acts;
+// all other ants keep their assignment. Not safe for concurrent use.
+type Sequential struct {
+	cfg      Config
+	k        int
+	agents   []agent.Agent
+	loads    []int
+	deficits []float64
+	fbDesc   []noise.TaskFeedback
+	r        *rng.Rng
+	round    uint64
+	switches uint64
+}
+
+// NewSequential builds a sequential engine (Shards is ignored).
+func NewSequential(cfg Config) (*Sequential, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	k := cfg.Schedule.Tasks()
+	e := &Sequential{
+		cfg:      cfg,
+		k:        k,
+		agents:   make([]agent.Agent, cfg.N),
+		loads:    make([]int, k),
+		deficits: make([]float64, k),
+		fbDesc:   make([]noise.TaskFeedback, k),
+		r:        rng.New(cfg.Seed),
+	}
+	for i := range e.agents {
+		e.agents[i] = cfg.Factory.New()
+	}
+	init := cfg.Init
+	if init == nil {
+		init = AllIdle
+	}
+	assign := init(cfg.N, k, e.r)
+	if len(assign) != cfg.N {
+		return nil, fmt.Errorf("colony: initializer returned %d assignments, want %d",
+			len(assign), cfg.N)
+	}
+	for i, a := range assign {
+		if a < agent.Idle || a >= int32(k) {
+			return nil, fmt.Errorf("colony: initializer assignment %d out of range", a)
+		}
+		e.agents[i].Reset(a)
+		if a != agent.Idle {
+			e.loads[a]++
+		}
+	}
+	return e, nil
+}
+
+// Loads returns the current per-task loads. The engine owns the slice.
+func (e *Sequential) Loads() []int { return e.loads }
+
+// Round returns the index of the last completed round.
+func (e *Sequential) Round() uint64 { return e.round }
+
+// Step lets one uniformly random ant act.
+func (e *Sequential) Step() {
+	t := e.round + 1
+	dem := e.cfg.Schedule.At(t)
+	for j := 0; j < e.k; j++ {
+		e.deficits[j] = float64(dem[j] - e.loads[j])
+	}
+	e.cfg.Model.Describe(noise.Env{Round: t, Deficit: e.deficits, Demand: dem}, e.fbDesc)
+
+	i := e.r.Intn(e.cfg.N)
+	old := e.agents[i].Assignment()
+	fb := agent.NewFeedback(e.fbDesc, e.r)
+	now := e.agents[i].Step(t, &fb, e.r)
+	if old != now {
+		if old != agent.Idle {
+			e.loads[old]--
+		}
+		if now != agent.Idle {
+			e.loads[now]++
+		}
+		e.switches++
+	}
+	e.round = t
+}
+
+// Switches returns the cumulative number of assignment changes.
+func (e *Sequential) Switches() uint64 { return e.switches }
+
+// Run advances the engine by rounds rounds, invoking obs after each.
+func (e *Sequential) Run(rounds int, obs Observer) {
+	for i := 0; i < rounds; i++ {
+		e.Step()
+		if obs != nil {
+			obs(e.round, e.loads, e.cfg.Schedule.At(e.round))
+		}
+	}
+}

@@ -1,0 +1,569 @@
+package colony
+
+import (
+	"math"
+	"testing"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/metrics"
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+func baseConfig(n int, dem demand.Vector) Config {
+	return Config{
+		N:        n,
+		Schedule: demand.Static{V: dem},
+		Model:    noise.SigmoidModel{Lambda: 1},
+		Factory:  agent.AntFactory(len(dem), agent.DefaultParams(0.05)),
+		Seed:     1,
+		Shards:   1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	dem := demand.Vector{50}
+	bad := []Config{
+		func() Config { c := baseConfig(0, dem); return c }(),
+		func() Config { c := baseConfig(10, dem); c.Schedule = nil; return c }(),
+		func() Config { c := baseConfig(10, dem); c.Model = nil; return c }(),
+		func() Config { c := baseConfig(10, dem); c.Factory = agent.Factory{}; return c }(),
+		func() Config { c := baseConfig(10, dem); c.Shards = -1; return c }(),
+	}
+	for i, c := range bad {
+		if _, err := New(c); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+		if _, err := NewSequential(c); err == nil {
+			t.Fatalf("bad sequential config %d accepted", i)
+		}
+	}
+	if _, err := New(baseConfig(10, dem)); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestInitializers(t *testing.T) {
+	r := rng.New(1)
+	idle := AllIdle(10, 3, r)
+	for _, a := range idle {
+		if a != agent.Idle {
+			t.Fatal("AllIdle produced a worker")
+		}
+	}
+	uni := UniformRandom(10000, 3, r)
+	counts := map[int32]int{}
+	for _, a := range uni {
+		if a < agent.Idle || a >= 3 {
+			t.Fatalf("UniformRandom out of range: %d", a)
+		}
+		counts[a]++
+	}
+	for a := int32(-1); a < 3; a++ {
+		frac := float64(counts[a]) / 10000
+		if math.Abs(frac-0.25) > 0.03 {
+			t.Fatalf("UniformRandom assignment %d frequency %v", a, frac)
+		}
+	}
+	conc := Concentrated(2)(100, 3, r)
+	for _, a := range conc {
+		if a != 2 {
+			t.Fatal("Concentrated broken")
+		}
+	}
+	exact := Exact(demand.Vector{3, 2})(10, 2, r)
+	loads := map[int32]int{}
+	for _, a := range exact {
+		loads[a]++
+	}
+	if loads[0] != 3 || loads[1] != 2 || loads[agent.Idle] != 5 {
+		t.Fatalf("Exact loads %v", loads)
+	}
+}
+
+func TestInitializerPanics(t *testing.T) {
+	r := rng.New(1)
+	mustPanic(t, "Concentrated range", func() { Concentrated(5)(10, 3, r) })
+	mustPanic(t, "Exact len", func() { Exact(demand.Vector{1})(10, 2, r) })
+	mustPanic(t, "Exact size", func() { Exact(demand.Vector{11})(10, 1, r) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+// TestLoadConservation: the number of working ants never exceeds n, and
+// loads always equal the count of agents assigned to each task.
+func TestLoadConservation(t *testing.T) {
+	dem := demand.Vector{30, 40}
+	cfg := baseConfig(200, dem)
+	cfg.Init = UniformRandom
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		e.Step()
+		working := 0
+		for _, w := range e.Loads() {
+			if w < 0 {
+				t.Fatalf("negative load at round %d", e.Round())
+			}
+			working += w
+		}
+		if working > e.N() {
+			t.Fatalf("round %d: %d workers > %d ants", e.Round(), working, e.N())
+		}
+		if e.Idle() != e.N()-working {
+			t.Fatalf("Idle() inconsistent at round %d", e.Round())
+		}
+	}
+}
+
+// TestShardsDeterminism: same seed and shard count give identical
+// trajectories.
+func TestShardsDeterminism(t *testing.T) {
+	dem := demand.Vector{30, 40}
+	run := func(shards int) []int {
+		cfg := baseConfig(500, dem)
+		cfg.Shards = shards
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var series []int
+		e.Run(100, func(_ uint64, loads []int, d demand.Vector) {
+			series = append(series, metrics.Regret(loads, d))
+		})
+		return series
+	}
+	a, b := run(4), run(4)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same (seed, shards) diverged at round %d", i)
+		}
+	}
+}
+
+// TestShardCountsStatisticallyEquivalent: different shard counts change
+// the RNG interleaving but not the distribution; long-run average regret
+// must agree within noise.
+func TestShardCountsStatisticallyEquivalent(t *testing.T) {
+	dem := demand.Vector{100, 100}
+	run := func(shards int, seed uint64) float64 {
+		cfg := baseConfig(500, dem)
+		cfg.Model = noise.SigmoidModel{Lambda: 0.5}
+		cfg.Shards = shards
+		cfg.Seed = seed
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := metrics.NewRecorder(2, 0.05, agent.DefaultCs, 500)
+		e.Run(3000, rec.Observer())
+		return rec.AvgRegret()
+	}
+	a := (run(1, 1) + run(1, 2) + run(1, 3)) / 3
+	b := (run(8, 4) + run(8, 5) + run(8, 6)) / 3
+	if math.Abs(a-b) > 0.5*math.Max(a, b) {
+		t.Fatalf("shard counts gave inconsistent averages: %v vs %v", a, b)
+	}
+}
+
+// TestAntConvergesFromEmpty: the headline sanity check — Algorithm Ant
+// under sigmoid noise fills demands from an all-idle start and stays in a
+// near-optimal band.
+func TestAntConvergesFromEmpty(t *testing.T) {
+	n := 2000
+	dem := demand.Vector{300, 500}
+	// λ = 3.5 places γ* = 8·ln(2000)/(3.5·300) ≈ 0.058 below the
+	// admissible maximum learning rate 1/16.
+	model := noise.SigmoidModel{Lambda: 3.5}
+	gammaStar := model.CriticalValue(n, dem.Min())
+	if gammaStar > agent.MaxGamma {
+		t.Fatalf("test setup: γ* = %v too large", gammaStar)
+	}
+	cfg := Config{
+		N:        n,
+		Schedule: demand.Static{V: dem},
+		Model:    model,
+		Factory:  agent.AntFactory(2, agent.DefaultParams(agent.MaxGamma)),
+		Seed:     7,
+		Shards:   1,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder(2, agent.MaxGamma, agent.DefaultCs, 1000)
+	e.Run(5000, rec.Observer())
+	// After burn-in the average regret should be well below the trivial
+	// Σd (i.e., the tasks actually filled) and within the Theorem 3.1
+	// band 5γΣd + 3 with slack.
+	avg := rec.AvgRegret()
+	bound := 5*agent.MaxGamma*float64(dem.Sum()) + 3
+	if avg > bound*2 {
+		t.Fatalf("avg regret %v far above theorem band %v", avg, bound)
+	}
+	if avg > float64(dem.Sum())/4 {
+		t.Fatalf("avg regret %v suggests tasks never filled (Σd = %d)", avg, dem.Sum())
+	}
+}
+
+// TestAntSelfStabilizesFromFlood: starting with every ant dumped on task
+// 0, the overload must drain geometrically and the other task must fill.
+func TestAntSelfStabilizesFromFlood(t *testing.T) {
+	n := 2000
+	dem := demand.Vector{300, 500}
+	model := noise.SigmoidModel{Lambda: 3.5}
+	cfg := Config{
+		N:        n,
+		Schedule: demand.Static{V: dem},
+		Model:    model,
+		Factory:  agent.AntFactory(2, agent.DefaultParams(agent.MaxGamma)),
+		Init:     Concentrated(0),
+		Seed:     8,
+		Shards:   1,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder(2, agent.MaxGamma, agent.DefaultCs, 2000)
+	e.Run(6000, rec.Observer())
+	avg := rec.AvgRegret()
+	if avg > float64(dem.Sum())/4 {
+		t.Fatalf("avg regret %v after flood start; no self-stabilization", avg)
+	}
+	loads := rec.LastLoads()
+	if loads[1] < int(0.8*float64(dem[1])) {
+		t.Fatalf("task 1 load %d never approached demand %d", loads[1], dem[1])
+	}
+}
+
+// TestPerfectFeedbackStableZone: under noiseless feedback Algorithm Ant
+// must hold every task inside the Theorem 3.1 deficit band after
+// convergence.
+func TestPerfectFeedbackStableZone(t *testing.T) {
+	n := 1000
+	dem := demand.Vector{200, 200}
+	gamma := 0.05
+	cfg := Config{
+		N:        n,
+		Schedule: demand.Static{V: dem},
+		Model:    noise.PerfectModel{},
+		Factory:  agent.AntFactory(2, agent.DefaultParams(gamma)),
+		Seed:     9,
+		Shards:   1,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(2000, nil) // converge
+	rec := metrics.NewRecorder(2, gamma, agent.DefaultCs, 0)
+	e.Run(2000, rec.Observer())
+	for j, v := range rec.BoundViolations() {
+		if float64(v) > 0.02*2000 {
+			t.Fatalf("task %d violated the 5γd+3 band in %d/2000 rounds", j, v)
+		}
+	}
+}
+
+// TestTrivialSyncOscillates: Appendix D.2 — under synchronous scheduling
+// with near-perfect feedback, the trivial algorithm thrashes between
+// empty and flooded.
+func TestTrivialSyncOscillates(t *testing.T) {
+	n := 1000
+	dem := demand.Vector{250}
+	cfg := Config{
+		N:        n,
+		Schedule: demand.Static{V: dem},
+		Model:    noise.SigmoidModel{Lambda: 5},
+		Factory:  agent.TrivialFactory(1),
+		Seed:     10,
+		Shards:   1,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder(1, 0.05, agent.DefaultCs, 100)
+	e.Run(2000, rec.Observer())
+	// The oscillation amplitude is Θ(n): all idle ants pile in, all
+	// workers flee. Average regret should be a constant fraction of n.
+	if rec.AvgRegret() < float64(n)/10 {
+		t.Fatalf("trivial sync avg regret %v; expected Θ(n) oscillation", rec.AvgRegret())
+	}
+	if rec.ZeroCrossings()[0] < 100 {
+		t.Fatalf("trivial sync zero crossings %d; expected rapid thrash", rec.ZeroCrossings()[0])
+	}
+}
+
+// TestTrivialSequentialConverges: Appendix D.1 — the same algorithm under
+// the sequential scheduler settles near the demand.
+func TestTrivialSequentialConverges(t *testing.T) {
+	n := 400
+	dem := demand.Vector{100}
+	model := noise.SigmoidModel{Lambda: 1}
+	cfg := Config{
+		N:        n,
+		Schedule: demand.Static{V: dem},
+		Model:    model,
+		Factory:  agent.TrivialFactory(1),
+		Seed:     11,
+	}
+	e, err := NewSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder(1, 0.05, agent.DefaultCs, 20000)
+	e.Run(60000, rec.Observer())
+	gammaStar := model.CriticalValue(n, dem.Min())
+	// Appendix D.1: regret settles at Θ(γ*Σd). Allow a generous
+	// constant; the point is it is FAR below the Θ(n) of the sync model.
+	if rec.AvgRegret() > 20*gammaStar*float64(dem.Sum())+10 {
+		t.Fatalf("sequential trivial avg regret %v, want Θ(γ*Σd) = Θ(%v)",
+			rec.AvgRegret(), gammaStar*float64(dem.Sum()))
+	}
+	if rec.AvgRegret() > float64(n)/10 {
+		t.Fatalf("sequential trivial regret %v as bad as sync oscillation", rec.AvgRegret())
+	}
+}
+
+func TestSequentialLoadConservation(t *testing.T) {
+	dem := demand.Vector{20, 20}
+	cfg := Config{
+		N:        100,
+		Schedule: demand.Static{V: dem},
+		Model:    noise.SigmoidModel{Lambda: 1},
+		Factory:  agent.TrivialFactory(2),
+		Init:     UniformRandom,
+		Seed:     12,
+	}
+	e, err := NewSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		e.Step()
+		working := 0
+		for _, w := range e.Loads() {
+			if w < 0 {
+				t.Fatal("negative load")
+			}
+			working += w
+		}
+		if working > 100 {
+			t.Fatalf("workers %d > n", working)
+		}
+	}
+	if e.Round() != 2000 {
+		t.Fatalf("Round = %d", e.Round())
+	}
+}
+
+// TestSequentialSingleSwitchPerRound: at most one ant changes per round.
+func TestSequentialSingleSwitchPerRound(t *testing.T) {
+	dem := demand.Vector{30}
+	cfg := Config{
+		N:        100,
+		Schedule: demand.Static{V: dem},
+		Model:    noise.SigmoidModel{Lambda: 1},
+		Factory:  agent.TrivialFactory(1),
+		Seed:     13,
+	}
+	e, err := NewSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := e.Loads()[0]
+	for i := 0; i < 2000; i++ {
+		e.Step()
+		now := e.Loads()[0]
+		if d := now - prev; d < -1 || d > 1 {
+			t.Fatalf("load jumped by %d in a sequential round", d)
+		}
+		prev = now
+	}
+}
+
+func TestObserverReceivesEveryRound(t *testing.T) {
+	dem := demand.Vector{10}
+	cfg := baseConfig(50, dem)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []uint64
+	e.Run(10, func(t uint64, _ []int, _ demand.Vector) { seen = append(seen, t) })
+	if len(seen) != 10 {
+		t.Fatalf("observer called %d times", len(seen))
+	}
+	for i, tt := range seen {
+		if tt != uint64(i+1) {
+			t.Fatalf("round %d reported as %d", i+1, tt)
+		}
+	}
+}
+
+func TestDemandsAccessor(t *testing.T) {
+	s, err := demand.NewStep(demand.Vector{10}, []uint64{5}, []demand.Vector{{20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := baseConfig(100, demand.Vector{10})
+	cfg.Schedule = s
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Demands()[0] != 10 {
+		t.Fatal("initial demand wrong")
+	}
+	e.Run(5, nil) // rounds 1..5; next round is 6 >= 5 -> new demand
+	if e.Demands()[0] != 20 {
+		t.Fatalf("demand after change = %d, want 20", e.Demands()[0])
+	}
+}
+
+func TestBadInitializerRejected(t *testing.T) {
+	dem := demand.Vector{10}
+	cfg := baseConfig(10, dem)
+	cfg.Init = func(n, k int, _ *rng.Rng) []int32 { return make([]int32, n-1) }
+	if _, err := New(cfg); err == nil {
+		t.Fatal("short initializer accepted")
+	}
+	cfg.Init = func(n, k int, _ *rng.Rng) []int32 {
+		out := make([]int32, n)
+		out[0] = 5 // out of range for k=1
+		return out
+	}
+	if _, err := New(cfg); err == nil {
+		t.Fatal("out-of-range initializer accepted")
+	}
+	if _, err := NewSequential(cfg); err == nil {
+		t.Fatal("sequential out-of-range initializer accepted")
+	}
+}
+
+func TestManyShardsClampedToN(t *testing.T) {
+	dem := demand.Vector{5}
+	cfg := baseConfig(3, dem)
+	cfg.Shards = 64
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(20, nil)
+	if e.Round() != 20 {
+		t.Fatal("engine with clamped shards failed to run")
+	}
+}
+
+// TestSwitchCounting: an all-idle colony that immediately joins tasks
+// must register switches; a frozen colony must not.
+func TestSwitchCounting(t *testing.T) {
+	dem := demand.Vector{100}
+	cfg := Config{
+		N:        200,
+		Schedule: demand.Static{V: dem},
+		Model:    noise.PerfectModel{},
+		Factory:  agent.TrivialFactory(1),
+		Seed:     30,
+		Shards:   2,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Switches() != 0 {
+		t.Fatal("switches before any round")
+	}
+	e.Step() // all 200 idle ants see Lack and join
+	if e.Switches() != 200 {
+		t.Fatalf("switches = %d, want 200", e.Switches())
+	}
+	seq, err := NewSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq.Run(50, nil)
+	if seq.Switches() == 0 || seq.Switches() > 50 {
+		t.Fatalf("sequential switches = %d, want in (0, 50]", seq.Switches())
+	}
+}
+
+// TestResizeShrinkAndRegrow: dying ants release their tasks; hatched
+// ants re-enter idle with fresh state, and the colony re-converges.
+func TestResizeShrinkAndRegrow(t *testing.T) {
+	n := 2000
+	dem := demand.Vector{300, 500}
+	model := noise.SigmoidModel{Lambda: 3.5}
+	cfg := Config{
+		N:        n,
+		Schedule: demand.Static{V: dem},
+		Model:    model,
+		Factory:  agent.AntFactory(2, agent.DefaultParams(agent.MaxGamma)),
+		Seed:     40,
+		Shards:   2,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Active() != n {
+		t.Fatalf("Active = %d", e.Active())
+	}
+	e.Run(3000, nil) // converge
+	before := metrics.Regret(e.Loads(), dem)
+
+	e.Resize(n / 2) // mass die-off
+	working := 0
+	for _, w := range e.Loads() {
+		working += w
+	}
+	if working > n/2 {
+		t.Fatalf("dead ants still counted: %d workers > %d active", working, n/2)
+	}
+	if e.Active() != n/2 {
+		t.Fatal("Active after shrink")
+	}
+	e.Run(4000, nil) // re-converge with half the colony (Σd=800 ≤ 1000)
+	mid := metrics.Regret(e.Loads(), dem)
+	if mid > 4*(before+50) {
+		t.Fatalf("no recovery after shrink: regret %d (was %d)", mid, before)
+	}
+
+	e.Resize(n) // hatch them back
+	e.Run(3000, nil)
+	after := metrics.Regret(e.Loads(), dem)
+	if after > 4*(before+50) {
+		t.Fatalf("no recovery after regrow: regret %d (was %d)", after, before)
+	}
+	// Load conservation against the active population throughout.
+	working = 0
+	for _, w := range e.Loads() {
+		working += w
+	}
+	if working > e.Active() {
+		t.Fatalf("workers %d exceed active %d", working, e.Active())
+	}
+}
+
+func TestResizePanics(t *testing.T) {
+	cfg := baseConfig(10, demand.Vector{5})
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic(t, "zero", func() { e.Resize(0) })
+	mustPanic(t, "too big", func() { e.Resize(11) })
+}

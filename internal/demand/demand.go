@@ -1,0 +1,296 @@
+// Package demand models task demand vectors: the per-task worker counts
+// the colony should converge to. It provides generators for the workload
+// families used by the experiments, validation of the paper's
+// Assumptions 2.1, and schedules for time-varying demands (the
+// self-stabilization experiments).
+package demand
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"taskalloc/internal/rng"
+)
+
+// Vector is a fixed demand vector d(1..k). Entries are positive integers.
+type Vector []int
+
+// Sum returns the total demand across all tasks.
+func (v Vector) Sum() int {
+	total := 0
+	for _, d := range v {
+		total += d
+	}
+	return total
+}
+
+// Min returns the smallest entry. It panics on an empty vector.
+func (v Vector) Min() int {
+	if len(v) == 0 {
+		panic("demand: Min of empty vector")
+	}
+	m := v[0]
+	for _, d := range v[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Max returns the largest entry. It panics on an empty vector.
+func (v Vector) Max() int {
+	if len(v) == 0 {
+		panic("demand: Max of empty vector")
+	}
+	m := v[0]
+	for _, d := range v[1:] {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Clone returns an independent copy.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	copy(out, v)
+	return out
+}
+
+// Validate checks structural sanity: non-empty and all entries positive.
+func (v Vector) Validate() error {
+	if len(v) == 0 {
+		return errors.New("demand: empty vector")
+	}
+	for j, d := range v {
+		if d <= 0 {
+			return fmt.Errorf("demand: task %d has non-positive demand %d", j, d)
+		}
+	}
+	return nil
+}
+
+// CheckAssumptions verifies the paper's Assumptions 2.1 for a colony of n
+// ants: every demand is at least cLog*ln(n) and the demand sum is at most
+// n/2. cLog tunes the "Ω(log n)" constant; the paper's proofs implicitly
+// need d(j) = Θ(log n / γ²), which callers with small γ should check via
+// CheckConcentration instead.
+func (v Vector) CheckAssumptions(n int, cLog float64) error {
+	if err := v.Validate(); err != nil {
+		return err
+	}
+	if n <= 0 {
+		return errors.New("demand: non-positive colony size")
+	}
+	minDemand := cLog * math.Log(float64(n))
+	for j, d := range v {
+		if float64(d) < minDemand {
+			return fmt.Errorf("demand: task %d demand %d below %.1f = %.1f*ln(%d)",
+				j, d, minDemand, cLog, n)
+		}
+	}
+	if s := v.Sum(); s > n/2 {
+		return fmt.Errorf("demand: sum %d exceeds n/2 = %d", s, n/2)
+	}
+	return nil
+}
+
+// CheckConcentration verifies the stronger quantitative requirement used
+// by the concentration arguments (Claim 4.1): d(j) >= cConc*log(n)/gamma²
+// for every task. The paper uses cConc = 120*max(cs², cd²) with its
+// algorithm constants; simulations are well-behaved far below that, so the
+// constant is a parameter.
+func (v Vector) CheckConcentration(n int, gamma, cConc float64) error {
+	if gamma <= 0 || gamma > 1 {
+		return fmt.Errorf("demand: gamma %v outside (0, 1]", gamma)
+	}
+	need := cConc * math.Log(float64(n)) / (gamma * gamma)
+	for j, d := range v {
+		if float64(d) < need {
+			return fmt.Errorf("demand: task %d demand %d below concentration bound %.1f",
+				j, d, need)
+		}
+	}
+	return nil
+}
+
+// Uniform returns k tasks each with demand d.
+func Uniform(k, d int) Vector {
+	if k <= 0 || d <= 0 {
+		panic("demand: Uniform needs positive k and d")
+	}
+	v := make(Vector, k)
+	for j := range v {
+		v[j] = d
+	}
+	return v
+}
+
+// Split divides a total demand across k tasks as evenly as possible
+// (the first total%k tasks get one extra ant).
+func Split(k, total int) Vector {
+	if k <= 0 || total < k {
+		panic("demand: Split needs k >= 1 and total >= k")
+	}
+	base := total / k
+	rem := total % k
+	v := make(Vector, k)
+	for j := range v {
+		v[j] = base
+		if j < rem {
+			v[j]++
+		}
+	}
+	return v
+}
+
+// Proportional builds a vector with entries proportional to the given
+// positive ratios, scaled so the sum is close to total (>= k, every entry
+// >= 1, exact total preserved by adjusting the largest entry).
+func Proportional(ratios []float64, total int) Vector {
+	if len(ratios) == 0 {
+		panic("demand: Proportional with no ratios")
+	}
+	if total < len(ratios) {
+		panic("demand: Proportional total smaller than task count")
+	}
+	sum := 0.0
+	for _, w := range ratios {
+		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			panic("demand: Proportional needs positive finite ratios")
+		}
+		sum += w
+	}
+	v := make(Vector, len(ratios))
+	assigned := 0
+	for j, w := range ratios {
+		d := int(math.Round(w / sum * float64(total)))
+		if d < 1 {
+			d = 1
+		}
+		v[j] = d
+		assigned += d
+	}
+	// Fix rounding drift on the largest entry, keeping it >= 1.
+	largest := 0
+	for j := range v {
+		if v[j] > v[largest] {
+			largest = j
+		}
+	}
+	v[largest] += total - assigned
+	if v[largest] < 1 {
+		v[largest] = 1
+	}
+	return v
+}
+
+// PowerLaw returns k demands following d(j) ~ (j+1)^(-alpha), scaled to
+// sum approximately to total. alpha = 0 gives a uniform split; larger
+// alpha concentrates demand on low-index tasks. Random tie-breaking is
+// not needed; the generator is deterministic.
+func PowerLaw(k int, alpha float64, total int) Vector {
+	if k <= 0 {
+		panic("demand: PowerLaw needs positive k")
+	}
+	ratios := make([]float64, k)
+	for j := range ratios {
+		ratios[j] = math.Pow(float64(j+1), -alpha)
+	}
+	return Proportional(ratios, total)
+}
+
+// LogScaled returns k demands of c*ln(n) each — the minimal regime
+// permitted by Assumptions 2.1 — useful for stress-testing the
+// concentration boundary.
+func LogScaled(k, n int, c float64) Vector {
+	d := int(math.Ceil(c * math.Log(float64(n))))
+	if d < 1 {
+		d = 1
+	}
+	return Uniform(k, d)
+}
+
+// Random returns k demands drawn uniformly from [min, max], re-rolled with
+// the caller's RNG; useful for randomized property tests.
+func Random(r *rng.Rng, k, min, max int) Vector {
+	if k <= 0 || min <= 0 || max < min {
+		panic("demand: Random needs k >= 1 and 0 < min <= max")
+	}
+	v := make(Vector, k)
+	for j := range v {
+		v[j] = min + r.Intn(max-min+1)
+	}
+	return v
+}
+
+// Schedule maps a round number to the demand vector in force during that
+// round. It is how the self-stabilization experiments inject demand
+// changes. Implementations must return vectors of a fixed length.
+type Schedule interface {
+	// At returns the demand vector in force at round t (t >= 0).
+	// Callers must not mutate the returned slice.
+	At(t uint64) Vector
+	// Tasks returns the (constant) number of tasks.
+	Tasks() int
+}
+
+// Static is a Schedule that never changes.
+type Static struct{ V Vector }
+
+// At implements Schedule.
+func (s Static) At(uint64) Vector { return s.V }
+
+// Tasks implements Schedule.
+func (s Static) Tasks() int { return len(s.V) }
+
+// Step is a Schedule with piecewise-constant demands: Changes[i] takes
+// effect at round When[i]. Rounds before the first change use Initial.
+type Step struct {
+	Initial Vector
+	When    []uint64
+	Changes []Vector
+}
+
+// NewStep builds a Step schedule, validating that change points are
+// strictly increasing and all vectors share the initial vector's length.
+func NewStep(initial Vector, when []uint64, changes []Vector) (*Step, error) {
+	if len(when) != len(changes) {
+		return nil, errors.New("demand: Step when/changes length mismatch")
+	}
+	for i := range when {
+		if i > 0 && when[i] <= when[i-1] {
+			return nil, errors.New("demand: Step change points must be strictly increasing")
+		}
+		if len(changes[i]) != len(initial) {
+			return nil, fmt.Errorf("demand: Step change %d has %d tasks, want %d",
+				i, len(changes[i]), len(initial))
+		}
+		if err := changes[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := initial.Validate(); err != nil {
+		return nil, err
+	}
+	return &Step{Initial: initial, When: when, Changes: changes}, nil
+}
+
+// At implements Schedule.
+func (s *Step) At(t uint64) Vector {
+	v := s.Initial
+	for i, w := range s.When {
+		if t >= w {
+			v = s.Changes[i]
+		} else {
+			break
+		}
+	}
+	return v
+}
+
+// Tasks implements Schedule.
+func (s *Step) Tasks() int { return len(s.Initial) }

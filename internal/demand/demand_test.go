@@ -1,0 +1,235 @@
+package demand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"taskalloc/internal/rng"
+)
+
+func TestVectorSumMinMax(t *testing.T) {
+	v := Vector{5, 2, 9, 4}
+	if v.Sum() != 20 {
+		t.Fatalf("Sum = %d, want 20", v.Sum())
+	}
+	if v.Min() != 2 {
+		t.Fatalf("Min = %d, want 2", v.Min())
+	}
+	if v.Max() != 9 {
+		t.Fatalf("Max = %d, want 9", v.Max())
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	v := Vector{1, 2, 3}
+	c := v.Clone()
+	c[0] = 99
+	if v[0] != 1 {
+		t.Fatal("Clone shares backing storage")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Vector{}).Validate(); err == nil {
+		t.Fatal("empty vector validated")
+	}
+	if err := (Vector{3, 0}).Validate(); err == nil {
+		t.Fatal("zero entry validated")
+	}
+	if err := (Vector{3, -1}).Validate(); err == nil {
+		t.Fatal("negative entry validated")
+	}
+	if err := (Vector{3, 1}).Validate(); err != nil {
+		t.Fatalf("valid vector rejected: %v", err)
+	}
+}
+
+func TestCheckAssumptions(t *testing.T) {
+	n := 1000
+	// ln(1000) ~ 6.9; with cLog = 1, demands >= 7 pass.
+	ok := Vector{100, 200, 100}
+	if err := ok.CheckAssumptions(n, 1); err != nil {
+		t.Fatalf("valid assumptions rejected: %v", err)
+	}
+	tooSmall := Vector{3, 100}
+	if err := tooSmall.CheckAssumptions(n, 1); err == nil {
+		t.Fatal("sub-logarithmic demand accepted")
+	}
+	tooBig := Vector{400, 200} // sum 600 > 500 = n/2
+	if err := tooBig.CheckAssumptions(n, 1); err == nil {
+		t.Fatal("demand sum above n/2 accepted")
+	}
+	if err := ok.CheckAssumptions(0, 1); err == nil {
+		t.Fatal("non-positive n accepted")
+	}
+}
+
+func TestCheckConcentration(t *testing.T) {
+	v := Vector{1000}
+	if err := v.CheckConcentration(1000, 0.1, 1); err != nil {
+		t.Fatalf("1000 >= ln(1000)/0.01 ~ 691 should pass: %v", err)
+	}
+	if err := v.CheckConcentration(1000, 0.05, 1); err == nil {
+		t.Fatal("1000 < ln(1000)/0.0025 ~ 2763 should fail")
+	}
+	if err := v.CheckConcentration(1000, 0, 1); err == nil {
+		t.Fatal("gamma = 0 accepted")
+	}
+	if err := v.CheckConcentration(1000, 1.5, 1); err == nil {
+		t.Fatal("gamma > 1 accepted")
+	}
+}
+
+func TestUniform(t *testing.T) {
+	v := Uniform(4, 25)
+	if len(v) != 4 || v.Sum() != 100 || v.Min() != 25 || v.Max() != 25 {
+		t.Fatalf("Uniform(4, 25) = %v", v)
+	}
+}
+
+func TestSplitExact(t *testing.T) {
+	f := func(kRaw, totRaw uint16) bool {
+		k := int(kRaw%20) + 1
+		total := k + int(totRaw%10000)
+		v := Split(k, total)
+		if v.Sum() != total {
+			return false
+		}
+		return v.Max()-v.Min() <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProportionalPreservesTotal(t *testing.T) {
+	v := Proportional([]float64{1, 2, 3, 4}, 1000)
+	if v.Sum() != 1000 {
+		t.Fatalf("Proportional sum %d, want 1000", v.Sum())
+	}
+	// Entries should follow the 1:2:3:4 ratio within rounding.
+	if math.Abs(float64(v[3])-4*float64(v[0])) > 5 {
+		t.Fatalf("ratio drift: %v", v)
+	}
+}
+
+func TestProportionalPanics(t *testing.T) {
+	mustPanic(t, "empty", func() { Proportional(nil, 10) })
+	mustPanic(t, "total too small", func() { Proportional([]float64{1, 1, 1}, 2) })
+	mustPanic(t, "zero ratio", func() { Proportional([]float64{1, 0}, 10) })
+	mustPanic(t, "NaN ratio", func() { Proportional([]float64{1, math.NaN()}, 10) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestPowerLawShapes(t *testing.T) {
+	flat := PowerLaw(5, 0, 500)
+	if flat.Max()-flat.Min() > 1 {
+		t.Fatalf("alpha=0 not flat: %v", flat)
+	}
+	steep := PowerLaw(5, 2, 500)
+	if steep[0] <= steep[4] {
+		t.Fatalf("alpha=2 not decreasing: %v", steep)
+	}
+	if steep.Sum() != 500 {
+		t.Fatalf("PowerLaw sum %d, want 500", steep.Sum())
+	}
+}
+
+func TestLogScaled(t *testing.T) {
+	v := LogScaled(3, 1000, 2)
+	want := int(math.Ceil(2 * math.Log(1000)))
+	for _, d := range v {
+		if d != want {
+			t.Fatalf("LogScaled entry %d, want %d", d, want)
+		}
+	}
+}
+
+func TestRandomInRange(t *testing.T) {
+	r := rng.New(1)
+	f := func(seed uint32) bool {
+		v := Random(r, 8, 10, 20)
+		for _, d := range v {
+			if d < 10 || d > 20 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticSchedule(t *testing.T) {
+	s := Static{V: Vector{10, 20}}
+	if s.Tasks() != 2 {
+		t.Fatalf("Tasks = %d, want 2", s.Tasks())
+	}
+	for _, round := range []uint64{0, 1, 1 << 40} {
+		if got := s.At(round); got[0] != 10 || got[1] != 20 {
+			t.Fatalf("At(%d) = %v", round, got)
+		}
+	}
+}
+
+func TestStepSchedule(t *testing.T) {
+	s, err := NewStep(
+		Vector{10, 10},
+		[]uint64{100, 200},
+		[]Vector{{20, 10}, {5, 5}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t    uint64
+		want Vector
+	}{
+		{0, Vector{10, 10}},
+		{99, Vector{10, 10}},
+		{100, Vector{20, 10}},
+		{199, Vector{20, 10}},
+		{200, Vector{5, 5}},
+		{1 << 50, Vector{5, 5}},
+	}
+	for _, c := range cases {
+		got := s.At(c.t)
+		if got[0] != c.want[0] || got[1] != c.want[1] {
+			t.Fatalf("At(%d) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+func TestStepScheduleValidation(t *testing.T) {
+	if _, err := NewStep(Vector{10}, []uint64{5}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewStep(Vector{10}, []uint64{5, 5}, []Vector{{1}, {2}}); err == nil {
+		t.Fatal("non-increasing change points accepted")
+	}
+	if _, err := NewStep(Vector{10}, []uint64{5}, []Vector{{1, 2}}); err == nil {
+		t.Fatal("task-count change accepted")
+	}
+	if _, err := NewStep(Vector{10}, []uint64{5}, []Vector{{0}}); err == nil {
+		t.Fatal("invalid change vector accepted")
+	}
+	if _, err := NewStep(Vector{0}, nil, nil); err == nil {
+		t.Fatal("invalid initial vector accepted")
+	}
+}
+
+func TestMinMaxPanicOnEmpty(t *testing.T) {
+	mustPanic(t, "Min", func() { (Vector{}).Min() })
+	mustPanic(t, "Max", func() { (Vector{}).Max() })
+}

@@ -1,0 +1,133 @@
+package expt
+
+import (
+	"fmt"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/colony"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/metrics"
+	"taskalloc/internal/noise"
+	"taskalloc/internal/plot"
+	"taskalloc/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "D1",
+		Title: "Trivial algorithm, sequential scheduler: Θ(γ*Σd) regret",
+		Paper: "Appendix D.1",
+		Run:   runD1,
+	})
+	register(Experiment{
+		ID:    "D2",
+		Title: "Trivial algorithm, synchronous scheduler: Θ(n) oscillation",
+		Paper: "Appendix D.2",
+		Run:   runD2,
+	})
+}
+
+// runD1 runs the trivial algorithm under the sequential scheduler and
+// checks that the average regret settles at a constant multiple of
+// γ*·Σd — reasonable performance, in sharp contrast to D2.
+func runD1(p Params) (*Result, error) {
+	n, d, rounds, burn := 1000, 250, 200000, uint64(80000)
+	if p.Quick {
+		n, d, rounds, burn = 500, 120, 80000, 30000
+	}
+	dem := demand.Vector{d}
+	model := noise.SigmoidModel{Lambda: noise.LambdaForCritical(0.04, n, d)}
+	gammaStar := model.CriticalValue(n, d)
+
+	e, err := colony.NewSequential(colony.Config{
+		N:        n,
+		Schedule: demand.Static{V: dem},
+		Model:    model,
+		Factory:  agent.TrivialFactory(1),
+		Seed:     p.Seed + 500,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rec := metrics.NewRecorder(1, gammaStar, agent.DefaultCs, burn)
+	e.Run(rounds, rec.Observer())
+
+	avg := rec.AvgRegret()
+	floor := gammaStar * float64(dem.Sum())
+	tbl := Table{
+		Title:   fmt.Sprintf("D1: trivial algorithm, sequential model, n=%d, d=%d", n, d),
+		Columns: []string{"quantity", "value"},
+		Rows: [][]string{
+			{"γ*", f(gammaStar)},
+			{"avg regret (post burn-in)", f(avg)},
+			{"Θ(γ*Σd) reference", f(floor)},
+			{"avg / (γ*Σd)", f(avg / floor)},
+			{"avg / n (should be ≪ 1)", f(avg / float64(n))},
+			{"switches per round", f(float64(e.Switches()) / float64(rounds))},
+		},
+	}
+	return &Result{
+		Tables: []Table{tbl},
+		Notes: []string{
+			"Appendix D.1: with one ant acting per round, a slight overload is",
+			"visible to every subsequent ant, so the system self-regulates at",
+			"Θ(γ*Σd) — asymptotically matching the optimal synchronous regret.",
+		},
+	}, nil
+}
+
+// runD2 runs the same algorithm under the synchronous scheduler, where
+// every idle ant reacts to the same stale Lack signal at once: the
+// colony oscillates between empty and flooded with per-round regret Θ(n).
+func runD2(p Params) (*Result, error) {
+	n, rounds := 2000, 3000
+	if p.Quick {
+		n, rounds = 1000, 1500
+	}
+	d := n / 4
+	dem := demand.Vector{d}
+	model := noise.SigmoidModel{Lambda: noise.LambdaForCritical(0.04, n, d)}
+
+	tr := trace.New(1, 1, 0)
+	rec := metrics.NewRecorder(1, 0.04, agent.DefaultCs, uint64(rounds/10))
+	e, err := colony.New(colony.Config{
+		N:        n,
+		Schedule: demand.Static{V: dem},
+		Model:    model,
+		Factory:  agent.TrivialFactory(1),
+		Seed:     p.Seed + 600,
+		Shards:   1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.Run(rounds, metrics.Multi(rec.Observer(), tr.Observer()))
+
+	fig := plot.Chart{
+		Title: fmt.Sprintf("D2: trivial algorithm, synchronous model (n=%d, d=%d) — thrash", n, d),
+		Width: 72, Height: 14,
+		HLines: []plot.HLine{{Y: float64(d), Label: "demand d"}},
+		XLabel: fmt.Sprintf("rounds 1..%d (window of first 200 shown left-compressed)", rounds),
+	}.Render(plot.Series{Name: "W(t)", Y: plot.Ints(tr.LoadSeries(0))})
+
+	tbl := Table{
+		Title:   "D2: synchronous trivial algorithm",
+		Columns: []string{"quantity", "value", "expectation"},
+		Rows: [][]string{
+			{"avg regret", f(rec.AvgRegret()), "Θ(n)"},
+			{"avg regret / n", f(rec.AvgRegret() / float64(n)), "constant fraction"},
+			{"deficit zero crossings", fmt.Sprintf("%d", rec.ZeroCrossings()[0]), "Θ(rounds)"},
+			{"peak regret", fmt.Sprintf("%d", rec.PeakRegret()), fmt.Sprintf("≈ max(d, n−d) = %d", n-d)},
+		},
+	}
+	return &Result{
+		Tables:  []Table{tbl},
+		Figures: []string{fig},
+		Notes: []string{
+			"Appendix D.2: every idle ant joins on the same Lack signal and every",
+			"worker flees on the same Overload signal, so the load flips between",
+			"≈0 and ≈n−… each round for e^Ω(n) rounds. This is the failure mode",
+			"Algorithm Ant's two-sample phases are designed to break.",
+		},
+	}, nil
+}

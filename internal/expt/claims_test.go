@@ -1,0 +1,206 @@
+package expt
+
+// Claim-level regression tests: each paper claim that an experiment
+// demonstrates is asserted here on the quick-mode run, so a regression in
+// any algorithm, noise model, or metric that would flip a theorem's
+// verdict fails CI — not just the human-read tables.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func cell(t *testing.T, tbl Table, row int, col string) string {
+	t.Helper()
+	for i, c := range tbl.Columns {
+		if c == col {
+			return tbl.Rows[row][i]
+		}
+	}
+	t.Fatalf("column %q not in %v", col, tbl.Columns)
+	return ""
+}
+
+func cellFloat(t *testing.T, tbl Table, row int, col string) float64 {
+	t.Helper()
+	s := cell(t, tbl, row, col)
+	s = strings.ReplaceAll(s, "e+0", "e+0") // keep scientific notation intact
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not a float: %v", s, err)
+	}
+	return v
+}
+
+// TestClaimT32RatioIsO1: Precise Sigmoid's regret/(γεΣd) ratio must be a
+// small constant for every ε (Theorem 3.2's linear-in-ε law).
+func TestClaimT32RatioIsO1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	res, err := runT32(Params{Quick: true, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Tables[0]
+	for r := range tbl.Rows {
+		ratio := cellFloat(t, tbl, r, "ratio")
+		if ratio > 4 {
+			t.Errorf("row %v: ratio %v not O(1)", tbl.Rows[r], ratio)
+		}
+	}
+}
+
+// TestClaimT33FloorAndEscape: huggers sit at/above the εγ*Σd floor;
+// Precise Sigmoid (more memory) lands below it.
+func TestClaimT33FloorAndEscape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	res, err := runT33(Params{Quick: true, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Tables[0]
+	for r := range tbl.Rows {
+		name := tbl.Rows[r][0]
+		avg := cellFloat(t, tbl, r, "avg regret")
+		floor := cellFloat(t, tbl, r, "floor εγ*Σd")
+		if strings.HasPrefix(name, "hugger") {
+			if avg < floor*0.9 {
+				t.Errorf("%s beat the floor: %v < %v", name, avg, floor)
+			}
+		} else { // precise-sigmoid
+			if avg > floor {
+				t.Errorf("%s failed to escape the floor: %v > %v", name, avg, floor)
+			}
+		}
+	}
+}
+
+// TestClaimT35FloorBindsAll: every algorithm's Yao-averaged regret is at
+// least the indistinguishability floor.
+func TestClaimT35FloorBindsAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	res, err := runT35(Params{Quick: true, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Tables[0]
+	for r := range tbl.Rows {
+		if got := tbl.Rows[r][len(tbl.Rows[r])-1]; got != "yes" {
+			t.Errorf("row %v: floor did not bind", tbl.Rows[r])
+		}
+	}
+}
+
+// TestClaimT36InBoundWithFewerSwitches: Precise Adversarial stays within
+// 1.5× its (1+ε)γΣd bound and switches at least 50× less than Ant.
+func TestClaimT36InBoundWithFewerSwitches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	res, err := runT36(Params{Quick: true, Seed: 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Tables[0]
+	for r := range tbl.Rows {
+		if got := cell(t, tbl, r, "in bound(±50%)"); got != "yes" {
+			t.Errorf("row %v: out of bound", tbl.Rows[r])
+		}
+		sw := cellFloat(t, tbl, r, "switches/round")
+		antSw := cellFloat(t, tbl, r, "ant switches/round")
+		if sw*50 > antSw {
+			t.Errorf("row %v: switch economy missing (%v vs ant %v)", tbl.Rows[r], sw, antSw)
+		}
+	}
+}
+
+// TestClaimS3Separation: under sigmoid noise the measured regret is below
+// the γ*Σd line; under adversarial noise it is not (Theorem 3.5 floor).
+func TestClaimS3Separation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	res, err := runS3(Params{Quick: true, Seed: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Tables[0]
+	sig := cellFloat(t, tbl, 0, "regret/(γ*Σd)")
+	adv := cellFloat(t, tbl, 1, "regret/(γ*Σd)")
+	if sig >= 1 {
+		t.Errorf("sigmoid leg ratio %v not below the γ*Σd line", sig)
+	}
+	if adv < 0.9 {
+		t.Errorf("adversarial leg ratio %v beat the Theorem 3.5 floor", adv)
+	}
+	if adv <= sig {
+		t.Errorf("no separation: adversarial %v <= sigmoid %v", adv, sig)
+	}
+}
+
+// TestClaimD1D2SchedulerCliff: the trivial algorithm's regret collapses
+// by orders of magnitude between the synchronous and sequential models.
+func TestClaimD1D2SchedulerCliff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	d1, err := runD1(Params{Quick: true, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := runD2(Params{Quick: true, Seed: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seqAvg, seqOverN float64
+	for _, row := range d1.Tables[0].Rows {
+		if row[0] == "avg regret (post burn-in)" {
+			seqAvg, _ = strconv.ParseFloat(row[1], 64)
+		}
+		if strings.HasPrefix(row[0], "avg / n") {
+			seqOverN, _ = strconv.ParseFloat(row[1], 64)
+		}
+	}
+	var syncOverN float64
+	for _, row := range d2.Tables[0].Rows {
+		if row[0] == "avg regret / n" {
+			syncOverN, _ = strconv.ParseFloat(row[1], 64)
+		}
+	}
+	if seqOverN > 0.01 {
+		t.Errorf("sequential trivial regret/n = %v, want ≪ 1", seqOverN)
+	}
+	if syncOverN < 0.2 {
+		t.Errorf("synchronous trivial regret/n = %v, want Θ(1)", syncOverN)
+	}
+	if seqAvg <= 0 {
+		t.Errorf("sequential average %v not positive", seqAvg)
+	}
+}
+
+// TestClaimS4Recovery: both post-event windows return to the steady
+// level within 25%.
+func TestClaimS4Recovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	res, err := runS4(Params{Quick: true, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := res.Tables[0]
+	steady := cellFloat(t, tbl, 0, "avg regret")
+	recovered := cellFloat(t, tbl, 2, "avg regret")
+	final := cellFloat(t, tbl, 4, "avg regret")
+	for _, v := range []float64{recovered, final} {
+		if v > steady*1.25 {
+			t.Errorf("recovery %v not within 25%% of steady %v", v, steady)
+		}
+	}
+}

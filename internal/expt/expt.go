@@ -1,0 +1,179 @@
+// Package expt is the reproduction harness: one registered, named
+// experiment per paper artifact (figure, theorem, appendix result), each
+// regenerating the corresponding series or table rows. See DESIGN.md for
+// the experiment index and EXPERIMENTS.md for recorded outcomes.
+package expt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/colony"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/metrics"
+	"taskalloc/internal/noise"
+)
+
+// Params tunes an experiment run.
+type Params struct {
+	// Quick shrinks colony sizes and horizons for CI-speed runs; the
+	// qualitative shape checks still hold.
+	Quick bool
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// Result is what an experiment produces.
+type Result struct {
+	Tables  []Table
+	Figures []string
+	Notes   []string
+}
+
+// Table is a rendered-to-strings result table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render aligns the table as monospaced text.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Experiment is a registered reproduction unit.
+type Experiment struct {
+	// ID is the short handle (e.g. "T31"); Paper names the artifact it
+	// reproduces (e.g. "Theorem 3.1").
+	ID    string
+	Title string
+	Paper string
+	Run   func(p Params) (*Result, error)
+}
+
+var registry = map[string]Experiment{}
+
+// register is called from each experiment file's init.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("expt: duplicate experiment " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// All returns every registered experiment sorted by ID.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID looks up one experiment.
+func ByID(id string) (Experiment, bool) {
+	e, ok := registry[id]
+	return e, ok
+}
+
+// --- shared helpers ---------------------------------------------------------
+
+// runSpec describes one simulation leg.
+type runSpec struct {
+	n        int
+	schedule demand.Schedule
+	model    noise.Model
+	factory  agent.Factory
+	init     colony.Initializer
+	seed     uint64
+	rounds   int
+	burn     uint64
+	gamma    float64 // for the recorder's decomposition/bound thresholds
+}
+
+// runOne executes a synchronous simulation and returns its recorder and
+// the engine (for switch counts etc.).
+func runOne(s runSpec) (*metrics.Recorder, *colony.Engine, error) {
+	e, err := colony.New(colony.Config{
+		N:        s.n,
+		Schedule: s.schedule,
+		Model:    s.model,
+		Factory:  s.factory,
+		Init:     s.init,
+		Seed:     s.seed,
+		Shards:   1,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rec := metrics.NewRecorder(s.schedule.Tasks(), s.gamma, agent.DefaultCs, s.burn)
+	e.Run(s.rounds, rec.Observer())
+	return rec, e, nil
+}
+
+// f formats a float compactly for table cells.
+func f(x float64) string { return fmt.Sprintf("%.4g", x) }
+
+// yesno renders a boolean check.
+func yesno(ok bool) string {
+	if ok {
+		return "yes"
+	}
+	return "no"
+}
+
+// stableZoneInit returns an Initializer placing each task's load at the
+// midpoint of Algorithm Ant's stable zone [d(1+γ), d(1+(0.9cs−1)γ)] for
+// the given effective step size. Used by the steady-state experiments
+// (T32, T33, S3): the theorems' lim_{t→∞} statements suppress the
+// initial-convergence cost, and the paper itself mandates NOT sitting at
+// deficit 0 (maximal feedback uncertainty) — the stable point is above
+// the demand by Θ(step·d).
+func stableZoneInit(dem demand.Vector, step, cs float64) colony.Initializer {
+	loads := make(demand.Vector, len(dem))
+	mid := 1 + step*(1+(0.9*cs-1))/2
+	for j, d := range dem {
+		loads[j] = int(float64(d) * mid)
+	}
+	return colony.Exact(loads)
+}

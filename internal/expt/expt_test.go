@@ -1,0 +1,160 @@
+package expt
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"A22", "AB1", "C1", "CV1", "D1", "D2", "F1", "F2", "R1",
+		"S1", "S2", "S3", "S4", "T31", "T32", "T33", "T35", "T36", "V1", "W1", "X1"}
+	all := All()
+	if len(all) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))
+	}
+	for i, id := range want {
+		if all[i].ID != id {
+			t.Fatalf("experiment %d = %s, want %s (sorted)", i, all[i].ID, id)
+		}
+		e, ok := ByID(id)
+		if !ok || e.ID != id {
+			t.Fatalf("ByID(%s) failed", id)
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Fatalf("experiment %s incomplete", id)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Fatal("ByID accepted unknown id")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "demo",
+		Columns: []string{"a", "long-header"},
+		Rows:    [][]string{{"xxxxxx", "1"}, {"y", "2"}},
+	}
+	out := tbl.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(lines[1], "a") || !strings.Contains(lines[1], "long-header") {
+		t.Fatal("missing header")
+	}
+	// Alignment: the second column must start at the same offset in all rows.
+	idx := strings.Index(lines[1], "long-header")
+	if strings.Index(lines[3], "1") != idx {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if f(1.23456789) != "1.235" {
+		t.Fatalf("f() = %q", f(1.23456789))
+	}
+	if yesno(true) != "yes" || yesno(false) != "no" {
+		t.Fatal("yesno broken")
+	}
+}
+
+func TestDuplicateRegisterPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate register did not panic")
+		}
+	}()
+	register(Experiment{ID: "F1"})
+}
+
+// TestRunAllQuick executes every registered experiment in quick mode.
+// This is the harness's own integration test: every paper artifact must
+// regenerate without error and produce at least one table or figure.
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
+			res, err := e.Run(Params{Quick: true, Seed: 42})
+			if err != nil {
+				t.Fatalf("%s failed: %v", e.ID, err)
+			}
+			if len(res.Tables) == 0 && len(res.Figures) == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+			for _, tbl := range res.Tables {
+				if len(tbl.Rows) == 0 {
+					t.Fatalf("%s produced an empty table %q", e.ID, tbl.Title)
+				}
+				for _, row := range tbl.Rows {
+					if len(row) != len(tbl.Columns) {
+						t.Fatalf("%s table %q has a ragged row (%d cells, %d cols)",
+							e.ID, tbl.Title, len(row), len(tbl.Columns))
+					}
+				}
+				if tbl.Render() == "" {
+					t.Fatalf("%s table render empty", e.ID)
+				}
+			}
+		})
+	}
+}
+
+// TestQuickModeShrinks ensures quick mode is actually cheaper than full
+// mode for a representative experiment (table parameters differ).
+func TestQuickModeShrinks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	quick, err := runF1(Params{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := runF1(Params{Quick: false, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// F1 reports γ*: both should verify their own boundary check.
+	for _, r := range [][]Table{quick.Tables, full.Tables} {
+		if got := r[0].Rows[0][3]; got != "yes" {
+			t.Fatalf("γ* check failed: %v", r[0].Rows[0])
+		}
+	}
+}
+
+// TestT31ClosenessTracksGamma spot-checks the headline claim on the quick
+// run: measured closeness stays within 5·(γ/γ*) + slack for every row.
+func TestT31ClosenessTracksGamma(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	res, err := runT31(Params{Quick: true, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := res.Tables[0].Rows
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, row := range rows {
+		mult, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad multiplier %q", row[2])
+		}
+		closeness, err := strconv.ParseFloat(row[6], 64)
+		if err != nil {
+			t.Fatalf("bad closeness %q", row[6])
+		}
+		if closeness > 5*mult+2 {
+			t.Errorf("row %v: closeness %v above 5·(γ/γ*)+2 = %v", row, closeness, 5*mult+2)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableMarkdown(t *testing.T) {
+	tbl := Table{
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+	}
+	md := tbl.Markdown()
+	for _, want := range []string{"**demo**", "| a | b |", "|---|---|", "| 1 | 2 |"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestWriteMarkdownReportUnknownID(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMarkdownReport(&buf, []string{"nope"}, Params{Quick: true}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestWriteMarkdownReportOneExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("-short")
+	}
+	var buf bytes.Buffer
+	if err := WriteMarkdownReport(&buf, []string{"F1"}, Params{Quick: true, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"# Experiment report (quick mode", "## F1", "Figure 1", "```"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q", want)
+		}
+	}
+}

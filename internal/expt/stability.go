@@ -1,0 +1,236 @@
+package expt
+
+import (
+	"fmt"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/colony"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/metrics"
+	"taskalloc/internal/noise"
+	"taskalloc/internal/plot"
+	"taskalloc/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "S1",
+		Title: "Self-stabilization under demand changes",
+		Paper: "Section 1/6 (self-stabilization claims)",
+		Run:   runS1,
+	})
+	register(Experiment{
+		ID:    "S2",
+		Title: "Correlated noise with small marginal error leaves guarantees intact",
+		Paper: "Remark 3.4",
+		Run:   runS2,
+	})
+	register(Experiment{
+		ID:    "S3",
+		Title: "Model separation: ε-close (sigmoid) vs (1+ε) floor (adversarial)",
+		Paper: "Sections 3.3 vs 3.4",
+		Run:   runS3,
+	})
+}
+
+// runS1 changes the demand vector mid-run and measures the regret spike
+// and re-convergence time — the paper's self-stabilization claim.
+func runS1(p Params) (*Result, error) {
+	n, rounds := 3000, 12000
+	if p.Quick {
+		n, rounds = 2000, 8000
+	}
+	d1 := demand.Vector{n / 10, n / 5}     // initial demands
+	d2 := demand.Vector{n / 5, n / 10}     // swapped at T1
+	d3 := demand.Vector{n / 20, n * 3 / 8} // skewed at T2
+	t1 := uint64(rounds / 3)
+	t2 := uint64(2 * rounds / 3)
+	sched, err := demand.NewStep(d1, []uint64{t1, t2}, []demand.Vector{d2, d3})
+	if err != nil {
+		return nil, err
+	}
+	gamma := agent.MaxGamma
+	model := noise.SigmoidModel{Lambda: noise.LambdaForCritical(gamma/2, n, d3.Min())}
+
+	tr := trace.New(2, 1, 0)
+	rec := metrics.NewRecorder(2, gamma, agent.DefaultCs, 0)
+	e, err := colony.New(colony.Config{
+		N:        n,
+		Schedule: sched,
+		Model:    model,
+		Factory:  agent.AntFactory(2, agent.DefaultParams(gamma)),
+		Seed:     p.Seed + 700,
+		Shards:   1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.Run(rounds, metrics.Multi(rec.Observer(), tr.Observer()))
+
+	fig := plot.Chart{
+		Title: fmt.Sprintf("S1: regret under demand changes at t=%d and t=%d", t1, t2),
+		Width: 72, Height: 14,
+		XLabel: fmt.Sprintf("rounds 1..%d", rounds),
+	}.Render(plot.Series{Name: "r(t)", Y: plot.Ints(tr.RegretSeries())})
+
+	// Re-convergence: time from each change until regret first returns
+	// below twice the Theorem 3.1 band and holds for 50 rounds.
+	series := tr.RegretSeries()
+	band := func(dem demand.Vector) int { return int(2 * (5*gamma*float64(dem.Sum()) + 3)) }
+	recov := func(from uint64, dem demand.Vector) string {
+		idx := int(from) // series index is round-1
+		if idx >= len(series) {
+			return "n/a"
+		}
+		c := metrics.ConvergenceTime(series[idx:], band(dem), 50)
+		if c < 0 {
+			return "not reached"
+		}
+		return fmt.Sprintf("%d rounds", c)
+	}
+	tbl := Table{
+		Title:   "S1: demand-change recovery",
+		Columns: []string{"event", "demands", "recovery to 2×band"},
+		Rows: [][]string{
+			{"start (all idle)", fmt.Sprintf("%v", d1), recov(0, d1)},
+			{fmt.Sprintf("t=%d swap", t1), fmt.Sprintf("%v", d2), recov(t1, d2)},
+			{fmt.Sprintf("t=%d skew", t2), fmt.Sprintf("%v", d3), recov(t2, d3)},
+		},
+	}
+	return &Result{
+		Tables:  []Table{tbl},
+		Figures: []string{fig},
+		Notes: []string{
+			"Algorithm Ant carries no state that outlives a phase, so any demand",
+			"change is just another 'arbitrary initial allocation': Theorem 3.1",
+			"re-applies from the change point (the paper's self-stabilization).",
+		},
+	}, nil
+}
+
+// runS2 wraps the sigmoid model in colony-wide correlated flips with
+// marginal probability 1/n² and checks Algorithm Ant's regret is
+// unchanged relative to the uncorrelated baseline (Remark 3.4).
+func runS2(p Params) (*Result, error) {
+	n, d, rounds, burn := 3000, 400, 10000, uint64(6000)
+	if p.Quick {
+		n, d, rounds, burn = 2000, 300, 6000, 4000
+	}
+	dem := demand.Vector{d, d}
+	gamma := agent.MaxGamma
+	base := noise.SigmoidModel{Lambda: noise.LambdaForCritical(gamma/2, n, d)}
+
+	flip := 1 / (float64(n) * float64(n))
+	models := []noise.Model{
+		base,
+		noise.CorrelatedModel{Base: base, FlipProb: flip, Seed: p.Seed},
+		noise.CorrelatedModel{Base: base, FlipProb: 0.02, Seed: p.Seed}, // too-large flips for contrast
+	}
+	tbl := Table{
+		Title:   fmt.Sprintf("S2: correlated colony-wide flips, n=%d (Remark 3.4)", n),
+		Columns: []string{"model", "flip prob", "avg regret", "vs baseline"},
+	}
+	var baseline float64
+	seed := p.Seed + 800
+	for i, m := range models {
+		seed++
+		rec, _, err := runOne(runSpec{
+			n: n, schedule: demand.Static{V: dem}, model: m,
+			factory: agent.AntFactory(2, agent.DefaultParams(gamma)),
+			seed:    seed, rounds: rounds, burn: burn, gamma: gamma,
+		})
+		if err != nil {
+			return nil, err
+		}
+		avg := rec.AvgRegret()
+		if i == 0 {
+			baseline = avg
+		}
+		fp := "0"
+		if cm, ok := m.(noise.CorrelatedModel); ok {
+			fp = f(cm.FlipProb)
+		}
+		tbl.Rows = append(tbl.Rows, []string{m.Name(), fp, f(avg), f(avg / baseline)})
+	}
+	return &Result{
+		Tables: []Table{tbl},
+		Notes: []string{
+			"Remark 3.4: arbitrary correlation is harmless while the marginal",
+			"error outside the grey zone stays ≤ 1/n^c. The 1/n² row matches the",
+			"baseline; the deliberately large 2% flip row degrades it.",
+		},
+	}, nil
+}
+
+// runS3 contrasts the two noise models at equal parameters: under sigmoid
+// noise Precise Sigmoid beats the γ*Σd line (ε-closeness is feasible),
+// while under adversarial noise even Precise Adversarial cannot go below
+// it (Theorem 3.5) — the separation highlighted in Section 3.4.
+func runS3(p Params) (*Result, error) {
+	// Both legs are steady-state measurements (see runT32's methodology
+	// comment): the sigmoid leg starts in Precise Sigmoid's stable zone
+	// at the reduced step εγ/c_χ (so d is scaled to keep γ'·d a few
+	// ants), the adversarial leg starts exact; the adversarial leg runs
+	// at γ = 2γ* per the γ = γ* boundary note (DESIGN.md §4b).
+	n, d := 30000, 6000
+	eps := 0.25
+	sigPhases, advPhases := 40, 70
+	if p.Quick {
+		n, d = 15000, 3000
+		eps = 0.5
+		sigPhases, advPhases = 30, 60
+	}
+	dem := demand.Vector{d, d}
+	gammaStar := 0.03
+	gamma := gammaStar
+
+	// Sigmoid leg.
+	sigParams := agent.DefaultPreciseParams(gamma, eps)
+	sigProto := agent.NewPreciseSigmoid(2, sigParams)
+	sigRounds := sigPhases * sigProto.PhaseLen()
+	sigModel := noise.SigmoidModel{Lambda: noise.LambdaForCritical(gammaStar, n, d)}
+	sigRec, _, err := runOne(runSpec{
+		n: n, schedule: demand.Static{V: dem}, model: sigModel,
+		factory: agent.PreciseSigmoidFactory(2, sigParams),
+		init:    stableZoneInit(dem, eps*gamma/sigParams.CChi, sigParams.Cs),
+		seed:    p.Seed + 900, rounds: sigRounds, burn: uint64(sigRounds / 2), gamma: gamma,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Adversarial leg.
+	advGamma := 2 * gammaStar
+	advParams := agent.DefaultPreciseParams(advGamma, eps)
+	advProto := agent.NewPreciseAdversarial(2, advParams)
+	advRounds := advPhases * advProto.PhaseLen()
+	advModel := noise.AdversarialModel{GammaAd: gammaStar, Strategy: noise.Inverted{}}
+	advRec, _, err := runOne(runSpec{
+		n: n, schedule: demand.Static{V: dem}, model: advModel,
+		factory: agent.PreciseAdversarialFactory(2, advParams),
+		init:    colony.Exact(dem),
+		seed:    p.Seed + 901, rounds: advRounds, burn: uint64(advRounds * 2 / 3), gamma: advGamma,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	line := gammaStar * float64(dem.Sum())
+	sig := sigRec.AvgRegret()
+	adv := advRec.AvgRegret()
+	tbl := Table{
+		Title:   fmt.Sprintf("S3: model separation at γ*=%.4g, ε=%.4g (γ*Σd = %.4g)", gammaStar, eps, line),
+		Columns: []string{"noise model", "algorithm", "avg regret", "regret/(γ*Σd)", "theory"},
+		Rows: [][]string{
+			{"sigmoid", "precise-sigmoid", f(sig), f(sig / line), "can reach ε < 1 (Thm 3.2)"},
+			{"adversarial", "precise-adversarial", f(adv), f(adv / line), "≥ 1 − o(1) (Thm 3.5)"},
+		},
+	}
+	return &Result{
+		Tables: []Table{tbl},
+		Notes: []string{
+			"The stochastic model admits median amplification below the γ*Σd line;",
+			"the adversarial model provably does not — the models separate.",
+		},
+	}, nil
+}

@@ -1,0 +1,119 @@
+package expt
+
+import (
+	"fmt"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/colony"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/noise"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "T31",
+		Title: "Algorithm Ant regret vs the 5γΣd+3 band, both noise models",
+		Paper: "Theorem 3.1",
+		Run:   runT31,
+	})
+}
+
+// runT31 sweeps the learning rate γ over multiples of the critical value
+// γ* in both noise models and from two initial allocations, checking that
+// the post-burn-in average regret sits inside the Theorem 3.1 band
+// 5γΣd + 3 and that per-task deficits rarely leave 5γd(j)+3.
+//
+// Finite-size note (recorded in EXPERIMENTS.md): the theorem's stable-zone
+// machinery is a w.h.p. statement under Claim 4.1's concentration
+// requirement d = Ω(log n/γ²). At laptop scale that translates into two
+// constraints on the sweep: γ*·d must be tens of ants (so the stable zone
+// [d(1+γ), d(1+(0.9cs−1)γ)] is wider than one binomial drain step), and —
+// for the adversarial model only — γ must exceed γ* strictly, because at
+// γ = γ* the stable zone's lower edge lies exactly ON the closed grey
+// zone boundary where the adversary may legally lie (with real-valued
+// loads this boundary has measure zero; with integer loads it does not).
+// The sigmoid model has no such edge (its boundary error is 1/n⁸), so it
+// is swept from γ = γ* exactly.
+func runT31(p Params) (*Result, error) {
+	n, d, rounds, burn := 6000, 1200, 14000, uint64(10000)
+	gammaStar := 0.0125
+	if p.Quick {
+		n, d, rounds, burn = 4000, 800, 9000, 6000
+		gammaStar = 0.015
+	}
+	dem := demand.Vector{d, d}
+	lambda := noise.LambdaForCritical(gammaStar, n, dem.Min())
+
+	type sweep struct {
+		name  string
+		model noise.Model
+		mults []float64
+	}
+	sweeps := []sweep{
+		{"sigmoid", noise.SigmoidModel{Lambda: lambda}, []float64{1, 2, 4}},
+		{"adversarial/inverted",
+			noise.AdversarialModel{GammaAd: gammaStar, Strategy: noise.Inverted{}},
+			[]float64{2, 4}},
+	}
+	inits := []struct {
+		name string
+		init colony.Initializer
+	}{
+		{"idle", colony.AllIdle},
+		{"flood", colony.Concentrated(0)},
+	}
+
+	tbl := Table{
+		Title: fmt.Sprintf("T31: Algorithm Ant, n=%d, d=(%d,%d), γ*=%.4g, %d rounds (burn %d)",
+			n, d, d, gammaStar, rounds, burn),
+		Columns: []string{"model", "init", "γ/γ*", "avg regret", "band 5γΣd+3",
+			"in band", "closeness", "≤5·γ/γ*", "band-exit rounds"},
+	}
+	seed := p.Seed
+	for _, sw := range sweeps {
+		for _, ic := range inits {
+			for _, mult := range sw.mults {
+				gamma := mult * gammaStar
+				seed++
+				rec, _, err := runOne(runSpec{
+					n:        n,
+					schedule: demand.Static{V: dem},
+					model:    sw.model,
+					factory:  agent.AntFactory(2, agent.DefaultParams(gamma)),
+					init:     ic.init,
+					seed:     seed,
+					rounds:   rounds,
+					burn:     burn,
+					gamma:    gamma,
+				})
+				if err != nil {
+					return nil, err
+				}
+				avg := rec.AvgRegret()
+				band := 5*gamma*float64(dem.Sum()) + 3
+				closeness := rec.Closeness(gammaStar, dem.Sum())
+				var viol int64
+				for _, v := range rec.BoundViolations() {
+					viol += v
+				}
+				tbl.Rows = append(tbl.Rows, []string{
+					sw.name, ic.name, f(mult), f(avg), f(band),
+					yesno(avg <= band), f(closeness),
+					yesno(closeness <= 5*mult+1), // +1 slack for finite-n noise
+					fmt.Sprintf("%d", viol),
+				})
+			}
+		}
+	}
+	return &Result{
+		Tables: []Table{tbl},
+		Notes: []string{
+			"Theorem 3.1 predicts a 5·(γ/γ*)-close assignment for any initial allocation;",
+			"the closeness column should track the γ/γ* column within a small constant.",
+			"Band-exit rounds concentrate in the pre-burn-in convergence window",
+			"(Theorem 3.1: O(k·log n/γ) such rounds per n⁴ window).",
+			"Adversarial rows start at γ = 2γ*: at γ = γ* the stable zone's edge",
+			"coincides with the closed grey-zone boundary (see function comment).",
+		},
+	}, nil
+}

@@ -1,0 +1,102 @@
+package expt
+
+import (
+	"fmt"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/noise"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "T32",
+		Title: "Algorithm Precise Sigmoid: ε-closeness vs memory/phase tradeoff",
+		Paper: "Theorem 3.2",
+		Run:   runT32,
+	})
+}
+
+// runT32 sweeps the precision ε of Algorithm Precise Sigmoid and checks
+// that the steady-state average regret tracks γ·ε·Σd (Theorem 3.2) while
+// memory and phase length grow as O(log(1/ε)) and O(1/ε).
+//
+// Methodology notes (recorded in EXPERIMENTS.md):
+//
+//   - Theorem 3.2 is a lim_{t→∞} statement; the initial convergence cost
+//     c·n·k/γ' at the reduced step γ' = εγ/c_χ is suppressed there and
+//     would take Θ(c_χ·cd/(εγ)) phases from an empty start. Moreover the
+//     exact allocation (deficit 0) is the point of MAXIMAL feedback
+//     uncertainty — the paper's own argument for oscillating around a
+//     small positive overload — so runs start at the algorithm's stable
+//     point d(1+Θ(γ')) and measure the steady state (transients are
+//     exercised by T31/S1).
+//   - The reduced step moves loads by γ'·d ants per phase and the median
+//     mechanism needs the per-sample reliability at deficit 1.4·γ'·d to
+//     clear 1/2 by a constant (then m samples amplify it); both require
+//     γ'·d = ε·γ·d/c_χ to be at least a few ANTS. Demands are scaled
+//     accordingly — at the paper's asymptotic scale this is the harmless
+//     d = Ω(log n/γ²) assumption, at laptop scale it is binding.
+func runT32(p Params) (*Result, error) {
+	n, d := 50000, 10000
+	epsilons := []float64{0.8, 0.4, 0.2}
+	phases, burnPhases := 30, 10
+	if p.Quick {
+		n, d = 12000, 2500
+		epsilons = []float64{0.8, 0.4}
+	}
+	dem := demand.Vector{d, d}
+	gamma := 0.03
+	lambda := noise.LambdaForCritical(gamma, n, dem.Min())
+	model := noise.SigmoidModel{Lambda: lambda}
+
+	tbl := Table{
+		Title: fmt.Sprintf("T32: Precise Sigmoid, n=%d, d=(%d,%d), γ=γ*=%.4g (steady state)",
+			n, d, d, gamma),
+		Columns: []string{"ε", "phase len", "memory bits", "step γ'd (ants)",
+			"avg regret", "target γεΣd", "ratio", "ant baseline 5γΣd+3"},
+	}
+	antBand := 5*gamma*float64(dem.Sum()) + 3
+	seed := p.Seed + 100
+	var ratios []float64
+	for _, eps := range epsilons {
+		params := agent.DefaultPreciseParams(gamma, eps)
+		proto := agent.NewPreciseSigmoid(2, params)
+		phaseLen := proto.PhaseLen()
+		rounds := phases * phaseLen
+		burn := uint64(burnPhases * phaseLen)
+		seed++
+		rec, _, err := runOne(runSpec{
+			n:        n,
+			schedule: demand.Static{V: dem},
+			model:    model,
+			factory:  agent.PreciseSigmoidFactory(2, params),
+			init:     stableZoneInit(dem, eps*gamma/params.CChi, params.Cs),
+			seed:     seed,
+			rounds:   rounds,
+			burn:     burn,
+			gamma:    gamma,
+		})
+		if err != nil {
+			return nil, err
+		}
+		avg := rec.AvgRegret()
+		target := gamma * eps * float64(dem.Sum())
+		ratio := avg / target
+		ratios = append(ratios, ratio)
+		stepAnts := eps * gamma * float64(d) / params.CChi
+		tbl.Rows = append(tbl.Rows, []string{
+			f(eps), fmt.Sprintf("%d", phaseLen), fmt.Sprintf("%d", proto.MemoryBits()),
+			f(stepAnts), f(avg), f(target), f(ratio), f(antBand),
+		})
+	}
+	notes := []string{
+		"Theorem 3.2: lim R(t)/t = γεΣd + O(1); the ratio column should stay",
+		"an O(1) constant as ε shrinks, while the plain Algorithm Ant band",
+		"(last column) does not improve with ε — the memory/precision tradeoff.",
+	}
+	if len(ratios) >= 2 && ratios[len(ratios)-1] < 4 && ratios[0] < 4 {
+		notes = append(notes, "measured: ratio O(1) across ε (shape reproduced)")
+	}
+	return &Result{Tables: []Table{tbl}, Notes: notes}, nil
+}

@@ -1,0 +1,164 @@
+package expt
+
+import (
+	"fmt"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/automaton"
+	"taskalloc/internal/colony"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/lowerbound"
+	"taskalloc/internal/noise"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "T33",
+		Title: "Memory lower bound: sub-critical learning rates cannot beat the ε floor",
+		Paper: "Theorem 3.3",
+		Run:   runT33,
+	})
+	register(Experiment{
+		ID:    "A22",
+		Title: "Assumption 2.2 verification of the implemented automata",
+		Paper: "Assumptions 2.2",
+		Run:   runA22,
+	})
+}
+
+// runT33 contrasts constant-memory algorithms that try to sit inside the
+// grey zone (Algorithm Ant run at a sub-critical γ = ε·γ*, the "Hugger")
+// with the εγ*Σd floor of Theorem 3.3: the floor binds, and the huggers
+// exhibit grey-zone-scale oscillations, while Precise Sigmoid — paying
+// O(log 1/ε) memory — beats the constant-memory floor as the theorem
+// permits.
+func runT33(p Params) (*Result, error) {
+	// Scale note: the Precise Sigmoid contrast row moves loads by
+	// γ'·d = εγ*d/c_χ ants per phase, so d is chosen to make that a few
+	// ants (see runT32's methodology comment).
+	n, d, rounds, burn := 15000, 3000, 14000, uint64(8000)
+	if p.Quick {
+		n, d, rounds, burn = 10000, 2000, 9000, 5500
+	}
+	dem := demand.Vector{d, d}
+	gammaStar := 0.03
+	lambda := noise.LambdaForCritical(gammaStar, n, dem.Min())
+	model := noise.SigmoidModel{Lambda: lambda}
+
+	tbl := Table{
+		Title: fmt.Sprintf("T33: constant memory vs the εγ*Σd floor, n=%d, γ*=%.4g",
+			n, gammaStar),
+		Columns: []string{"algorithm", "ε", "memory bits", "avg regret",
+			"floor εγ*Σd", "≥ floor", "max |Δ|/γ*d", "budget c·log(1/ε)"},
+	}
+	seed := p.Seed + 200
+
+	addRow := func(name string, eps float64, memBits int, factory agent.Factory, init colony.Initializer) error {
+		seed++
+		rec, _, err := runOne(runSpec{
+			n:        n,
+			schedule: demand.Static{V: dem},
+			model:    model,
+			factory:  factory,
+			init:     init,
+			seed:     seed,
+			rounds:   rounds,
+			burn:     burn,
+			gamma:    gammaStar,
+		})
+		if err != nil {
+			return err
+		}
+		avg := rec.AvgRegret()
+		floor := lowerbound.SigmoidFloor(eps, gammaStar, dem.Sum())
+		maxOsc := 0
+		for _, m := range rec.MaxAbsDeficit() {
+			if m > maxOsc {
+				maxOsc = m
+			}
+		}
+		relOsc := float64(maxOsc) / (gammaStar * float64(d))
+		tbl.Rows = append(tbl.Rows, []string{
+			name, f(eps), fmt.Sprintf("%d", memBits), f(avg), f(floor),
+			yesno(avg >= floor), f(relOsc),
+			fmt.Sprintf("%d", lowerbound.MemoryBudget(1, eps)),
+		})
+		return nil
+	}
+
+	for _, eps := range []float64{0.5, 0.25} {
+		hp := agent.DefaultParams(eps * gammaStar)
+		hugger := agent.HuggerFactory(2, hp)
+		proto := agent.NewHugger(2, hp)
+		if err := addRow("hugger (Ant @ εγ*)", eps, proto.MemoryBits(), hugger, nil); err != nil {
+			return nil, err
+		}
+	}
+	// Contrast: Precise Sigmoid with ε = 0.5 spends Θ(log 1/ε) MORE
+	// memory and (measured from its stable point, per runT32's
+	// methodology) lands BELOW the constant-memory floor — the escape the
+	// theorem charges memory for. It runs at γ = 2γ* so its reduced-step
+	// buffer γ'·d is several ants at this scale: at γ'·d ≈ 3 the stable
+	// point sits within integer-drift distance of the demand, where a
+	// single crossing triggers an idle-pool avalanche (metastability, not
+	// a property of the asymptotic algorithm).
+	psp := agent.DefaultPreciseParams(2*gammaStar, 0.5)
+	psProto := agent.NewPreciseSigmoid(2, psp)
+	if err := addRow("precise-sigmoid (γ=2γ*)", 0.5, psProto.MemoryBits(),
+		agent.PreciseSigmoidFactory(2, psp),
+		stableZoneInit(dem, psp.Epsilon*psp.Gamma/psp.CChi, psp.Cs)); err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Tables: []Table{tbl},
+		Notes: []string{
+			"Theorem 3.3: with at most c·log(1/ε) bits, regret stays ≥ εγ*Σd and",
+			"deficits oscillate at ω(γ*d) scale when an algorithm hugs zero deficit.",
+			"The huggers (constant memory, sub-critical step) sit at or above the",
+			"floor with grey-zone-scale |Δ| excursions (the max column includes the",
+			"initial convergence); Precise Sigmoid escapes below the floor only by",
+			"spending the extra memory the theorem charges for.",
+		},
+	}, nil
+}
+
+// runA22 builds the explicit finite-state machines of the implemented
+// algorithms and checks the paper's reachability assumption, plus the
+// stubborn counter-example the assumption exists to exclude.
+func runA22(Params) (*Result, error) {
+	tbl := Table{
+		Title:   "A22: Assumption 2.2 (all states mutually reachable)",
+		Columns: []string{"machine", "k", "states", "memory bits", "alphabet", "strongly connected", "diameter"},
+	}
+	add := func(name string, k int, m *automaton.FSM) error {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			name, fmt.Sprintf("%d", k), fmt.Sprintf("%d", m.States()),
+			fmt.Sprintf("%d", m.MemoryBits()), fmt.Sprintf("%d", m.Alphabet()),
+			yesno(m.StronglyConnected()), fmt.Sprintf("%d", m.Diameter()),
+		})
+		return nil
+	}
+	for _, k := range []int{1, 2, 4} {
+		if err := add("trivial", k, automaton.TrivialFSM(k)); err != nil {
+			return nil, err
+		}
+		if err := add("ant (phase-level)", k, automaton.AntPhaseFSM(k)); err != nil {
+			return nil, err
+		}
+		if err := add("stubborn (violates 2.2)", k, automaton.StubbornFSM(k)); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Tables: []Table{tbl},
+		Notes: []string{
+			"The paper requires every ant automaton to satisfy Assumption 2.2; the",
+			"stubborn worker (never leaves its task) is the excluded counter-example",
+			"and is correctly flagged as not strongly connected (diameter −1).",
+		},
+	}, nil
+}

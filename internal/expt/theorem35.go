@@ -1,0 +1,83 @@
+package expt
+
+import (
+	"fmt"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/lowerbound"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "T35",
+		Title: "Yao demand-pair adversary: the γ*Σd floor binds every algorithm",
+		Paper: "Theorem 3.5",
+		Run:   runT35,
+	})
+}
+
+// runT35 builds the Theorem 3.5 indistinguishable demand pair, runs each
+// implemented algorithm against the shared threshold feedback under both
+// demand vectors, and verifies the averaged regret is at least the
+// (1−o(1))·γ*·Σd floor.
+func runT35(p Params) (*Result, error) {
+	n, d, rounds, burn := 3000, 400, 10000, uint64(4000)
+	if p.Quick {
+		n, d, rounds, burn = 2000, 300, 6000, 3000
+	}
+	gammaAd := 0.05
+	base := demand.Vector{d, d}
+	pair, err := lowerbound.NewPair(base, gammaAd)
+	if err != nil {
+		return nil, err
+	}
+	model := pair.Model()
+	floor := pair.ExpectedFloor()
+
+	gamma := agent.MaxGamma
+	factories := []agent.Factory{
+		agent.AntFactory(2, agent.DefaultParams(gamma)),
+		agent.PreciseAdversarialFactory(2, agent.DefaultPreciseParams(gamma, 0.5)),
+		agent.TrivialFactory(2),
+	}
+
+	tbl := Table{
+		Title: fmt.Sprintf("T35: Yao pair D=(%d,%d) D'=(%d,%d) θ=(%d,%d), floor=%.4g",
+			pair.D[0], pair.D[1], pair.DPrime[0], pair.DPrime[1],
+			pair.Theta[0], pair.Theta[1], floor),
+		Columns: []string{"algorithm", "regret vs D", "regret vs D'",
+			"avg (Yao)", "floor γ*Σ(D+D')/2-ish", "≥ floor"},
+	}
+	seed := p.Seed + 300
+	for _, fac := range factories {
+		seed += 2
+		recD, _, err := runOne(runSpec{
+			n: n, schedule: demand.Static{V: pair.D}, model: model,
+			factory: fac, seed: seed, rounds: rounds, burn: burn, gamma: gamma,
+		})
+		if err != nil {
+			return nil, err
+		}
+		recP, _, err := runOne(runSpec{
+			n: n, schedule: demand.Static{V: pair.DPrime}, model: model,
+			factory: fac, seed: seed + 1, rounds: rounds, burn: burn, gamma: gamma,
+		})
+		if err != nil {
+			return nil, err
+		}
+		avg := (recD.AvgRegret() + recP.AvgRegret()) / 2
+		tbl.Rows = append(tbl.Rows, []string{
+			fac.Name, f(recD.AvgRegret()), f(recP.AvgRegret()),
+			f(avg), f(floor), yesno(avg >= floor*0.95),
+		})
+	}
+	return &Result{
+		Tables: []Table{tbl},
+		Notes: []string{
+			"The feedback function is identical under both demand vectors, so no",
+			"algorithm — with any memory or communication — can do better than",
+			"splitting the 2τ gap; the floor holds for all three algorithms.",
+		},
+	}, nil
+}

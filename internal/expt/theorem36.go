@@ -1,0 +1,103 @@
+package expt
+
+import (
+	"fmt"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/colony"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/noise"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "T36",
+		Title: "Algorithm Precise Adversarial: (1+ε)-closeness and switch economy",
+		Paper: "Theorem 3.6",
+		Run:   runT36,
+	})
+}
+
+// runT36 runs Algorithm Precise Adversarial against hostile grey-zone
+// strategies, checking the (1+ε)·γ·Σd regret bound and the theorem's
+// remark that it switches ants between tasks far less than Algorithm Ant.
+func runT36(p Params) (*Result, error) {
+	n, d, phases := 3000, 400, 70
+	burnPhases := 50
+	if p.Quick {
+		n, d, phases, burnPhases = 2000, 400, 60, 45
+	}
+	dem := demand.Vector{d, d}
+	gammaStar := 0.03
+	// γ = 2γ*: as in T31, γ = γ* exactly makes the phase's full drain
+	// depth γ·d coincide with the grey-zone half-width γ*·d, so whether
+	// the own-task signal ever flips to Lack rides on binomial noise at
+	// the boundary; the theorem's premise γ ≥ γ* is kept with margin.
+	gamma := 2 * gammaStar
+
+	strategies := []noise.GreyStrategy{
+		noise.Inverted{},
+		noise.Alternating{},
+		noise.AlwaysLack{},
+	}
+	epsilons := []float64{0.5, 0.25}
+	if p.Quick {
+		epsilons = []float64{0.5}
+	}
+
+	tbl := Table{
+		Title: fmt.Sprintf("T36: Precise Adversarial, n=%d, γ*=%.4g, γ=2γ*=%.4g (adversarial noise)",
+			n, gammaStar, gamma),
+		Columns: []string{"grey strategy", "ε", "phase len", "avg regret",
+			"bound (1+ε)γΣd", "in bound(±50%)", "switches/round", "ant switches/round"},
+	}
+	seed := p.Seed + 400
+	for _, eps := range epsilons {
+		params := agent.DefaultPreciseParams(gamma, eps)
+		proto := agent.NewPreciseAdversarial(2, params)
+		phaseLen := proto.PhaseLen()
+		rounds := phases * phaseLen
+		burn := uint64(burnPhases * phaseLen)
+		for _, strat := range strategies {
+			seed += 2
+			model := noise.AdversarialModel{GammaAd: gammaStar, Strategy: strat}
+			rec, eng, err := runOne(runSpec{
+				n: n, schedule: demand.Static{V: dem}, model: model,
+				factory: agent.PreciseAdversarialFactory(2, params),
+				init:    colony.Exact(dem),
+				seed:    seed, rounds: rounds, burn: burn, gamma: gamma,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Ant baseline under the same adversary, same horizon.
+			antRec, antEng, err := runOne(runSpec{
+				n: n, schedule: demand.Static{V: dem}, model: model,
+				factory: agent.AntFactory(2, agent.DefaultParams(gamma)),
+				init:    colony.Exact(dem),
+				seed:    seed + 1, rounds: rounds, burn: burn, gamma: gamma,
+			})
+			if err != nil {
+				return nil, err
+			}
+			_ = antRec
+			avg := rec.AvgRegret()
+			bound := (1 + eps) * gamma * float64(dem.Sum())
+			sw := float64(eng.Switches()) / float64(rounds)
+			antSw := float64(antEng.Switches()) / float64(rounds)
+			tbl.Rows = append(tbl.Rows, []string{
+				strat.Name(), f(eps), fmt.Sprintf("%d", phaseLen), f(avg), f(bound),
+				yesno(avg <= 1.5*bound), f(sw), f(antSw),
+			})
+		}
+	}
+	return &Result{
+		Tables: []Table{tbl},
+		Notes: []string{
+			"Theorem 3.6: lim R(t)/t = (1+ε)γΣd under any grey-zone strategy.",
+			"Drain/restore happens once per O(1/ε)-round phase, so the switch",
+			"rate is far below Algorithm Ant's per-phase churn (last column).",
+			"Against Theorem 3.5's floor γ*Σd this is optimal up to (1+ε).",
+		},
+	}, nil
+}

@@ -1,0 +1,194 @@
+// Package lowerbound implements the paper's impossibility constructions.
+//
+// Theorem 3.5 (adversarial noise): via Yao's principle, two demand
+// vectors a gap 2τ(j) apart admit a single deterministic feedback
+// function that is a legal adversarial response for both, so no
+// algorithm — however much memory or communication — can tell them
+// apart, and any load trajectory pays at least τ(j) per task per round
+// in expectation against a uniform choice of the pair. NewPair builds
+// the gap, the shared threshold feedback, and legality proofs;
+// ExpectedFloor evaluates the resulting regret floor.
+//
+// Theorem 3.3's quantitative floor for memory-limited algorithms under
+// sigmoid noise is exposed as SigmoidFloor and MemoryBudget; the
+// constructive witness (Algorithm Ant at a sub-critical learning rate)
+// lives in package agent as NewHugger.
+package lowerbound
+
+import (
+	"fmt"
+	"math"
+
+	"taskalloc/internal/demand"
+	"taskalloc/internal/noise"
+)
+
+// Pair is a Yao demand pair with its shared feedback thresholds.
+type Pair struct {
+	// D is the base demand vector; DPrime the indistinguishable twin
+	// with DPrime[j] > D[j].
+	D, DPrime demand.Vector
+	// Theta[j] is the shared load threshold: every ant reads Lack for
+	// task j iff W(j) <= Theta[j], under either demand vector.
+	Theta []int
+	// GammaAd is the adversarial threshold parameter both responses
+	// respect.
+	GammaAd float64
+}
+
+// NewPair constructs the Theorem 3.5 pair from a base demand vector and
+// the adversarial threshold γad in (0, 1/2). For each task the feedback
+// threshold sits at the top edge of D's grey zone and at the bottom edge
+// of DPrime's grey zone:
+//
+//	Theta[j]  = ⌊D[j]·(1+γad)⌋
+//	DPrime[j] = ⌈Theta[j]/(1−γad)⌉
+//
+// so a single "Lack iff W ≤ Theta" rule is a correct adversarial
+// response for both demand vectors (Verify re-checks this exactly).
+func NewPair(d demand.Vector, gammaAd float64) (*Pair, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if gammaAd <= 0 || gammaAd >= 0.5 {
+		return nil, fmt.Errorf("lowerbound: gammaAd %v outside (0, 0.5)", gammaAd)
+	}
+	p := &Pair{
+		D:       d.Clone(),
+		DPrime:  make(demand.Vector, len(d)),
+		Theta:   make([]int, len(d)),
+		GammaAd: gammaAd,
+	}
+	for j, dj := range d {
+		theta := int(math.Floor(float64(dj) * (1 + gammaAd)))
+		p.Theta[j] = theta
+		p.DPrime[j] = int(math.Ceil(float64(theta) / (1 - gammaAd)))
+		if p.DPrime[j] <= dj {
+			// Degenerate for tiny demands: force a strict gap.
+			p.DPrime[j] = dj + 1
+		}
+	}
+	if err := p.Verify(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Verify checks that the threshold rule is a legal adversarial feedback
+// (correct outside the grey zone) for BOTH demand vectors: for demand
+// vector v it must report Lack whenever Δ > γad·v(j) and Overload
+// whenever Δ < −γad·v(j).
+func (p *Pair) Verify() error {
+	check := func(name string, v demand.Vector) error {
+		for j, dj := range v {
+			bound := p.GammaAd * float64(dj)
+			// Lack is reported iff W <= Theta, i.e. iff Δ >= dj-Theta.
+			// Required: Δ > bound  => Lack  => dj − Theta <= ceil stuff.
+			// Equivalent integer conditions:
+			//  (a) every W with dj − W > bound must satisfy W <= Theta:
+			//      W < dj − bound  =>  W <= Theta, i.e. dj − bound − 1 <= Theta.
+			if float64(dj)-bound-1 > float64(p.Theta[j])+1e-9 {
+				return fmt.Errorf("lowerbound: %s task %d: lack side violated", name, j)
+			}
+			//  (b) every W with dj − W < −bound must satisfy W > Theta:
+			//      W > dj + bound  =>  W > Theta, i.e. Theta <= dj + bound.
+			if float64(p.Theta[j]) > float64(dj)+bound+1e-9 {
+				return fmt.Errorf("lowerbound: %s task %d: overload side violated", name, j)
+			}
+		}
+		return nil
+	}
+	if err := check("D", p.D); err != nil {
+		return err
+	}
+	return check("D'", p.DPrime)
+}
+
+// Model returns the shared deterministic feedback as a noise.Model. Its
+// CriticalValue reports γad.
+func (p *Pair) Model() noise.Model {
+	return &ThresholdModel{Theta: append([]int(nil), p.Theta...), GammaAd: p.GammaAd}
+}
+
+// Tau returns the per-task half-gap τ(j) = (D'(j) − D(j))/2: the
+// per-round, per-task expected-regret floor.
+func (p *Pair) Tau() []float64 {
+	out := make([]float64, len(p.D))
+	for j := range p.D {
+		out[j] = float64(p.DPrime[j]-p.D[j]) / 2
+	}
+	return out
+}
+
+// ExpectedFloor returns Σ_j τ(j): the Theorem 3.5 lower bound on expected
+// regret per round against the uniform pair choice.
+func (p *Pair) ExpectedFloor() float64 {
+	total := 0.0
+	for _, t := range p.Tau() {
+		total += t
+	}
+	return total
+}
+
+// RegretAgainstBoth returns the average of the regrets of loads against D
+// and against D': the quantity Theorem 3.5 lower-bounds by ExpectedFloor
+// pointwise in W.
+func (p *Pair) RegretAgainstBoth(loads []int) float64 {
+	if len(loads) != len(p.D) {
+		panic("lowerbound: loads length mismatch")
+	}
+	total := 0.0
+	for j, w := range loads {
+		total += (math.Abs(float64(p.D[j]-w)) + math.Abs(float64(p.DPrime[j]-w))) / 2
+	}
+	return total
+}
+
+// ThresholdModel reports Lack for task j iff the load is at most
+// Theta[j]. The load is recovered as Demand[j] − Deficit[j], so the same
+// model instance serves runs under either demand vector of a Pair.
+type ThresholdModel struct {
+	Theta   []int
+	GammaAd float64
+}
+
+// Name implements noise.Model.
+func (m *ThresholdModel) Name() string {
+	return fmt.Sprintf("yao-threshold(γad=%g)", m.GammaAd)
+}
+
+// Describe implements noise.Model.
+func (m *ThresholdModel) Describe(env noise.Env, out []noise.TaskFeedback) {
+	for j := range out {
+		load := float64(env.Demand[j]) - env.Deficit[j]
+		if load <= float64(m.Theta[j]) {
+			out[j] = noise.Det(noise.Lack)
+		} else {
+			out[j] = noise.Det(noise.Overload)
+		}
+	}
+}
+
+// CriticalValue implements noise.Model.
+func (m *ThresholdModel) CriticalValue(int, int) float64 { return m.GammaAd }
+
+// SigmoidFloor returns the Theorem 3.3 per-round regret floor
+// ε·γ*·Σd for memory-limited algorithms under sigmoid noise.
+func SigmoidFloor(epsilon, gammaStar float64, demSum int) float64 {
+	return epsilon * gammaStar * float64(demSum)
+}
+
+// AdversarialFloor returns the Theorem 3.5 per-round expected regret
+// floor (1−o(1))·γ*·Σd, with the o(1) dropped.
+func AdversarialFloor(gammaStar float64, demSum int) float64 {
+	return gammaStar * float64(demSum)
+}
+
+// MemoryBudget returns the Theorem 3.3 memory bound c·⌊log₂(1/ε)⌋ bits:
+// any collection of algorithms with at most this much memory is ε-far.
+func MemoryBudget(c, epsilon float64) int {
+	if epsilon <= 0 || epsilon >= 1 || c <= 0 {
+		return 0
+	}
+	return int(c * math.Floor(math.Log2(1/epsilon)))
+}

@@ -1,0 +1,207 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/colony"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/metrics"
+	"taskalloc/internal/noise"
+)
+
+func TestNewPairBasics(t *testing.T) {
+	d := demand.Vector{100, 200}
+	p, err := NewPair(d, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range d {
+		if p.DPrime[j] <= p.D[j] {
+			t.Fatalf("task %d: D'=%d not above D=%d", j, p.DPrime[j], p.D[j])
+		}
+		if p.Theta[j] < p.D[j] || p.Theta[j] > p.DPrime[j] {
+			t.Fatalf("task %d: threshold %d outside [D, D']", j, p.Theta[j])
+		}
+	}
+	if p.ExpectedFloor() <= 0 {
+		t.Fatal("floor must be positive")
+	}
+}
+
+func TestNewPairRejectsBadInputs(t *testing.T) {
+	if _, err := NewPair(demand.Vector{}, 0.1); err == nil {
+		t.Fatal("empty demand accepted")
+	}
+	if _, err := NewPair(demand.Vector{10}, 0); err == nil {
+		t.Fatal("gammaAd = 0 accepted")
+	}
+	if _, err := NewPair(demand.Vector{10}, 0.5); err == nil {
+		t.Fatal("gammaAd = 0.5 accepted")
+	}
+}
+
+// TestPairLegalityProperty: for random demands and thresholds the
+// constructed feedback must be a legal adversarial response for both
+// vectors — Verify, and also a brute-force check over all loads.
+func TestPairLegalityProperty(t *testing.T) {
+	f := func(dRaw uint16, gRaw uint8) bool {
+		d := int(dRaw%500) + 20
+		gammaAd := float64(gRaw%40+1) / 100 // [0.01, 0.40]
+		p, err := NewPair(demand.Vector{d}, gammaAd)
+		if err != nil {
+			return false
+		}
+		// Brute force: the rule "Lack iff W <= Theta" must be correct
+		// outside the grey zones of BOTH demand vectors.
+		for _, v := range []int{p.D[0], p.DPrime[0]} {
+			bound := gammaAd * float64(v)
+			for w := 0; w <= 3*d; w++ {
+				deficit := float64(v - w)
+				lack := w <= p.Theta[0]
+				if deficit > bound && !lack {
+					return false
+				}
+				if deficit < -bound && lack {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegretFloorPointwise: for ANY load vector, the average regret
+// against the two demands is at least the floor — the heart of the Yao
+// argument.
+func TestRegretFloorPointwise(t *testing.T) {
+	p, err := NewPair(demand.Vector{100, 200, 300}, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	floor := p.ExpectedFloor()
+	f := func(w0, w1, w2 uint16) bool {
+		loads := []int{int(w0 % 1000), int(w1 % 1000), int(w2 % 1000)}
+		return p.RegretAgainstBoth(loads) >= floor-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegretAgainstBothPanics(t *testing.T) {
+	p, _ := NewPair(demand.Vector{10}, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	p.RegretAgainstBoth([]int{1, 2})
+}
+
+func TestThresholdModelFeedback(t *testing.T) {
+	m := &ThresholdModel{Theta: []int{110}, GammaAd: 0.1}
+	out := make([]noise.TaskFeedback, 1)
+	// Load 110 (= theta): Lack.
+	m.Describe(noise.Env{Deficit: []float64{-10}, Demand: []int{100}}, out)
+	if !out[0].Deterministic || out[0].Value != noise.Lack {
+		t.Fatalf("load at theta: %+v", out[0])
+	}
+	// Load 111: Overload.
+	m.Describe(noise.Env{Deficit: []float64{-11}, Demand: []int{100}}, out)
+	if out[0].Value != noise.Overload {
+		t.Fatalf("load above theta: %+v", out[0])
+	}
+	if m.CriticalValue(1000, 10) != 0.1 {
+		t.Fatal("critical value should be gammaAd")
+	}
+	if m.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+// TestFeedbackIdenticalUnderBothDemands: the same loads must produce the
+// same signals whichever demand vector the engine believes in — the
+// indistinguishability at the core of Theorem 3.5.
+func TestFeedbackIdenticalUnderBothDemands(t *testing.T) {
+	p, err := NewPair(demand.Vector{100}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.Model()
+	outD := make([]noise.TaskFeedback, 1)
+	outP := make([]noise.TaskFeedback, 1)
+	for w := 0; w <= 300; w++ {
+		m.Describe(noise.Env{
+			Deficit: []float64{float64(p.D[0] - w)}, Demand: []int{p.D[0]},
+		}, outD)
+		m.Describe(noise.Env{
+			Deficit: []float64{float64(p.DPrime[0] - w)}, Demand: []int{p.DPrime[0]},
+		}, outP)
+		if outD[0] != outP[0] {
+			t.Fatalf("load %d distinguishable: %+v vs %+v", w, outD[0], outP[0])
+		}
+	}
+}
+
+// TestYaoFloorBindsSimulatedAlgorithm runs Algorithm Ant against the pair
+// under both demand vectors and checks the averaged measured regret is at
+// least the floor — an end-to-end validation of Theorem 3.5.
+func TestYaoFloorBindsSimulatedAlgorithm(t *testing.T) {
+	base := demand.Vector{200, 200}
+	p, err := NewPair(base, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 2000
+	model := p.Model()
+	run := func(dem demand.Vector, seed uint64) float64 {
+		e, err := colony.New(colony.Config{
+			N:        n,
+			Schedule: demand.Static{V: dem},
+			Model:    model,
+			Factory:  agent.AntFactory(2, agent.DefaultParams(0.05)),
+			Seed:     seed,
+			Shards:   1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := metrics.NewRecorder(2, 0.05, agent.DefaultCs, 500)
+		e.Run(3000, rec.Observer())
+		return rec.AvgRegret()
+	}
+	avg := (run(p.D, 1) + run(p.DPrime, 2)) / 2
+	floor := p.ExpectedFloor()
+	if avg < floor*0.9 {
+		t.Fatalf("measured Yao regret %v below floor %v", avg, floor)
+	}
+}
+
+func TestClosedFormFloors(t *testing.T) {
+	if got := SigmoidFloor(0.1, 0.05, 1000); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("SigmoidFloor = %v, want 5", got)
+	}
+	if got := AdversarialFloor(0.05, 1000); math.Abs(got-50) > 1e-12 {
+		t.Fatalf("AdversarialFloor = %v, want 50", got)
+	}
+}
+
+func TestMemoryBudget(t *testing.T) {
+	if got := MemoryBudget(1, 0.25); got != 2 {
+		t.Fatalf("MemoryBudget(1, 1/4) = %d, want 2", got)
+	}
+	if got := MemoryBudget(0.5, 1.0/1024); got != 5 {
+		t.Fatalf("MemoryBudget(.5, 2^-10) = %d, want 5", got)
+	}
+	for _, got := range []int{MemoryBudget(0, 0.5), MemoryBudget(1, 0), MemoryBudget(1, 1)} {
+		if got != 0 {
+			t.Fatalf("invalid input gave %d, want 0", got)
+		}
+	}
+}

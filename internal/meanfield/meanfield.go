@@ -1,0 +1,280 @@
+// Package meanfield is an aggregate simulator for Algorithm Ant under
+// per-ant independent feedback. Ants in the same role (worker on task j,
+// or idle) are exchangeable, so instead of flipping coins per ant the
+// engine advances whole cohorts with binomial and multinomial draws:
+//
+//   - temporary pauses:  Binomial(W(j), cs·γ)
+//   - permanent leaves:  Binomial(W(j), q1(j)·q2(j)·γ/cd)
+//   - idle joins: each idle ant "succeeds" on task j with probability
+//     u(j) = p1(j)·p2(j) and joins a uniform success. The joint success
+//     vectors are product-Bernoulli, so for k ≤ MaxEnumTasks the engine
+//     draws one multinomial over the 2^k subsets and splits each subset's
+//     cohort uniformly; above that it falls back to per-ant draws for
+//     idle ants only.
+//
+// Per round the cost is O(2^k) instead of O(n·k), which makes colony-size
+// sweeps of Algorithm Ant essentially free. The distribution of the load
+// process is exactly that of the agent engine (it is not bit-identical —
+// different random draws — but statistically equivalent; package tests
+// cross-validate the two engines).
+package meanfield
+
+import (
+	"errors"
+	"fmt"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/dist"
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// Config assembles a mean-field simulation of Algorithm Ant.
+type Config struct {
+	// N is the number of ants.
+	N int
+	// Schedule supplies the demand vector.
+	Schedule demand.Schedule
+	// Model is the feedback model. Any Model works; deterministic
+	// descriptors are treated as Bernoulli with probability 0 or 1.
+	Model noise.Model
+	// Params are Algorithm Ant's parameters (Epsilon/CChi unused).
+	Params agent.Params
+	// InitLoads sets the initial per-task loads (nil = all idle). The
+	// remaining ants start idle.
+	InitLoads []int
+	// Seed drives all randomness.
+	Seed uint64
+	// MaxEnumTasks bounds the 2^k subset enumeration for idle joins;
+	// 0 means 10. Larger k uses the per-ant fallback.
+	MaxEnumTasks int
+}
+
+// Engine is the aggregate simulator. Not safe for concurrent use.
+type Engine struct {
+	cfg    Config
+	k      int
+	r      *rng.Rng
+	loads  []int // loads after the last completed round
+	phaseW []int // loads at the start of the current phase
+	idle   int   // idle count at the start of the current phase
+	p1     []float64
+	p2     []float64
+	fbDesc []noise.TaskFeedback
+	defs   []float64
+	round  uint64
+
+	// scratch for subset enumeration
+	subsetW []float64
+	subsetC []int
+	taskW   []float64
+	taskC   []int
+}
+
+// Observer matches colony.Observer.
+type Observer func(t uint64, loads []int, dem demand.Vector)
+
+// New builds a mean-field engine.
+func New(cfg Config) (*Engine, error) {
+	if cfg.N <= 0 {
+		return nil, errors.New("meanfield: need N >= 1")
+	}
+	if cfg.Schedule == nil || cfg.Schedule.Tasks() <= 0 {
+		return nil, errors.New("meanfield: need a schedule with >= 1 task")
+	}
+	if cfg.Model == nil {
+		return nil, errors.New("meanfield: need a noise model")
+	}
+	if err := cfg.Params.Validate(false); err != nil {
+		return nil, fmt.Errorf("meanfield: %w", err)
+	}
+	if cfg.MaxEnumTasks == 0 {
+		cfg.MaxEnumTasks = 10
+	}
+	k := cfg.Schedule.Tasks()
+	e := &Engine{
+		cfg:    cfg,
+		k:      k,
+		r:      rng.New(cfg.Seed),
+		loads:  make([]int, k),
+		phaseW: make([]int, k),
+		p1:     make([]float64, k),
+		p2:     make([]float64, k),
+		fbDesc: make([]noise.TaskFeedback, k),
+		defs:   make([]float64, k),
+		taskW:  make([]float64, k),
+		taskC:  make([]int, k),
+	}
+	if k <= cfg.MaxEnumTasks {
+		e.subsetW = make([]float64, 1<<k)
+		e.subsetC = make([]int, 1<<k)
+	}
+	working := 0
+	if cfg.InitLoads != nil {
+		if len(cfg.InitLoads) != k {
+			return nil, fmt.Errorf("meanfield: InitLoads has %d tasks, want %d",
+				len(cfg.InitLoads), k)
+		}
+		for j, w := range cfg.InitLoads {
+			if w < 0 {
+				return nil, fmt.Errorf("meanfield: negative initial load %d", w)
+			}
+			e.loads[j] = w
+			working += w
+		}
+		if working > cfg.N {
+			return nil, fmt.Errorf("meanfield: initial loads %d exceed N=%d", working, cfg.N)
+		}
+	}
+	e.idle = cfg.N - working
+	return e, nil
+}
+
+// Loads returns the current per-task loads (engine-owned).
+func (e *Engine) Loads() []int { return e.loads }
+
+// Idle returns the current idle count.
+func (e *Engine) Idle() int {
+	working := 0
+	for _, w := range e.loads {
+		working += w
+	}
+	return e.cfg.N - working
+}
+
+// Round returns the last completed round.
+func (e *Engine) Round() uint64 { return e.round }
+
+// lackProbs fills dst with the per-ant Lack probability of every task for
+// round t given the current loads.
+func (e *Engine) lackProbs(t uint64, dem demand.Vector, dst []float64) {
+	for j := 0; j < e.k; j++ {
+		e.defs[j] = float64(dem[j] - e.loads[j])
+	}
+	e.cfg.Model.Describe(noise.Env{Round: t, Deficit: e.defs, Demand: dem}, e.fbDesc)
+	for j, d := range e.fbDesc {
+		if d.Deterministic {
+			if d.Value == noise.Lack {
+				dst[j] = 1
+			} else {
+				dst[j] = 0
+			}
+		} else {
+			dst[j] = d.LackProb
+		}
+	}
+}
+
+// Step advances one round (half of an Algorithm Ant phase).
+func (e *Engine) Step() {
+	t := e.round + 1
+	dem := e.cfg.Schedule.At(t)
+	if t%2 == 1 {
+		// Phase open: record the phase-start cohort sizes and sample
+		// probabilities, then thin the workforce.
+		copy(e.phaseW, e.loads)
+		e.idle = e.Idle()
+		e.lackProbs(t, dem, e.p1)
+		for j := 0; j < e.k; j++ {
+			paused := dist.Binomial(e.r, e.phaseW[j], e.cfg.Params.Cs*e.cfg.Params.Gamma)
+			e.loads[j] = e.phaseW[j] - paused
+		}
+		e.round = t
+		return
+	}
+
+	// Phase close.
+	e.lackProbs(t, dem, e.p2)
+	p := e.cfg.Params
+
+	// Permanent leaves from each phase-start cohort.
+	for j := 0; j < e.k; j++ {
+		q := (1 - e.p1[j]) * (1 - e.p2[j]) * p.Gamma / p.Cd
+		left := dist.Binomial(e.r, e.phaseW[j], q)
+		e.loads[j] = e.phaseW[j] - left
+	}
+
+	// Idle joins.
+	if e.idle > 0 {
+		if e.subsetW != nil {
+			e.joinsEnumerated()
+		} else {
+			e.joinsPerAnt()
+		}
+	}
+	e.idle = 0 // recomputed at the next phase open
+	e.round = t
+}
+
+// joinsEnumerated distributes the idle cohort over the 2^k success
+// subsets with one multinomial, then splits each subset uniformly.
+func (e *Engine) joinsEnumerated() {
+	k := e.k
+	// Subset probability via the standard product expansion.
+	e.subsetW[0] = 1
+	size := 1
+	for j := 0; j < k; j++ {
+		u := e.p1[j] * e.p2[j]
+		for s := 0; s < size; s++ {
+			w := e.subsetW[s]
+			e.subsetW[s] = w * (1 - u)
+			e.subsetW[s|1<<j] = w * u
+		}
+		size <<= 1
+	}
+	dist.Multinomial(e.r, e.idle, e.subsetW, e.subsetC)
+	for s := 1; s < 1<<k; s++ {
+		c := e.subsetC[s]
+		if c == 0 {
+			continue
+		}
+		// Uniform split of c ants over the tasks in subset s.
+		members := 0
+		for j := 0; j < k; j++ {
+			if s&(1<<j) != 0 {
+				e.taskW[members] = 1
+				e.taskC[members] = 0
+				members++
+			}
+		}
+		dist.Multinomial(e.r, c, e.taskW[:members], e.taskC[:members])
+		idx := 0
+		for j := 0; j < k; j++ {
+			if s&(1<<j) != 0 {
+				e.loads[j] += e.taskC[idx]
+				idx++
+			}
+		}
+	}
+}
+
+// joinsPerAnt is the fallback for large k: idle ants are sampled
+// individually (workers are still aggregated).
+func (e *Engine) joinsPerAnt() {
+	for i := 0; i < e.idle; i++ {
+		count := 0
+		choice := -1
+		for j := 0; j < e.k; j++ {
+			if e.r.Bernoulli(e.p1[j] * e.p2[j]) {
+				count++
+				if e.r.Intn(count) == 0 {
+					choice = j
+				}
+			}
+		}
+		if choice >= 0 {
+			e.loads[choice]++
+		}
+	}
+}
+
+// Run advances the engine by rounds rounds, invoking obs after each.
+func (e *Engine) Run(rounds int, obs Observer) {
+	for i := 0; i < rounds; i++ {
+		e.Step()
+		if obs != nil {
+			obs(e.round, e.loads, e.cfg.Schedule.At(e.round))
+		}
+	}
+}

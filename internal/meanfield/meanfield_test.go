@@ -1,0 +1,206 @@
+package meanfield
+
+import (
+	"math"
+	"testing"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/colony"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/metrics"
+	"taskalloc/internal/noise"
+)
+
+func baseConfig(n int, dem demand.Vector) Config {
+	return Config{
+		N:        n,
+		Schedule: demand.Static{V: dem},
+		Model:    noise.SigmoidModel{Lambda: 3.5},
+		Params:   agent.DefaultParams(0.05),
+		Seed:     1,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	dem := demand.Vector{50}
+	cases := []func(Config) Config{
+		func(c Config) Config { c.N = 0; return c },
+		func(c Config) Config { c.Schedule = nil; return c },
+		func(c Config) Config { c.Model = nil; return c },
+		func(c Config) Config { c.Params.Gamma = 0; return c },
+		func(c Config) Config { c.InitLoads = []int{1, 2}; return c },
+		func(c Config) Config { c.InitLoads = []int{-1}; return c },
+		func(c Config) Config { c.InitLoads = []int{1000}; return c },
+	}
+	for i, mutate := range cases {
+		if _, err := New(mutate(baseConfig(100, dem))); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(baseConfig(100, dem)); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestLoadConservation(t *testing.T) {
+	dem := demand.Vector{100, 150}
+	cfg := baseConfig(1000, dem)
+	cfg.InitLoads = []int{500, 200}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2000; i++ {
+		e.Step()
+		working := 0
+		for _, w := range e.Loads() {
+			if w < 0 {
+				t.Fatalf("negative load at round %d", e.Round())
+			}
+			working += w
+		}
+		if working > 1000 {
+			t.Fatalf("round %d: %d workers > 1000 ants", e.Round(), working)
+		}
+		if e.Idle() != 1000-working {
+			t.Fatal("Idle inconsistent")
+		}
+	}
+}
+
+func TestConvergesFromEmpty(t *testing.T) {
+	n := 2000
+	dem := demand.Vector{300, 500}
+	cfg := baseConfig(n, dem)
+	cfg.Params = agent.DefaultParams(agent.MaxGamma)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder(2, agent.MaxGamma, agent.DefaultCs, 1000)
+	e.Run(5000, Observer(rec.Observer()))
+	if rec.AvgRegret() > float64(dem.Sum())/4 {
+		t.Fatalf("avg regret %v; mean-field engine failed to converge", rec.AvgRegret())
+	}
+}
+
+// TestCrossValidationAgainstAgentEngine: the two engines simulate the
+// same stochastic process; their long-run average regret must agree.
+func TestCrossValidationAgainstAgentEngine(t *testing.T) {
+	n := 2000
+	dem := demand.Vector{300, 500}
+	model := noise.SigmoidModel{Lambda: 3.5}
+	params := agent.DefaultParams(agent.MaxGamma)
+	const rounds, burn = 6000, 2000
+
+	mfAvg := func(seed uint64) float64 {
+		cfg := baseConfig(n, dem)
+		cfg.Model = model
+		cfg.Params = params
+		cfg.Seed = seed
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := metrics.NewRecorder(2, params.Gamma, params.Cs, burn)
+		e.Run(rounds, Observer(rec.Observer()))
+		return rec.AvgRegret()
+	}
+	agAvg := func(seed uint64) float64 {
+		e, err := colony.New(colony.Config{
+			N:        n,
+			Schedule: demand.Static{V: dem},
+			Model:    model,
+			Factory:  agent.AntFactory(2, params),
+			Seed:     seed,
+			Shards:   1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := metrics.NewRecorder(2, params.Gamma, params.Cs, burn)
+		e.Run(rounds, rec.Observer())
+		return rec.AvgRegret()
+	}
+
+	mf := (mfAvg(1) + mfAvg(2) + mfAvg(3)) / 3
+	ag := (agAvg(4) + agAvg(5) + agAvg(6)) / 3
+	if math.Abs(mf-ag) > 0.35*math.Max(mf, ag) {
+		t.Fatalf("engines disagree: mean-field %v vs agent %v", mf, ag)
+	}
+}
+
+// TestEnumerationMatchesPerAntFallback: forcing the per-ant join path
+// must not change the dynamics statistically.
+func TestEnumerationMatchesPerAntFallback(t *testing.T) {
+	n := 2000
+	dem := demand.Vector{300, 500}
+	run := func(maxEnum int, seed uint64) float64 {
+		cfg := baseConfig(n, dem)
+		cfg.Params = agent.DefaultParams(agent.MaxGamma)
+		cfg.MaxEnumTasks = maxEnum
+		cfg.Seed = seed
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := metrics.NewRecorder(2, agent.MaxGamma, agent.DefaultCs, 2000)
+		e.Run(6000, Observer(rec.Observer()))
+		return rec.AvgRegret()
+	}
+	enum := (run(10, 1) + run(10, 2)) / 2
+	perAnt := (run(1, 3) + run(1, 4)) / 2 // k=2 > 1 forces the fallback
+	if math.Abs(enum-perAnt) > 0.35*math.Max(enum, perAnt) {
+		t.Fatalf("join paths disagree: enum %v vs per-ant %v", enum, perAnt)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	dem := demand.Vector{100, 100}
+	run := func() []int {
+		cfg := baseConfig(500, dem)
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var series []int
+		e.Run(200, func(_ uint64, loads []int, d demand.Vector) {
+			series = append(series, metrics.Regret(loads, d))
+		})
+		return series
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at round %d", i)
+		}
+	}
+}
+
+func TestPerfectModelDeterministicDescriptors(t *testing.T) {
+	dem := demand.Vector{100}
+	cfg := baseConfig(400, dem)
+	cfg.Model = noise.PerfectModel{}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := metrics.NewRecorder(1, 0.05, agent.DefaultCs, 1500)
+	e.Run(4000, Observer(rec.Observer()))
+	if rec.AvgRegret() > float64(dem[0])/4 {
+		t.Fatalf("perfect-feedback mean-field regret %v", rec.AvgRegret())
+	}
+}
+
+func TestInitLoadsRespected(t *testing.T) {
+	dem := demand.Vector{50, 50}
+	cfg := baseConfig(300, dem)
+	cfg.InitLoads = []int{120, 30}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Loads()[0] != 120 || e.Loads()[1] != 30 || e.Idle() != 150 {
+		t.Fatalf("initial state loads=%v idle=%d", e.Loads(), e.Idle())
+	}
+}

@@ -1,0 +1,293 @@
+// Package metrics measures task-allocation quality in the paper's terms:
+// the per-round regret r(t) = Σ_j |d(j) − W(j)|, its cumulative total
+// R(t), the three-way decomposition R⁺/R≈/R⁻ used in the Theorem 3.1
+// analysis, the potentials Φ and Ψ of Claim 4.5, deficit-bound violation
+// counts, and oscillation statistics (zero crossings, amplitudes).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"taskalloc/internal/demand"
+)
+
+// Regret returns the instantaneous regret of loads against dem.
+func Regret(loads []int, dem demand.Vector) int {
+	total := 0
+	for j, d := range dem {
+		total += abs(d - loads[j])
+	}
+	return total
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// fpSlack absorbs float rounding in threshold comparisons like
+// (1+γ)·d, which is not exactly representable (e.g. 1.1*100 > 110).
+const fpSlack = 1e-9
+
+// Phi is the Claim 4.5 potential Σ_j ((1+γ)d(j) − W(j))⁺: the total
+// worker shortfall against the saturation level (1+γ)d.
+func Phi(loads []int, dem demand.Vector, gamma float64) float64 {
+	total := 0.0
+	for j, d := range dem {
+		if v := (1+gamma)*float64(d) - float64(loads[j]); v > fpSlack {
+			total += v
+		}
+	}
+	return total
+}
+
+// Psi is the Claim 4.5 potential counting unsaturated tasks:
+// Σ_j 1[W(j) < (1+γ)d(j)].
+func Psi(loads []int, dem demand.Vector, gamma float64) int {
+	count := 0
+	for j, d := range dem {
+		if float64(loads[j]) < (1+gamma)*float64(d)-fpSlack {
+			count++
+		}
+	}
+	return count
+}
+
+// Saturated reports whether every task j has W(j) >= (1−γ)d(j)
+// (the Claim 4.4 condition under which r⁻ stays zero).
+func Saturated(loads []int, dem demand.Vector, gamma float64) bool {
+	for j, d := range dem {
+		if float64(loads[j]) < (1-gamma)*float64(d)-fpSlack {
+			return false
+		}
+	}
+	return true
+}
+
+// Recorder accumulates regret statistics as a colony.Observer. The zero
+// value is not usable; construct with NewRecorder. Not safe for
+// concurrent use.
+type Recorder struct {
+	k int
+	// Decomposition thresholds (Section 4): r⁺ counts load above
+	// (1+c⁺γ)d, r⁻ counts load below (1−c⁻γ)d, r≈ is the rest, with
+	// c⁺ = 1.2cs and c⁻ = 1+1.2cs.
+	gamma, cPlus, cMinus float64
+	// deficitBound is the Theorem 3.1 per-task excursion bound
+	// 5γd(j)+3; rounds violating it are counted per task.
+	burnIn uint64
+
+	rounds     uint64
+	postRounds uint64
+
+	totalRegret int64
+	postRegret  int64
+	rPlus       int64
+	rApprox     int64
+	rMinus      int64
+
+	maxAbsDeficit   []int
+	zeroCrossings   []int64
+	prevSign        []int8
+	boundViolations []int64
+
+	peakRegret    int
+	lastRegret    int
+	sumSqPost     float64
+	lastLoadsCopy []int
+}
+
+// NewRecorder builds a Recorder for k tasks. gamma and cs feed the
+// decomposition thresholds and the Theorem 3.1 deficit bound; burnIn
+// rounds are excluded from the post-burn-in averages (but still counted
+// in the cumulative totals).
+func NewRecorder(k int, gamma, cs float64, burnIn uint64) *Recorder {
+	if k <= 0 {
+		panic("metrics: NewRecorder needs k >= 1")
+	}
+	if gamma < 0 || cs < 0 {
+		panic("metrics: negative gamma or cs")
+	}
+	return &Recorder{
+		k:               k,
+		gamma:           gamma,
+		cPlus:           1.2 * cs,
+		cMinus:          1 + 1.2*cs,
+		burnIn:          burnIn,
+		maxAbsDeficit:   make([]int, k),
+		zeroCrossings:   make([]int64, k),
+		prevSign:        make([]int8, k),
+		boundViolations: make([]int64, k),
+		lastLoadsCopy:   make([]int, k),
+	}
+}
+
+// Observe implements colony.Observer.
+func (r *Recorder) Observe(t uint64, loads []int, dem demand.Vector) {
+	if len(loads) != r.k || len(dem) != r.k {
+		panic(fmt.Sprintf("metrics: Observe with %d loads, %d demands, want %d",
+			len(loads), len(dem), r.k))
+	}
+	r.rounds++
+	post := t > r.burnIn
+
+	regret := 0
+	for j, d := range dem {
+		deficit := d - loads[j]
+		ad := abs(deficit)
+		regret += ad
+
+		if ad > r.maxAbsDeficit[j] {
+			r.maxAbsDeficit[j] = ad
+		}
+		if float64(ad) > 5*r.gamma*float64(d)+3 {
+			r.boundViolations[j]++
+		}
+
+		// Zero crossings: strict sign flips of the deficit.
+		sign := int8(0)
+		if deficit > 0 {
+			sign = 1
+		} else if deficit < 0 {
+			sign = -1
+		}
+		if sign != 0 && r.prevSign[j] != 0 && sign != r.prevSign[j] {
+			r.zeroCrossings[j]++
+		}
+		if sign != 0 {
+			r.prevSign[j] = sign
+		}
+
+		// Decomposition.
+		fd := float64(d)
+		w := float64(loads[j])
+		switch {
+		case w > (1+r.cPlus*r.gamma)*fd:
+			r.rPlus += int64(ad)
+		case w < (1-r.cMinus*r.gamma)*fd:
+			r.rMinus += int64(ad)
+		default:
+			r.rApprox += int64(ad)
+		}
+	}
+
+	r.totalRegret += int64(regret)
+	r.lastRegret = regret
+	if regret > r.peakRegret {
+		r.peakRegret = regret
+	}
+	if post {
+		r.postRounds++
+		r.postRegret += int64(regret)
+		r.sumSqPost += float64(regret) * float64(regret)
+	}
+	copy(r.lastLoadsCopy, loads)
+}
+
+// Rounds returns the number of observed rounds.
+func (r *Recorder) Rounds() uint64 { return r.rounds }
+
+// TotalRegret returns R(t) over all observed rounds.
+func (r *Recorder) TotalRegret() int64 { return r.totalRegret }
+
+// LastRegret returns r(t) of the most recent round.
+func (r *Recorder) LastRegret() int { return r.lastRegret }
+
+// PeakRegret returns max_t r(t).
+func (r *Recorder) PeakRegret() int { return r.peakRegret }
+
+// AvgRegret returns the average per-round regret after burn-in, or NaN if
+// no post-burn-in rounds were observed.
+func (r *Recorder) AvgRegret() float64 {
+	if r.postRounds == 0 {
+		return math.NaN()
+	}
+	return float64(r.postRegret) / float64(r.postRounds)
+}
+
+// StdRegret returns the post-burn-in standard deviation of r(t).
+func (r *Recorder) StdRegret() float64 {
+	if r.postRounds == 0 {
+		return math.NaN()
+	}
+	mean := r.AvgRegret()
+	v := r.sumSqPost/float64(r.postRounds) - mean*mean
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Closeness returns AvgRegret / (γ*·Σd): the paper's c in "c-close". It
+// returns NaN for γ* <= 0 or an empty window.
+func (r *Recorder) Closeness(gammaStar float64, demSum int) float64 {
+	if gammaStar <= 0 || demSum <= 0 {
+		return math.NaN()
+	}
+	return r.AvgRegret() / (gammaStar * float64(demSum))
+}
+
+// Decomposition returns the cumulative (R⁺, R≈, R⁻).
+func (r *Recorder) Decomposition() (plus, approx, minus int64) {
+	return r.rPlus, r.rApprox, r.rMinus
+}
+
+// MaxAbsDeficit returns the per-task maximum |Δ(j)| observed.
+func (r *Recorder) MaxAbsDeficit() []int { return r.maxAbsDeficit }
+
+// ZeroCrossings returns the per-task count of deficit sign flips — the
+// oscillation measure of Theorem 3.3.
+func (r *Recorder) ZeroCrossings() []int64 { return r.zeroCrossings }
+
+// BoundViolations returns, per task, the number of rounds with
+// |Δ(j)| > 5γd(j)+3 — Theorem 3.1 predicts O(k·log n/γ) such rounds in
+// any n⁴-length window.
+func (r *Recorder) BoundViolations() []int64 { return r.boundViolations }
+
+// LastLoads returns a copy of the most recently observed loads.
+func (r *Recorder) LastLoads() []int {
+	out := make([]int, r.k)
+	copy(out, r.lastLoadsCopy)
+	return out
+}
+
+// Observer adapts the Recorder to the colony.Observer func type without
+// forcing packages to import colony.
+func (r *Recorder) Observer() func(t uint64, loads []int, dem demand.Vector) {
+	return r.Observe
+}
+
+// Multi fans one observation out to several observers.
+func Multi(obs ...func(t uint64, loads []int, dem demand.Vector)) func(t uint64, loads []int, dem demand.Vector) {
+	return func(t uint64, loads []int, dem demand.Vector) {
+		for _, o := range obs {
+			if o != nil {
+				o(t, loads, dem)
+			}
+		}
+	}
+}
+
+// ConvergenceTime scans a regret series (one entry per round) and returns
+// the first index after which the regret stays at or below threshold for
+// at least hold consecutive rounds, or -1 if it never does.
+func ConvergenceTime(series []int, threshold, hold int) int {
+	if hold <= 0 {
+		hold = 1
+	}
+	run := 0
+	for i, v := range series {
+		if v <= threshold {
+			run++
+			if run >= hold {
+				return i - hold + 1
+			}
+		} else {
+			run = 0
+		}
+	}
+	return -1
+}

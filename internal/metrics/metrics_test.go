@@ -1,0 +1,274 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"taskalloc/internal/demand"
+)
+
+func TestRegret(t *testing.T) {
+	dem := demand.Vector{10, 20, 30}
+	cases := []struct {
+		loads []int
+		want  int
+	}{
+		{[]int{10, 20, 30}, 0},
+		{[]int{0, 0, 0}, 60},
+		{[]int{15, 20, 25}, 10},
+		{[]int{20, 40, 60}, 60},
+	}
+	for _, c := range cases {
+		if got := Regret(c.loads, dem); got != c.want {
+			t.Fatalf("Regret(%v) = %d, want %d", c.loads, got, c.want)
+		}
+	}
+}
+
+// TestRegretNonNegativeProperty: regret is always >= 0 and zero only at
+// the exact demand.
+func TestRegretNonNegativeProperty(t *testing.T) {
+	f := func(l0, l1 uint8, d0, d1 uint8) bool {
+		dem := demand.Vector{int(d0) + 1, int(d1) + 1}
+		loads := []int{int(l0), int(l1)}
+		r := Regret(loads, dem)
+		if r < 0 {
+			return false
+		}
+		if r == 0 {
+			return loads[0] == dem[0] && loads[1] == dem[1]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPhi(t *testing.T) {
+	dem := demand.Vector{100}
+	gamma := 0.1
+	// Saturation level is 110.
+	if got := Phi([]int{110}, dem, gamma); got != 0 {
+		t.Fatalf("Phi at saturation = %v, want 0", got)
+	}
+	if got := Phi([]int{60}, dem, gamma); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("Phi = %v, want 50", got)
+	}
+	if got := Phi([]int{200}, dem, gamma); got != 0 {
+		t.Fatalf("Phi above saturation = %v, want 0", got)
+	}
+}
+
+func TestPsi(t *testing.T) {
+	dem := demand.Vector{100, 100}
+	gamma := 0.1
+	if got := Psi([]int{110, 109}, dem, gamma); got != 1 {
+		t.Fatalf("Psi = %d, want 1", got)
+	}
+	if got := Psi([]int{200, 300}, dem, gamma); got != 0 {
+		t.Fatalf("Psi = %d, want 0", got)
+	}
+}
+
+func TestSaturated(t *testing.T) {
+	dem := demand.Vector{100, 50}
+	if !Saturated([]int{90, 45}, dem, 0.1) {
+		t.Fatal("loads at (1-γ)d should be saturated")
+	}
+	if Saturated([]int{89, 45}, dem, 0.1) {
+		t.Fatal("load below (1-γ)d should not be saturated")
+	}
+}
+
+func TestRecorderTotals(t *testing.T) {
+	dem := demand.Vector{10}
+	r := NewRecorder(1, 0.05, 2.4, 0)
+	r.Observe(1, []int{5}, dem)  // regret 5
+	r.Observe(2, []int{12}, dem) // regret 2
+	r.Observe(3, []int{10}, dem) // regret 0
+	if r.Rounds() != 3 {
+		t.Fatalf("Rounds = %d", r.Rounds())
+	}
+	if r.TotalRegret() != 7 {
+		t.Fatalf("TotalRegret = %d, want 7", r.TotalRegret())
+	}
+	if r.LastRegret() != 0 {
+		t.Fatalf("LastRegret = %d, want 0", r.LastRegret())
+	}
+	if r.PeakRegret() != 5 {
+		t.Fatalf("PeakRegret = %d, want 5", r.PeakRegret())
+	}
+	if got := r.AvgRegret(); math.Abs(got-7.0/3) > 1e-12 {
+		t.Fatalf("AvgRegret = %v, want 7/3", got)
+	}
+}
+
+func TestRecorderBurnIn(t *testing.T) {
+	dem := demand.Vector{10}
+	r := NewRecorder(1, 0.05, 2.4, 2)
+	r.Observe(1, []int{0}, dem)  // burn-in, regret 10
+	r.Observe(2, []int{0}, dem)  // burn-in, regret 10
+	r.Observe(3, []int{9}, dem)  // post, regret 1
+	r.Observe(4, []int{11}, dem) // post, regret 1
+	if r.TotalRegret() != 22 {
+		t.Fatalf("TotalRegret = %d, want 22", r.TotalRegret())
+	}
+	if got := r.AvgRegret(); got != 1 {
+		t.Fatalf("AvgRegret = %v, want 1 (burn-in excluded)", got)
+	}
+	if got := r.StdRegret(); got != 0 {
+		t.Fatalf("StdRegret = %v, want 0", got)
+	}
+}
+
+func TestRecorderAvgRegretEmptyWindow(t *testing.T) {
+	r := NewRecorder(1, 0.05, 2.4, 100)
+	r.Observe(1, []int{5}, demand.Vector{10})
+	if !math.IsNaN(r.AvgRegret()) {
+		t.Fatal("AvgRegret with empty post window should be NaN")
+	}
+	if !math.IsNaN(r.StdRegret()) {
+		t.Fatal("StdRegret with empty post window should be NaN")
+	}
+}
+
+func TestRecorderCloseness(t *testing.T) {
+	dem := demand.Vector{100}
+	r := NewRecorder(1, 0.05, 2.4, 0)
+	r.Observe(1, []int{90}, dem) // regret 10
+	// closeness = 10 / (γ*·Σd) with γ* = 0.05, Σd = 100 -> 2.
+	if got := r.Closeness(0.05, 100); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Closeness = %v, want 2", got)
+	}
+	if !math.IsNaN(r.Closeness(0, 100)) || !math.IsNaN(r.Closeness(0.1, 0)) {
+		t.Fatal("invalid closeness inputs should give NaN")
+	}
+}
+
+func TestRecorderDecomposition(t *testing.T) {
+	// gamma = 0.1, cs = 2.4: c+ = 2.88, c- = 3.88.
+	// Thresholds for d=100: above 128.8 -> R+, below 61.2 -> R-.
+	dem := demand.Vector{100}
+	r := NewRecorder(1, 0.1, 2.4, 0)
+	r.Observe(1, []int{150}, dem) // R+ += 50
+	r.Observe(2, []int{100}, dem) // R~ += 0
+	r.Observe(3, []int{110}, dem) // R~ += 10
+	r.Observe(4, []int{50}, dem)  // R- += 50
+	plus, approx, minus := r.Decomposition()
+	if plus != 50 || approx != 10 || minus != 50 {
+		t.Fatalf("decomposition (%d, %d, %d), want (50, 10, 50)", plus, approx, minus)
+	}
+	if plus+approx+minus != r.TotalRegret() {
+		t.Fatal("decomposition must sum to total regret")
+	}
+}
+
+// TestDecompositionSumsToTotal is the invariant R = R⁺ + R≈ + R⁻ under
+// random trajectories.
+func TestDecompositionSumsToTotal(t *testing.T) {
+	f := func(loadsRaw [8]uint8) bool {
+		dem := demand.Vector{50, 70}
+		r := NewRecorder(2, 0.05, 2.4, 0)
+		for i := 0; i < 4; i++ {
+			loads := []int{int(loadsRaw[2*i]), int(loadsRaw[2*i+1])}
+			r.Observe(uint64(i+1), loads, dem)
+		}
+		plus, approx, minus := r.Decomposition()
+		return plus+approx+minus == r.TotalRegret()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecorderZeroCrossings(t *testing.T) {
+	dem := demand.Vector{10}
+	r := NewRecorder(1, 0.05, 2.4, 0)
+	// Deficits: +5, -2, -1, +3, 0, -4 -> crossings at rounds 2, 4, 6.
+	for i, load := range []int{5, 12, 11, 7, 10, 14} {
+		r.Observe(uint64(i+1), []int{load}, dem)
+	}
+	if got := r.ZeroCrossings()[0]; got != 3 {
+		t.Fatalf("ZeroCrossings = %d, want 3", got)
+	}
+}
+
+func TestRecorderMaxAbsDeficitAndViolations(t *testing.T) {
+	dem := demand.Vector{100}
+	gamma := 0.05 // bound = 5*0.05*100 + 3 = 28
+	r := NewRecorder(1, gamma, 2.4, 0)
+	r.Observe(1, []int{100 - 28}, dem) // |Δ|=28, not a violation
+	r.Observe(2, []int{100 - 29}, dem) // violation
+	r.Observe(3, []int{100 + 40}, dem) // violation, max 40
+	if got := r.MaxAbsDeficit()[0]; got != 40 {
+		t.Fatalf("MaxAbsDeficit = %d, want 40", got)
+	}
+	if got := r.BoundViolations()[0]; got != 2 {
+		t.Fatalf("BoundViolations = %d, want 2", got)
+	}
+}
+
+func TestRecorderLastLoadsIsCopy(t *testing.T) {
+	dem := demand.Vector{10, 20}
+	r := NewRecorder(2, 0.05, 2.4, 0)
+	loads := []int{3, 4}
+	r.Observe(1, loads, dem)
+	got := r.LastLoads()
+	loads[0] = 99
+	if got[0] != 3 {
+		t.Fatal("LastLoads must be a snapshot")
+	}
+	got[1] = 77
+	if r.LastLoads()[1] != 4 {
+		t.Fatal("returned slice must not alias recorder state")
+	}
+}
+
+func TestRecorderPanics(t *testing.T) {
+	mustPanic(t, "k=0", func() { NewRecorder(0, 0.1, 2.4, 0) })
+	mustPanic(t, "neg gamma", func() { NewRecorder(1, -0.1, 2.4, 0) })
+	r := NewRecorder(2, 0.05, 2.4, 0)
+	mustPanic(t, "mismatched", func() { r.Observe(1, []int{1}, demand.Vector{1, 2}) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestMulti(t *testing.T) {
+	dem := demand.Vector{5}
+	a := NewRecorder(1, 0.05, 2.4, 0)
+	b := NewRecorder(1, 0.05, 2.4, 0)
+	obs := Multi(a.Observer(), nil, b.Observer())
+	obs(1, []int{3}, dem)
+	if a.TotalRegret() != 2 || b.TotalRegret() != 2 {
+		t.Fatal("Multi did not fan out")
+	}
+}
+
+func TestConvergenceTime(t *testing.T) {
+	series := []int{9, 8, 7, 2, 1, 5, 1, 1, 1, 1}
+	if got := ConvergenceTime(series, 2, 3); got != 6 {
+		t.Fatalf("ConvergenceTime = %d, want 6", got)
+	}
+	if got := ConvergenceTime(series, 2, 1); got != 3 {
+		t.Fatalf("hold=1: %d, want 3", got)
+	}
+	if got := ConvergenceTime(series, 0, 1); got != -1 {
+		t.Fatalf("unreachable threshold: %d, want -1", got)
+	}
+	if got := ConvergenceTime(series, 2, 0); got != 3 {
+		t.Fatalf("hold=0 treated as 1: %d, want 3", got)
+	}
+	if got := ConvergenceTime(nil, 5, 1); got != -1 {
+		t.Fatalf("empty series: %d, want -1", got)
+	}
+}

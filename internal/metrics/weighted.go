@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"taskalloc/internal/demand"
+)
+
+// WeightedRegret is the asymmetric-cost variant the paper leaves as a
+// future direction (Section 2.3): underload (work not done) and overload
+// (work wasted) are charged different weights.
+func WeightedRegret(loads []int, dem demand.Vector, wUnder, wOver float64) float64 {
+	total := 0.0
+	for j, d := range dem {
+		deficit := d - loads[j]
+		if deficit > 0 {
+			total += wUnder * float64(deficit)
+		} else {
+			total += wOver * float64(-deficit)
+		}
+	}
+	return total
+}
+
+// WeightedRecorder accumulates weighted regret and the switching-cost
+// composite the paper's Section 3.4 remark motivates:
+//
+//	cost(t) = wUnder·underload(t) + wOver·overload(t) + wSwitch·switches(t)
+//
+// Switch counts are fed separately (they come from the engine, not the
+// loads). Not safe for concurrent use.
+type WeightedRecorder struct {
+	k                      int
+	wUnder, wOver, wSwitch float64
+	burnIn                 uint64
+
+	rounds, postRounds uint64
+	total, post        float64
+	underTotal         float64
+	overTotal          float64
+	switchTotal        uint64
+	lastSwitches       uint64
+}
+
+// NewWeightedRecorder builds a recorder for k tasks with the given
+// weights; burnIn rounds are excluded from the averages.
+func NewWeightedRecorder(k int, wUnder, wOver, wSwitch float64, burnIn uint64) *WeightedRecorder {
+	if k <= 0 {
+		panic("metrics: NewWeightedRecorder needs k >= 1")
+	}
+	if wUnder < 0 || wOver < 0 || wSwitch < 0 {
+		panic("metrics: negative weights")
+	}
+	return &WeightedRecorder{k: k, wUnder: wUnder, wOver: wOver, wSwitch: wSwitch, burnIn: burnIn}
+}
+
+// Observe records one round. cumulativeSwitches is the engine's running
+// switch counter (monotone); the recorder differences it internally.
+func (w *WeightedRecorder) Observe(t uint64, loads []int, dem demand.Vector, cumulativeSwitches uint64) {
+	if len(loads) != w.k || len(dem) != w.k {
+		panic(fmt.Sprintf("metrics: WeightedRecorder.Observe with %d loads, %d demands, want %d",
+			len(loads), len(dem), w.k))
+	}
+	if cumulativeSwitches < w.lastSwitches {
+		panic("metrics: switch counter went backwards")
+	}
+	newSwitches := cumulativeSwitches - w.lastSwitches
+	w.lastSwitches = cumulativeSwitches
+	w.switchTotal += newSwitches
+
+	var under, over float64
+	for j, d := range dem {
+		deficit := d - loads[j]
+		if deficit > 0 {
+			under += float64(deficit)
+		} else {
+			over += float64(-deficit)
+		}
+	}
+	w.underTotal += under
+	w.overTotal += over
+
+	cost := w.wUnder*under + w.wOver*over + w.wSwitch*float64(newSwitches)
+	w.rounds++
+	w.total += cost
+	if t > w.burnIn {
+		w.postRounds++
+		w.post += cost
+	}
+}
+
+// Rounds returns the number of observed rounds.
+func (w *WeightedRecorder) Rounds() uint64 { return w.rounds }
+
+// TotalCost returns the cumulative weighted cost.
+func (w *WeightedRecorder) TotalCost() float64 { return w.total }
+
+// AvgCost returns the post-burn-in average cost per round (NaN if empty).
+func (w *WeightedRecorder) AvgCost() float64 {
+	if w.postRounds == 0 {
+		return math.NaN()
+	}
+	return w.post / float64(w.postRounds)
+}
+
+// Breakdown returns the cumulative unweighted underload, overload, and
+// switch totals.
+func (w *WeightedRecorder) Breakdown() (under, over float64, switches uint64) {
+	return w.underTotal, w.overTotal, w.switchTotal
+}

@@ -1,0 +1,88 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"taskalloc/internal/demand"
+)
+
+func TestWeightedRegret(t *testing.T) {
+	dem := demand.Vector{10, 10}
+	// Task 0 underloaded by 4, task 1 overloaded by 6.
+	got := WeightedRegret([]int{6, 16}, dem, 2, 0.5)
+	if got != 2*4+0.5*6 {
+		t.Fatalf("WeightedRegret = %v, want 11", got)
+	}
+	// Equal weights reduce to plain regret.
+	if WeightedRegret([]int{6, 16}, dem, 1, 1) != float64(Regret([]int{6, 16}, dem)) {
+		t.Fatal("unit weights must match Regret")
+	}
+}
+
+// TestWeightedRegretReducesToRegret is the unit-weight identity under
+// random loads.
+func TestWeightedRegretReducesToRegret(t *testing.T) {
+	f := func(l0, l1 uint8, d0, d1 uint8) bool {
+		dem := demand.Vector{int(d0) + 1, int(d1) + 1}
+		loads := []int{int(l0), int(l1)}
+		return WeightedRegret(loads, dem, 1, 1) == float64(Regret(loads, dem))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeightedRecorderAccumulates(t *testing.T) {
+	dem := demand.Vector{10}
+	w := NewWeightedRecorder(1, 2, 1, 0.5, 0)
+	w.Observe(1, []int{6}, dem, 3)  // under 4: cost 8 + 0.5*3 = 9.5
+	w.Observe(2, []int{14}, dem, 5) // over 4: cost 4 + 0.5*2 = 5
+	if w.Rounds() != 2 {
+		t.Fatalf("Rounds = %d", w.Rounds())
+	}
+	if got := w.TotalCost(); got != 14.5 {
+		t.Fatalf("TotalCost = %v, want 14.5", got)
+	}
+	if got := w.AvgCost(); got != 7.25 {
+		t.Fatalf("AvgCost = %v, want 7.25", got)
+	}
+	under, over, switches := w.Breakdown()
+	if under != 4 || over != 4 || switches != 5 {
+		t.Fatalf("Breakdown = (%v, %v, %d)", under, over, switches)
+	}
+}
+
+func TestWeightedRecorderBurnIn(t *testing.T) {
+	dem := demand.Vector{10}
+	w := NewWeightedRecorder(1, 1, 1, 0, 1)
+	w.Observe(1, []int{0}, dem, 0) // burn-in: cost 10
+	w.Observe(2, []int{8}, dem, 0) // post: cost 2
+	if got := w.AvgCost(); got != 2 {
+		t.Fatalf("AvgCost = %v, want 2 (burn-in excluded)", got)
+	}
+	if got := w.TotalCost(); got != 12 {
+		t.Fatalf("TotalCost = %v, want 12", got)
+	}
+}
+
+func TestWeightedRecorderEmptyWindow(t *testing.T) {
+	w := NewWeightedRecorder(1, 1, 1, 0, 100)
+	w.Observe(1, []int{1}, demand.Vector{2}, 0)
+	if !math.IsNaN(w.AvgCost()) {
+		t.Fatal("empty post window should be NaN")
+	}
+}
+
+func TestWeightedRecorderPanics(t *testing.T) {
+	mustPanic(t, "k=0", func() { NewWeightedRecorder(0, 1, 1, 1, 0) })
+	mustPanic(t, "neg weight", func() { NewWeightedRecorder(1, -1, 1, 1, 0) })
+	w := NewWeightedRecorder(2, 1, 1, 1, 0)
+	mustPanic(t, "mismatch", func() { w.Observe(1, []int{1}, demand.Vector{1, 2}, 0) })
+	w2 := NewWeightedRecorder(1, 1, 1, 1, 0)
+	w2.Observe(1, []int{1}, demand.Vector{2}, 10)
+	mustPanic(t, "switch counter backwards", func() {
+		w2.Observe(2, []int{1}, demand.Vector{2}, 5)
+	})
+}

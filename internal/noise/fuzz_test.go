@@ -1,0 +1,51 @@
+package noise
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSigmoid checks range, antisymmetry, and monotonic ordering of the
+// stable sigmoid under arbitrary inputs.
+func FuzzSigmoid(f *testing.F) {
+	f.Add(1.0, 0.0)
+	f.Add(0.01, 700.0)
+	f.Add(5.0, -700.0)
+	f.Fuzz(func(t *testing.T, lambda, x float64) {
+		if math.IsNaN(lambda) || math.IsNaN(x) || math.IsInf(lambda, 0) || math.IsInf(x, 0) {
+			t.Skip()
+		}
+		v := Sigmoid(lambda, x)
+		if v < 0 || v > 1 || math.IsNaN(v) {
+			t.Fatalf("Sigmoid(%v, %v) = %v out of [0,1]", lambda, x, v)
+		}
+		w := Sigmoid(lambda, -x)
+		if s := v + w; math.Abs(s-1) > 1e-9 {
+			t.Fatalf("antisymmetry broken: s(x)+s(-x) = %v", s)
+		}
+	})
+}
+
+// FuzzAdversarialDescribe checks that the adversarial model never emits
+// an incorrect deterministic signal outside the grey zone, whatever the
+// deficit, demand, and round.
+func FuzzAdversarialDescribe(f *testing.F) {
+	f.Add(0.1, 50.0, 100, uint64(3))
+	f.Add(0.49, -300.0, 7, uint64(0))
+	f.Fuzz(func(t *testing.T, gammaAd, deficit float64, d int, round uint64) {
+		if gammaAd <= 0 || gammaAd > 0.5 || d <= 0 || d > 1<<20 ||
+			math.IsNaN(deficit) || math.IsInf(deficit, 0) {
+			t.Skip()
+		}
+		m := AdversarialModel{GammaAd: gammaAd, Strategy: Inverted{}}
+		out := make([]TaskFeedback, 1)
+		m.Describe(Env{Round: round, Deficit: []float64{deficit}, Demand: []int{d}}, out)
+		bound := gammaAd * float64(d)
+		if deficit > bound && (!out[0].Deterministic || out[0].Value != Lack) {
+			t.Fatalf("deficit %v above grey zone got %+v", deficit, out[0])
+		}
+		if deficit < -bound && (!out[0].Deterministic || out[0].Value != Overload) {
+			t.Fatalf("deficit %v below grey zone got %+v", deficit, out[0])
+		}
+	})
+}

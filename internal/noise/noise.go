@@ -1,0 +1,391 @@
+// Package noise implements the paper's feedback models: the sigmoid
+// stochastic model, the adversarial threshold model with pluggable
+// grey-zone strategies, the noiseless binary model of Cornejo et al.
+// (DISC 2014) as a baseline, and a correlated-noise wrapper (Remark 3.4).
+//
+// At the beginning of round t every ant receives, for every task j, a
+// binary signal in {Lack, Overload} that depends on the deficit
+// Δ(j) = d(j) − W(j) observed at time t−1. A Model describes, per round
+// and per task, either a deterministic signal (all ants see the same
+// thing) or a per-ant independent Bernoulli draw with a given Lack
+// probability. The simulation engines consume that description; the
+// mean-field engine additionally exploits the Bernoulli form directly.
+package noise
+
+import (
+	"fmt"
+	"math"
+)
+
+// Signal is the binary feedback an ant receives for one task.
+type Signal uint8
+
+const (
+	// Lack means "this task needs more workers".
+	Lack Signal = iota
+	// Overload means "this task has too many workers".
+	Overload
+)
+
+// String implements fmt.Stringer.
+func (s Signal) String() string {
+	switch s {
+	case Lack:
+		return "lack"
+	case Overload:
+		return "overload"
+	default:
+		return fmt.Sprintf("Signal(%d)", uint8(s))
+	}
+}
+
+// Flip returns the opposite signal.
+func (s Signal) Flip() Signal {
+	if s == Lack {
+		return Overload
+	}
+	return Lack
+}
+
+// TaskFeedback describes the feedback distribution for one task in one
+// round. If Deterministic, every ant receives Value; otherwise each ant
+// independently receives Lack with probability LackProb.
+type TaskFeedback struct {
+	Deterministic bool
+	Value         Signal
+	LackProb      float64
+}
+
+// Det returns a deterministic TaskFeedback.
+func Det(v Signal) TaskFeedback { return TaskFeedback{Deterministic: true, Value: v} }
+
+// Bern returns a per-ant Bernoulli TaskFeedback with the given Lack
+// probability.
+func Bern(lackProb float64) TaskFeedback { return TaskFeedback{LackProb: lackProb} }
+
+// Env is the per-round information a model may condition on. Deficits and
+// demands are indexed by task; Deficit[j] = d(j) − W(j) at time t−1.
+type Env struct {
+	Round   uint64
+	Deficit []float64
+	Demand  []int
+}
+
+// Model produces the feedback description for every task at the start of
+// a round. Implementations must be deterministic functions of (their own
+// state, env); per-ant randomness is expressed through Bernoulli
+// TaskFeedback and drawn by the engine, which keeps models independent of
+// RNG sharding.
+type Model interface {
+	// Name identifies the model in reports.
+	Name() string
+	// Describe fills out[j] with the feedback description for task j.
+	// len(out) == len(env.Deficit) == len(env.Demand).
+	Describe(env Env, out []TaskFeedback)
+	// CriticalValue returns the model's critical feedback value γ* for a
+	// colony of n ants with minimum demand dMin (Definition 2.3).
+	CriticalValue(n int, dMin int) float64
+}
+
+// Sigmoid evaluates the logistic function 1/(1+e^{−λx}) in a numerically
+// stable way.
+func Sigmoid(lambda, x float64) float64 {
+	z := lambda * x
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// SigmoidModel is the paper's stochastic feedback: each ant independently
+// receives Lack with probability s(Δ) = 1/(1+e^{−λΔ}).
+type SigmoidModel struct {
+	// Lambda is the sigmoid steepness. Larger λ means sharper (more
+	// reliable) feedback and a smaller critical value.
+	Lambda float64
+}
+
+// Name implements Model.
+func (m SigmoidModel) Name() string { return fmt.Sprintf("sigmoid(λ=%.4g)", m.Lambda) }
+
+// Describe implements Model.
+func (m SigmoidModel) Describe(env Env, out []TaskFeedback) {
+	for j, deficit := range env.Deficit {
+		out[j] = Bern(Sigmoid(m.Lambda, deficit))
+	}
+}
+
+// CriticalValue implements Model. For the sigmoid model Definition 2.3
+// sets γ* = y(1/n⁸), the smallest relative deficit x with
+// s(−x·d) ≤ 1/n⁸ for every task, i.e. γ* = ln(n⁸−1)/(λ·dMin).
+func (m SigmoidModel) CriticalValue(n int, dMin int) float64 {
+	return m.GammaFor(n, dMin, 8)
+}
+
+// GammaFor generalizes CriticalValue: the relative deficit at which the
+// per-ant error probability outside the zone is 1/n^exponent.
+func (m SigmoidModel) GammaFor(n int, dMin int, exponent float64) float64 {
+	if n < 2 || dMin <= 0 || m.Lambda <= 0 {
+		return math.NaN()
+	}
+	// ln(n^e − 1) = e·ln n + log1p(−n^{−e}), stable for all n ≥ 2.
+	logNe := exponent * math.Log(float64(n))
+	return (logNe + math.Log1p(-math.Exp(-logNe))) / (m.Lambda * float64(dMin))
+}
+
+// ErrProb returns the probability that one ant receives the incorrect
+// signal for a task with demand d when the relative deficit is gamma
+// (i.e. |Δ| = gamma·d): s(−gamma·d) by the sigmoid's antisymmetry.
+func (m SigmoidModel) ErrProb(gamma float64, d int) float64 {
+	return Sigmoid(m.Lambda, -gamma*float64(d))
+}
+
+// LambdaForCritical returns the λ that makes the critical value equal to
+// the requested gammaStar for a colony of n ants with minimum demand
+// dMin. Experiments use it to place γ* at a chosen operating point.
+func LambdaForCritical(gammaStar float64, n int, dMin int) float64 {
+	if gammaStar <= 0 || n < 2 || dMin <= 0 {
+		return math.NaN()
+	}
+	logNe := 8 * math.Log(float64(n))
+	return (logNe + math.Log1p(-math.Exp(-logNe))) / (gammaStar * float64(dMin))
+}
+
+// PerfectModel is the noiseless binary feedback of Cornejo et al.: all
+// ants receive Lack iff the load is at most the demand (Δ ≥ 0), and
+// Overload otherwise. Its critical value is 0.
+type PerfectModel struct{}
+
+// Name implements Model.
+func (PerfectModel) Name() string { return "perfect" }
+
+// Describe implements Model.
+func (PerfectModel) Describe(env Env, out []TaskFeedback) {
+	for j, deficit := range env.Deficit {
+		if deficit >= 0 {
+			out[j] = Det(Lack)
+		} else {
+			out[j] = Det(Overload)
+		}
+	}
+}
+
+// CriticalValue implements Model.
+func (PerfectModel) CriticalValue(int, int) float64 { return 0 }
+
+// GreyStrategy decides the feedback inside the adversarial grey zone
+// [−γad·d(j), γad·d(j)]. Implementations may keep state across rounds
+// (they are invoked once per task per round in task order).
+type GreyStrategy interface {
+	Name() string
+	// Grey returns the feedback description for a grey-zone task.
+	Grey(round uint64, task int, deficit float64, demand int) TaskFeedback
+}
+
+// AdversarialModel is the paper's adversarial feedback: deterministic and
+// correct when |Δ(j)| > γad·d(j), and chosen by Strategy inside the grey
+// zone.
+type AdversarialModel struct {
+	// GammaAd is the threshold parameter γad (= the critical value).
+	GammaAd float64
+	// Strategy decides grey-zone feedback. Required.
+	Strategy GreyStrategy
+}
+
+// Name implements Model.
+func (m AdversarialModel) Name() string {
+	return fmt.Sprintf("adversarial(γad=%g, %s)", m.GammaAd, m.Strategy.Name())
+}
+
+// Describe implements Model.
+func (m AdversarialModel) Describe(env Env, out []TaskFeedback) {
+	for j, deficit := range env.Deficit {
+		bound := m.GammaAd * float64(env.Demand[j])
+		switch {
+		case deficit > bound:
+			out[j] = Det(Lack)
+		case deficit < -bound:
+			out[j] = Det(Overload)
+		default:
+			out[j] = m.Strategy.Grey(env.Round, j, deficit, env.Demand[j])
+		}
+	}
+}
+
+// CriticalValue implements Model: γ* = γad regardless of colony size.
+func (m AdversarialModel) CriticalValue(int, int) float64 { return m.GammaAd }
+
+// --- Grey-zone strategies -------------------------------------------------
+
+// AlwaysLack reports Lack everywhere in the grey zone; it lures idle ants
+// into joining until the task leaves the zone upward.
+type AlwaysLack struct{}
+
+// Name implements GreyStrategy.
+func (AlwaysLack) Name() string { return "always-lack" }
+
+// Grey implements GreyStrategy.
+func (AlwaysLack) Grey(uint64, int, float64, int) TaskFeedback { return Det(Lack) }
+
+// AlwaysOverload reports Overload everywhere in the grey zone.
+type AlwaysOverload struct{}
+
+// Name implements GreyStrategy.
+func (AlwaysOverload) Name() string { return "always-overload" }
+
+// Grey implements GreyStrategy.
+func (AlwaysOverload) Grey(uint64, int, float64, int) TaskFeedback { return Det(Overload) }
+
+// Truthful reports the sign-correct signal even inside the grey zone
+// (ties, Δ = 0, report Lack); the benign baseline.
+type Truthful struct{}
+
+// Name implements GreyStrategy.
+func (Truthful) Name() string { return "truthful" }
+
+// Grey implements GreyStrategy.
+func (Truthful) Grey(_ uint64, _ int, deficit float64, _ int) TaskFeedback {
+	if deficit >= 0 {
+		return Det(Lack)
+	}
+	return Det(Overload)
+}
+
+// Inverted reports the sign-incorrect signal inside the grey zone: the
+// regret-maximizing myopic adversary, pushing loads away from the demand.
+type Inverted struct{}
+
+// Name implements GreyStrategy.
+func (Inverted) Name() string { return "inverted" }
+
+// Grey implements GreyStrategy.
+func (Inverted) Grey(_ uint64, _ int, deficit float64, _ int) TaskFeedback {
+	if deficit >= 0 {
+		return Det(Overload)
+	}
+	return Det(Lack)
+}
+
+// Alternating flips the reported signal every round, forcing maximal
+// churn on algorithms that trust single samples.
+type Alternating struct{}
+
+// Name implements GreyStrategy.
+func (Alternating) Name() string { return "alternating" }
+
+// Grey implements GreyStrategy.
+func (Alternating) Grey(round uint64, _ int, _ float64, _ int) TaskFeedback {
+	if round%2 == 0 {
+		return Det(Lack)
+	}
+	return Det(Overload)
+}
+
+// RandomGrey gives every ant an independent coin flip with the configured
+// Lack probability inside the grey zone.
+type RandomGrey struct {
+	// LackProb is the per-ant Lack probability (default 0.5 when zero
+	// value is used via NewRandomGrey).
+	LackProb float64
+}
+
+// NewRandomGrey returns a RandomGrey with the fair-coin default.
+func NewRandomGrey() RandomGrey { return RandomGrey{LackProb: 0.5} }
+
+// Name implements GreyStrategy.
+func (s RandomGrey) Name() string { return fmt.Sprintf("random(p=%g)", s.LackProb) }
+
+// Grey implements GreyStrategy.
+func (s RandomGrey) Grey(uint64, int, float64, int) TaskFeedback { return Bern(s.LackProb) }
+
+// Sticky repeats whatever signal it last reported for the task, starting
+// from Lack; it models slowly-drifting environmental stimuli. Sticky
+// keeps per-task state and therefore must not be shared across concurrent
+// simulations.
+type Sticky struct {
+	last map[int]Signal
+	// FlipEvery flips the remembered signal every FlipEvery rounds
+	// (0 disables flipping).
+	FlipEvery uint64
+}
+
+// NewSticky returns a Sticky strategy flipping every flipEvery rounds.
+func NewSticky(flipEvery uint64) *Sticky {
+	return &Sticky{last: make(map[int]Signal), FlipEvery: flipEvery}
+}
+
+// Name implements GreyStrategy.
+func (s *Sticky) Name() string { return fmt.Sprintf("sticky(flip=%d)", s.FlipEvery) }
+
+// Grey implements GreyStrategy.
+func (s *Sticky) Grey(round uint64, task int, _ float64, _ int) TaskFeedback {
+	v, ok := s.last[task]
+	if !ok {
+		v = Lack
+	}
+	if s.FlipEvery > 0 && round > 0 && round%s.FlipEvery == 0 {
+		v = v.Flip()
+	}
+	s.last[task] = v
+	return Det(v)
+}
+
+// CorrelatedModel wraps a base model and, with probability FlipProb per
+// task per round, replaces the base description with the flipped
+// deterministic signal for ALL ants simultaneously — the arbitrarily
+// correlated noise of Remark 3.4. The flip decision is derived from a
+// hash of (seed, round, task) so the model stays deterministic and
+// engine-shard independent.
+type CorrelatedModel struct {
+	Base Model
+	// FlipProb is the per-round, per-task probability of a colony-wide
+	// incorrect signal. Remark 3.4 requires it to be at most 1/n^c.
+	FlipProb float64
+	// Seed decorrelates the flip pattern across runs.
+	Seed uint64
+}
+
+// Name implements Model.
+func (m CorrelatedModel) Name() string {
+	return fmt.Sprintf("correlated(%s, flip=%g)", m.Base.Name(), m.FlipProb)
+}
+
+// Describe implements Model.
+func (m CorrelatedModel) Describe(env Env, out []TaskFeedback) {
+	m.Base.Describe(env, out)
+	for j := range out {
+		if m.flip(env.Round, uint64(j)) {
+			// Colony-wide incorrect signal: the flip of the correct
+			// sign, regardless of what the base model would do.
+			if env.Deficit[j] >= 0 {
+				out[j] = Det(Overload)
+			} else {
+				out[j] = Det(Lack)
+			}
+		}
+	}
+}
+
+// CriticalValue implements Model by delegating to the base model.
+func (m CorrelatedModel) CriticalValue(n int, dMin int) float64 {
+	return m.Base.CriticalValue(n, dMin)
+}
+
+// flip hashes (seed, round, task) to a uniform [0,1) value and compares
+// with FlipProb.
+func (m CorrelatedModel) flip(round, task uint64) bool {
+	if m.FlipProb <= 0 {
+		return false
+	}
+	x := m.Seed ^ 0x9e3779b97f4a7c15
+	x ^= round * 0xd1342543de82ef95
+	x ^= task * 0xbf58476d1ce4e5b9
+	x ^= x >> 30
+	x *= 0x94d049bb133111eb
+	x ^= x >> 27
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 31
+	u := float64(x>>11) / (1 << 53)
+	return u < m.FlipProb
+}

@@ -1,0 +1,332 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignalStringAndFlip(t *testing.T) {
+	if Lack.String() != "lack" || Overload.String() != "overload" {
+		t.Fatalf("signal strings: %v %v", Lack, Overload)
+	}
+	if Signal(9).String() == "" {
+		t.Fatal("unknown signal should still format")
+	}
+	if Lack.Flip() != Overload || Overload.Flip() != Lack {
+		t.Fatal("Flip broken")
+	}
+}
+
+func TestSigmoidBasics(t *testing.T) {
+	if got := Sigmoid(1, 0); got != 0.5 {
+		t.Fatalf("s(0) = %v, want 0.5", got)
+	}
+	if got := Sigmoid(1, 1000); got != 1 {
+		t.Fatalf("s(1000) = %v, want 1", got)
+	}
+	if got := Sigmoid(1, -1000); got != 0 {
+		t.Fatalf("s(-1000) = %v, want 0", got)
+	}
+}
+
+// TestSigmoidAntisymmetry verifies s(x) + s(−x) = 1 — the property the
+// critical-value definition relies on (Definition 2.3).
+func TestSigmoidAntisymmetry(t *testing.T) {
+	f := func(xRaw int16, lRaw uint8) bool {
+		x := float64(xRaw) / 100
+		lambda := float64(lRaw%50)/10 + 0.1
+		return math.Abs(Sigmoid(lambda, x)+Sigmoid(lambda, -x)-1) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmoidMonotone(t *testing.T) {
+	prev := -1.0
+	for x := -50.0; x <= 50; x += 0.5 {
+		v := Sigmoid(0.3, x)
+		if v < prev {
+			t.Fatalf("sigmoid not monotone at x=%v", x)
+		}
+		prev = v
+	}
+}
+
+func TestSigmoidModelDescribe(t *testing.T) {
+	m := SigmoidModel{Lambda: 1}
+	env := Env{Round: 1, Deficit: []float64{0, 10, -10}, Demand: []int{5, 5, 5}}
+	out := make([]TaskFeedback, 3)
+	m.Describe(env, out)
+	for j, fb := range out {
+		if fb.Deterministic {
+			t.Fatalf("task %d: sigmoid feedback must be Bernoulli", j)
+		}
+	}
+	if out[0].LackProb != 0.5 {
+		t.Fatalf("deficit 0 lack prob %v, want 0.5", out[0].LackProb)
+	}
+	if out[1].LackProb < 0.99 {
+		t.Fatalf("deficit +10 lack prob %v, want near 1", out[1].LackProb)
+	}
+	if out[2].LackProb > 0.01 {
+		t.Fatalf("deficit -10 lack prob %v, want near 0", out[2].LackProb)
+	}
+}
+
+// TestCriticalValueDefinition checks that γ* satisfies its defining
+// property: s(−γ*·dMin) = 1/n⁸ exactly (Definition 2.3).
+func TestCriticalValueDefinition(t *testing.T) {
+	for _, c := range []struct {
+		lambda float64
+		n      int
+		dMin   int
+	}{
+		{0.5, 100, 30}, {1, 1000, 50}, {0.05, 500, 200}, {2, 64, 10},
+	} {
+		m := SigmoidModel{Lambda: c.lambda}
+		gs := m.CriticalValue(c.n, c.dMin)
+		if gs <= 0 || math.IsNaN(gs) {
+			t.Fatalf("invalid γ* %v for %+v", gs, c)
+		}
+		got := Sigmoid(c.lambda, -gs*float64(c.dMin))
+		want := math.Pow(float64(c.n), -8)
+		if math.Abs(got-want)/want > 1e-6 {
+			t.Fatalf("s(−γ*·d) = %v, want %v (case %+v)", got, want, c)
+		}
+	}
+}
+
+func TestCriticalValueInvalidInputs(t *testing.T) {
+	m := SigmoidModel{Lambda: 1}
+	for _, got := range []float64{
+		m.CriticalValue(1, 10),
+		m.CriticalValue(100, 0),
+		SigmoidModel{Lambda: 0}.CriticalValue(100, 10),
+	} {
+		if !math.IsNaN(got) {
+			t.Fatalf("invalid input produced %v, want NaN", got)
+		}
+	}
+}
+
+// TestLambdaForCriticalRoundTrip: λ chosen for a target γ* must reproduce
+// that γ* via CriticalValue.
+func TestLambdaForCriticalRoundTrip(t *testing.T) {
+	f := func(gRaw, nRaw, dRaw uint16) bool {
+		gamma := float64(gRaw%1000+1) / 10000 // (0, 0.1]
+		n := int(nRaw%10000) + 10
+		d := int(dRaw%500) + 10
+		lambda := LambdaForCritical(gamma, n, d)
+		if math.IsNaN(lambda) || lambda <= 0 {
+			return false
+		}
+		back := SigmoidModel{Lambda: lambda}.CriticalValue(n, d)
+		return math.Abs(back-gamma)/gamma < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrProbMatchesSigmoid(t *testing.T) {
+	m := SigmoidModel{Lambda: 0.7}
+	if got, want := m.ErrProb(0.1, 50), Sigmoid(0.7, -5); got != want {
+		t.Fatalf("ErrProb = %v, want %v", got, want)
+	}
+}
+
+func TestPerfectModel(t *testing.T) {
+	m := PerfectModel{}
+	env := Env{Deficit: []float64{0, 1, -1}, Demand: []int{10, 10, 10}}
+	out := make([]TaskFeedback, 3)
+	m.Describe(env, out)
+	// Cornejo et al.: load <= demand (Δ >= 0) gives Lack for everyone.
+	for j, want := range []Signal{Lack, Lack, Overload} {
+		if !out[j].Deterministic || out[j].Value != want {
+			t.Fatalf("task %d: got %+v, want deterministic %v", j, out[j], want)
+		}
+	}
+	if m.CriticalValue(100, 10) != 0 {
+		t.Fatal("perfect model critical value must be 0")
+	}
+}
+
+func TestAdversarialOutsideGreyZoneIsCorrect(t *testing.T) {
+	m := AdversarialModel{GammaAd: 0.1, Strategy: Inverted{}}
+	env := Env{
+		Round:   7,
+		Deficit: []float64{11, -11, 10, -10, 0},
+		Demand:  []int{100, 100, 100, 100, 100},
+	}
+	out := make([]TaskFeedback, 5)
+	m.Describe(env, out)
+	if out[0].Value != Lack || !out[0].Deterministic {
+		t.Fatalf("deficit 11 > γd=10: got %+v, want Lack", out[0])
+	}
+	if out[1].Value != Overload {
+		t.Fatalf("deficit -11: got %+v, want Overload", out[1])
+	}
+	// |Δ| = γd is inside the (closed) grey zone: strategy decides.
+	if out[2].Value != Overload { // Inverted flips the correct Lack
+		t.Fatalf("grey deficit 10: got %+v, want inverted Overload", out[2])
+	}
+	if out[3].Value != Lack {
+		t.Fatalf("grey deficit -10: got %+v, want inverted Lack", out[3])
+	}
+	if out[4].Value != Overload {
+		t.Fatalf("grey deficit 0: got %+v, want inverted Overload", out[4])
+	}
+	if m.CriticalValue(12345, 1) != 0.1 {
+		t.Fatal("adversarial critical value must equal γad")
+	}
+}
+
+// TestAdversarialGreyZoneProperty: for every deficit strictly outside the
+// grey zone the signal is correct, regardless of strategy.
+func TestAdversarialGreyZoneProperty(t *testing.T) {
+	strategies := []GreyStrategy{
+		AlwaysLack{}, AlwaysOverload{}, Truthful{}, Inverted{},
+		Alternating{}, NewRandomGrey(), NewSticky(3),
+	}
+	f := func(defRaw int16, dRaw uint8, round uint16, sIdx uint8) bool {
+		d := int(dRaw%100) + 10
+		deficit := float64(defRaw) / 32 // roughly [-1024, 1024]/32
+		m := AdversarialModel{GammaAd: 0.2, Strategy: strategies[int(sIdx)%len(strategies)]}
+		out := make([]TaskFeedback, 1)
+		m.Describe(Env{Round: uint64(round), Deficit: []float64{deficit}, Demand: []int{d}}, out)
+		bound := 0.2 * float64(d)
+		if deficit > bound {
+			return out[0].Deterministic && out[0].Value == Lack
+		}
+		if deficit < -bound {
+			return out[0].Deterministic && out[0].Value == Overload
+		}
+		return true // grey zone: anything goes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreyStrategies(t *testing.T) {
+	if fb := (AlwaysLack{}).Grey(0, 0, 0, 10); fb.Value != Lack {
+		t.Fatal("AlwaysLack")
+	}
+	if fb := (AlwaysOverload{}).Grey(0, 0, 0, 10); fb.Value != Overload {
+		t.Fatal("AlwaysOverload")
+	}
+	if fb := (Truthful{}).Grey(0, 0, 3, 10); fb.Value != Lack {
+		t.Fatal("Truthful positive deficit")
+	}
+	if fb := (Truthful{}).Grey(0, 0, -3, 10); fb.Value != Overload {
+		t.Fatal("Truthful negative deficit")
+	}
+	if fb := (Alternating{}).Grey(2, 0, 0, 10); fb.Value != Lack {
+		t.Fatal("Alternating even round")
+	}
+	if fb := (Alternating{}).Grey(3, 0, 0, 10); fb.Value != Overload {
+		t.Fatal("Alternating odd round")
+	}
+	rg := NewRandomGrey()
+	if fb := rg.Grey(0, 0, 0, 10); fb.Deterministic || fb.LackProb != 0.5 {
+		t.Fatalf("RandomGrey: %+v", fb)
+	}
+}
+
+func TestStickyStrategy(t *testing.T) {
+	s := NewSticky(2)
+	// Round 1: initial Lack (no flip: 1 % 2 != 0).
+	if fb := s.Grey(1, 0, 0, 10); fb.Value != Lack {
+		t.Fatalf("round 1: %v", fb.Value)
+	}
+	// Round 2: flips to Overload.
+	if fb := s.Grey(2, 0, 0, 10); fb.Value != Overload {
+		t.Fatalf("round 2: %v", fb.Value)
+	}
+	// Round 3: sticks.
+	if fb := s.Grey(3, 0, 0, 10); fb.Value != Overload {
+		t.Fatalf("round 3: %v", fb.Value)
+	}
+	// Round 4: flips back.
+	if fb := s.Grey(4, 0, 0, 10); fb.Value != Lack {
+		t.Fatalf("round 4: %v", fb.Value)
+	}
+	// Independent state per task.
+	if fb := s.Grey(5, 1, 0, 10); fb.Value != Lack {
+		t.Fatalf("task 1 first call: %v", fb.Value)
+	}
+}
+
+func TestCorrelatedModelNoFlip(t *testing.T) {
+	base := SigmoidModel{Lambda: 1}
+	m := CorrelatedModel{Base: base, FlipProb: 0}
+	env := Env{Round: 3, Deficit: []float64{5}, Demand: []int{10}}
+	out := make([]TaskFeedback, 1)
+	m.Describe(env, out)
+	if out[0].Deterministic {
+		t.Fatal("flip prob 0 must preserve base feedback")
+	}
+	if m.CriticalValue(100, 10) != base.CriticalValue(100, 10) {
+		t.Fatal("correlated model must delegate critical value")
+	}
+}
+
+func TestCorrelatedModelAlwaysFlip(t *testing.T) {
+	m := CorrelatedModel{Base: PerfectModel{}, FlipProb: 1, Seed: 9}
+	env := Env{Round: 3, Deficit: []float64{5, -5}, Demand: []int{10, 10}}
+	out := make([]TaskFeedback, 2)
+	m.Describe(env, out)
+	if out[0].Value != Overload || out[1].Value != Lack {
+		t.Fatalf("flip prob 1 must invert: %+v", out)
+	}
+}
+
+func TestCorrelatedFlipFrequency(t *testing.T) {
+	m := CorrelatedModel{Base: PerfectModel{}, FlipProb: 0.25, Seed: 4}
+	flips := 0
+	const rounds = 20000
+	out := make([]TaskFeedback, 1)
+	for r := uint64(0); r < rounds; r++ {
+		m.Describe(Env{Round: r, Deficit: []float64{5}, Demand: []int{10}}, out)
+		if out[0].Value == Overload { // correct would be Lack
+			flips++
+		}
+	}
+	got := float64(flips) / rounds
+	if math.Abs(got-0.25) > 0.02 {
+		t.Fatalf("flip frequency %v, want 0.25", got)
+	}
+}
+
+func TestCorrelatedFlipDeterministic(t *testing.T) {
+	a := CorrelatedModel{Base: PerfectModel{}, FlipProb: 0.5, Seed: 11}
+	b := CorrelatedModel{Base: PerfectModel{}, FlipProb: 0.5, Seed: 11}
+	outA := make([]TaskFeedback, 4)
+	outB := make([]TaskFeedback, 4)
+	env := Env{Round: 77, Deficit: []float64{1, -1, 2, -2}, Demand: []int{9, 9, 9, 9}}
+	a.Describe(env, outA)
+	b.Describe(env, outB)
+	for j := range outA {
+		if outA[j] != outB[j] {
+			t.Fatalf("same seed diverged at task %d", j)
+		}
+	}
+}
+
+func TestModelNames(t *testing.T) {
+	names := []string{
+		SigmoidModel{Lambda: 1}.Name(),
+		PerfectModel{}.Name(),
+		AdversarialModel{GammaAd: 0.1, Strategy: Truthful{}}.Name(),
+		CorrelatedModel{Base: PerfectModel{}, FlipProb: 0.1}.Name(),
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if n == "" || seen[n] {
+			t.Fatalf("duplicate or empty model name %q", n)
+		}
+		seen[n] = true
+	}
+}

@@ -1,0 +1,226 @@
+// Package plot renders small ASCII line charts so the experiment harness
+// can regenerate the paper's figures directly in a terminal, with no
+// external plotting dependency.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line.
+type Series struct {
+	Name   string
+	Y      []float64
+	Marker byte
+}
+
+// defaultMarkers cycle when a series does not set one.
+var defaultMarkers = []byte{'*', '+', 'o', 'x', '#', '@'}
+
+// Chart configures a plot. Zero values get sensible defaults.
+type Chart struct {
+	Title  string
+	Width  int // plot area columns (default 72)
+	Height int // plot area rows (default 16)
+	// YMin/YMax fix the vertical range; when both are zero the range is
+	// derived from the data.
+	YMin, YMax float64
+	// HLines draws horizontal reference lines (e.g. grey-zone bounds).
+	HLines []HLine
+	// XLabel annotates the x axis.
+	XLabel string
+}
+
+// HLine is a horizontal reference line at Y labeled Label.
+type HLine struct {
+	Y     float64
+	Label string
+}
+
+// Render draws the series into a text block. Series are resampled to the
+// chart width (mean pooling), so arbitrarily long trajectories render in
+// O(width) columns.
+func (c Chart) Render(series ...Series) string {
+	width := c.Width
+	if width <= 0 {
+		width = 72
+	}
+	height := c.Height
+	if height <= 0 {
+		height = 16
+	}
+
+	ymin, ymax := c.YMin, c.YMax
+	if ymin == 0 && ymax == 0 {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			for _, y := range s.Y {
+				if math.IsNaN(y) {
+					continue
+				}
+				ymin = math.Min(ymin, y)
+				ymax = math.Max(ymax, y)
+			}
+		}
+		for _, h := range c.HLines {
+			ymin = math.Min(ymin, h.Y)
+			ymax = math.Max(ymax, h.Y)
+		}
+		if math.IsInf(ymin, 1) { // no data at all
+			ymin, ymax = 0, 1
+		}
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	pad := (ymax - ymin) * 0.05
+	ymin -= pad
+	ymax += pad
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	row := func(y float64) int {
+		r := int(math.Round((ymax - y) / (ymax - ymin) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+
+	for _, h := range c.HLines {
+		r := row(h.Y)
+		for x := 0; x < width; x++ {
+			if grid[r][x] == ' ' {
+				grid[r][x] = '-'
+			}
+		}
+	}
+
+	for si, s := range series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		cols := resample(s.Y, width)
+		for x, y := range cols {
+			if math.IsNaN(y) {
+				continue
+			}
+			grid[row(y)][x] = marker
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		b.WriteString(c.Title)
+		b.WriteByte('\n')
+	}
+	labelW := 0
+	labels := make([]string, height)
+	for r := 0; r < height; r++ {
+		y := ymax - (ymax-ymin)*float64(r)/float64(height-1)
+		labels[r] = fmt.Sprintf("%.4g", y)
+		if len(labels[r]) > labelW {
+			labelW = len(labels[r])
+		}
+	}
+	for r := 0; r < height; r++ {
+		// Label the top, middle, and bottom rows only.
+		label := ""
+		if r == 0 || r == height-1 || r == height/2 {
+			label = labels[r]
+		}
+		fmt.Fprintf(&b, "%*s |%s\n", labelW, label, string(grid[r]))
+	}
+	b.WriteString(strings.Repeat(" ", labelW+1))
+	b.WriteByte('+')
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, "%*s  %s\n", labelW, "", c.XLabel)
+	}
+	var legend []string
+	for si, s := range series {
+		if s.Name == "" {
+			continue
+		}
+		m := s.Marker
+		if m == 0 {
+			m = defaultMarkers[si%len(defaultMarkers)]
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", m, s.Name))
+	}
+	for _, h := range c.HLines {
+		if h.Label != "" {
+			legend = append(legend, fmt.Sprintf("- %s", h.Label))
+		}
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%*s  legend: %s\n", labelW, "", strings.Join(legend, " | "))
+	}
+	return b.String()
+}
+
+// resample reduces (or stretches) ys to exactly width columns using mean
+// pooling per column; an empty input yields all-NaN columns.
+func resample(ys []float64, width int) []float64 {
+	out := make([]float64, width)
+	if len(ys) == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	for x := 0; x < width; x++ {
+		lo := x * len(ys) / width
+		hi := (x + 1) * len(ys) / width
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if hi > len(ys) {
+			hi = len(ys)
+		}
+		sum, cnt := 0.0, 0
+		for i := lo; i < hi; i++ {
+			if !math.IsNaN(ys[i]) {
+				sum += ys[i]
+				cnt++
+			}
+		}
+		if cnt == 0 {
+			out[x] = math.NaN()
+		} else {
+			out[x] = sum / float64(cnt)
+		}
+	}
+	return out
+}
+
+// Ints converts an int series to float64 for plotting.
+func Ints(xs []int) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// Func samples f at n evenly spaced points over [lo, hi].
+func Func(f func(float64) float64, lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]float64, n)
+	for i := range out {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		out[i] = f(x)
+	}
+	return out
+}

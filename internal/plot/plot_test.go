@@ -1,0 +1,146 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	c := Chart{Title: "test chart", Width: 20, Height: 5}
+	out := c.Render(Series{Name: "up", Y: []float64{0, 1, 2, 3, 4}})
+	if !strings.Contains(out, "test chart") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "legend: * up") {
+		t.Fatalf("missing legend in:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 5 rows + axis + legend = 8
+	if len(lines) != 8 {
+		t.Fatalf("line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderMonotoneSeriesSlopesCorrectly(t *testing.T) {
+	c := Chart{Width: 10, Height: 5}
+	out := c.Render(Series{Y: []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}})
+	lines := strings.Split(out, "\n")
+	// The first plot row (max y) should have a marker near the right
+	// edge; the last plot row near the left edge.
+	top := strings.Index(lines[0], "*")
+	bottom := strings.Index(lines[4], "*")
+	if top < 0 || bottom < 0 {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	if top <= bottom {
+		t.Fatalf("increasing series renders with top marker left of bottom:\n%s", out)
+	}
+}
+
+func TestRenderHLines(t *testing.T) {
+	c := Chart{Width: 12, Height: 6, HLines: []HLine{{Y: 5, Label: "bound"}}}
+	out := c.Render(Series{Y: []float64{0, 10}})
+	if !strings.Contains(out, "------") {
+		t.Fatalf("missing hline:\n%s", out)
+	}
+	if !strings.Contains(out, "- bound") {
+		t.Fatal("missing hline legend")
+	}
+}
+
+func TestRenderEmptySeries(t *testing.T) {
+	c := Chart{Width: 10, Height: 4}
+	out := c.Render(Series{Name: "empty"})
+	if out == "" {
+		t.Fatal("empty series should still render axes")
+	}
+}
+
+func TestRenderNaNOnlySeries(t *testing.T) {
+	c := Chart{Width: 10, Height: 4}
+	out := c.Render(Series{Y: []float64{math.NaN(), math.NaN()}})
+	if strings.Contains(out, "*") {
+		t.Fatal("NaN values must not be plotted")
+	}
+}
+
+func TestRenderFixedRangeClamps(t *testing.T) {
+	c := Chart{Width: 10, Height: 4, YMin: 0, YMax: 1}
+	out := c.Render(Series{Y: []float64{-100, 100}})
+	if !strings.Contains(out, "*") {
+		t.Fatal("out-of-range values should clamp, not vanish")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	c := Chart{Width: 8, Height: 4}
+	out := c.Render(Series{Y: []float64{5, 5, 5, 5}})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series missing markers:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesDistinctMarkers(t *testing.T) {
+	c := Chart{Width: 16, Height: 6}
+	out := c.Render(
+		Series{Name: "a", Y: []float64{0, 1, 2}},
+		Series{Name: "b", Y: []float64{2, 1, 0}},
+	)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "+") {
+		t.Fatalf("markers not distinct:\n%s", out)
+	}
+}
+
+func TestRenderXLabel(t *testing.T) {
+	c := Chart{Width: 8, Height: 3, XLabel: "rounds"}
+	out := c.Render(Series{Y: []float64{1, 2}})
+	if !strings.Contains(out, "rounds") {
+		t.Fatal("missing x label")
+	}
+}
+
+func TestResample(t *testing.T) {
+	// Downsample 6 -> 3 with mean pooling.
+	got := resample([]float64{1, 3, 5, 7, 9, 11}, 3)
+	want := []float64{2, 6, 10}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("resample %v, want %v", got, want)
+		}
+	}
+	// Upsample 2 -> 4: nearest buckets.
+	up := resample([]float64{1, 9}, 4)
+	if up[0] != 1 || up[3] != 9 {
+		t.Fatalf("upsample %v", up)
+	}
+	// Empty -> NaN.
+	for _, v := range resample(nil, 3) {
+		if !math.IsNaN(v) {
+			t.Fatal("empty resample should be NaN")
+		}
+	}
+	// NaN entries skipped in pooling.
+	mixed := resample([]float64{math.NaN(), 4}, 1)
+	if mixed[0] != 4 {
+		t.Fatalf("NaN pooling %v", mixed)
+	}
+}
+
+func TestInts(t *testing.T) {
+	got := Ints([]int{1, -2, 3})
+	if got[0] != 1 || got[1] != -2 || got[2] != 3 {
+		t.Fatalf("Ints %v", got)
+	}
+}
+
+func TestFunc(t *testing.T) {
+	ys := Func(func(x float64) float64 { return 2 * x }, 0, 10, 11)
+	if len(ys) != 11 || ys[0] != 0 || ys[10] != 20 || ys[5] != 10 {
+		t.Fatalf("Func samples %v", ys)
+	}
+	short := Func(func(x float64) float64 { return x }, 0, 1, 1)
+	if len(short) != 2 {
+		t.Fatal("n < 2 should clamp to 2")
+	}
+}

@@ -1,0 +1,281 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses to summarize repeated simulation runs: running moments,
+// order statistics, confidence intervals, histograms, and a P² streaming
+// quantile estimator for long trajectories that are too big to store.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates running moments. The zero value is ready to use.
+type Summary struct {
+	n              int
+	mean, m2       float64
+	min, max       float64
+	hasObservation bool
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+	if !s.hasObservation || x < s.min {
+		s.min = x
+	}
+	if !s.hasObservation || x > s.max {
+		s.max = x
+	}
+	s.hasObservation = true
+}
+
+// N returns the observation count.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean (NaN when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Var returns the unbiased sample variance (NaN for n < 2).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the minimum observation (NaN when empty).
+func (s *Summary) Min() float64 {
+	if !s.hasObservation {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the maximum observation (NaN when empty).
+func (s *Summary) Max() float64 {
+	if !s.hasObservation {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// SE returns the standard error of the mean.
+func (s *Summary) SE() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.Std() / math.Sqrt(float64(s.n))
+}
+
+// CI95 returns the normal-approximation 95% confidence half-width.
+func (s *Summary) CI95() float64 { return 1.96 * s.SE() }
+
+// String formats "mean ± ci95 [min, max] (n)".
+func (s *Summary) String() string {
+	return fmt.Sprintf("%.4g ± %.2g [%.4g, %.4g] (n=%d)",
+		s.Mean(), s.CI95(), s.Min(), s.Max(), s.n)
+}
+
+// Mean returns the arithmetic mean of xs (NaN when empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Median returns the middle order statistic (average of the two middle
+// values for even length; NaN when empty). The input is not modified.
+func Median(xs []float64) float64 {
+	return Quantile(xs, 0.5)
+}
+
+// Quantile returns the q-th empirical quantile (linear interpolation
+// between order statistics, q in [0, 1]). NaN when empty or q invalid.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 || q < 0 || q > 1 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi).
+type Histogram struct {
+	Lo, Hi   float64
+	Counts   []int
+	Under    int // observations below Lo
+	Over     int // observations at or above Hi
+	binWidth float64
+}
+
+// NewHistogram builds a histogram with bins equal-width bins over
+// [lo, hi). It panics on invalid ranges.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if !(lo < hi) || bins <= 0 {
+		panic("stats: NewHistogram needs lo < hi and bins >= 1")
+	}
+	return &Histogram{
+		Lo: lo, Hi: hi,
+		Counts:   make([]int, bins),
+		binWidth: (hi - lo) / float64(bins),
+	}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		b := int((x - h.Lo) / h.binWidth)
+		if b >= len(h.Counts) { // float edge case at the top boundary
+			b = len(h.Counts) - 1
+		}
+		h.Counts[b]++
+	}
+}
+
+// Total returns the number of recorded observations including outliers.
+func (h *Histogram) Total() int {
+	t := h.Under + h.Over
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// P2Quantile estimates a single quantile online with O(1) memory using
+// the P² algorithm (Jain & Chlamtac 1985). Construct with NewP2Quantile.
+type P2Quantile struct {
+	p       float64
+	count   int
+	q       [5]float64 // marker heights
+	n       [5]float64 // marker positions
+	np      [5]float64 // desired positions
+	dn      [5]float64 // position increments
+	initial []float64
+}
+
+// NewP2Quantile estimates the p-th quantile, p in (0, 1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("stats: NewP2Quantile needs p in (0, 1)")
+	}
+	return &P2Quantile{p: p, initial: make([]float64, 0, 5)}
+}
+
+// Add records one observation.
+func (e *P2Quantile) Add(x float64) {
+	e.count++
+	if len(e.initial) < 5 {
+		e.initial = append(e.initial, x)
+		if len(e.initial) == 5 {
+			sort.Float64s(e.initial)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.initial[i]
+				e.n[i] = float64(i + 1)
+			}
+			p := e.p
+			e.np = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+			e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+		}
+		return
+	}
+
+	// Find the cell containing x and adjust extreme markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.np[i] += e.dn[i]
+	}
+
+	// Adjust interior markers with parabolic (or linear) interpolation.
+	for i := 1; i <= 3; i++ {
+		d := e.np[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			qNew := e.parabolic(i, sign)
+			if e.q[i-1] < qNew && qNew < e.q[i+1] {
+				e.q[i] = qNew
+			} else {
+				e.q[i] = e.linear(i, sign)
+			}
+			e.n[i] += sign
+		}
+	}
+}
+
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.n[i+1]-e.n[i-1])*
+		((e.n[i]-e.n[i-1]+d)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+			(e.n[i+1]-e.n[i]-d)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+}
+
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	return e.q[i] + d*(e.q[i+int(d)]-e.q[i])/(e.n[i+int(d)]-e.n[i])
+}
+
+// Value returns the current quantile estimate. Before five observations
+// it falls back to the empirical quantile of what has been seen (NaN when
+// empty).
+func (e *P2Quantile) Value() float64 {
+	if e.count == 0 {
+		return math.NaN()
+	}
+	if len(e.initial) < 5 {
+		tmp := make([]float64, len(e.initial))
+		copy(tmp, e.initial)
+		return Quantile(tmp, e.p)
+	}
+	return e.q[2]
+}
+
+// Count returns the number of observations.
+func (e *P2Quantile) Count() int { return e.count }

@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"taskalloc/internal/rng"
+)
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Var()) || !math.IsNaN(s.Min()) ||
+		!math.IsNaN(s.Max()) || !math.IsNaN(s.SE()) {
+		t.Fatal("empty summary should be all NaN")
+	}
+	if s.N() != 0 {
+		t.Fatal("empty summary N != 0")
+	}
+}
+
+func TestSummaryKnownValues(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	// Population variance is 4; unbiased sample variance is 32/7.
+	if got := s.Var(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", got, 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("range [%v, %v]", s.Min(), s.Max())
+	}
+	if s.String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	r := rng.New(1)
+	f := func(seed uint16) bool {
+		n := int(seed%50) + 2
+		xs := make([]float64, n)
+		var s Summary
+		for i := range xs {
+			xs[i] = r.NormFloat64() * 10
+			s.Add(xs[i])
+		}
+		mean := Mean(xs)
+		varSum := 0.0
+		for _, x := range xs {
+			varSum += (x - mean) * (x - mean)
+		}
+		wantVar := varSum / float64(n-1)
+		return math.Abs(s.Mean()-mean) < 1e-9 && math.Abs(s.Var()-wantVar) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanMedianQuantile(t *testing.T) {
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Median(nil)) {
+		t.Fatal("empty slices should give NaN")
+	}
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 || Median(xs) != 2 {
+		t.Fatalf("Mean/Median of %v", xs)
+	}
+	if xs[0] != 3 {
+		t.Fatal("Median mutated input")
+	}
+	even := []float64{1, 2, 3, 4}
+	if got := Median(even); got != 2.5 {
+		t.Fatalf("even median %v, want 2.5", got)
+	}
+	if got := Quantile(even, 0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := Quantile(even, 1); got != 4 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := Quantile(even, 0.25); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("q.25 = %v, want 1.75", got)
+	}
+	if !math.IsNaN(Quantile(even, -0.1)) || !math.IsNaN(Quantile(even, 1.1)) {
+		t.Fatal("invalid q should give NaN")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{-1, 0, 1.9, 2, 9.99, 10, 42} {
+		h.Add(x)
+	}
+	if h.Under != 1 || h.Over != 2 {
+		t.Fatalf("outliers under=%d over=%d", h.Under, h.Over)
+	}
+	want := []int{2, 1, 0, 0, 1}
+	for i, c := range want {
+		if h.Counts[i] != c {
+			t.Fatalf("bin %d = %d, want %d (all: %v)", i, h.Counts[i], c, h.Counts)
+		}
+	}
+	if h.Total() != 7 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	mustPanic(t, "lo>=hi", func() { NewHistogram(5, 5, 3) })
+	mustPanic(t, "bins=0", func() { NewHistogram(0, 1, 0) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestP2QuantileSmallCounts(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	if !math.IsNaN(e.Value()) {
+		t.Fatal("empty estimator should be NaN")
+	}
+	e.Add(3)
+	e.Add(1)
+	if got := e.Value(); got != 2 {
+		t.Fatalf("two-element median %v, want 2", got)
+	}
+	if e.Count() != 2 {
+		t.Fatalf("Count = %d", e.Count())
+	}
+}
+
+func TestP2QuantileAccuracy(t *testing.T) {
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		e := NewP2Quantile(p)
+		r := rng.New(uint64(p * 1000))
+		const n = 200000
+		for i := 0; i < n; i++ {
+			e.Add(r.Float64()) // uniform: true quantile = p
+		}
+		if got := e.Value(); math.Abs(got-p) > 0.02 {
+			t.Fatalf("P2(%v) estimate %v", p, got)
+		}
+	}
+}
+
+func TestP2QuantileNormal(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	r := rng.New(5)
+	for i := 0; i < 100000; i++ {
+		e.Add(r.NormFloat64())
+	}
+	if got := e.Value(); math.Abs(got) > 0.03 {
+		t.Fatalf("normal median estimate %v, want ~0", got)
+	}
+}
+
+func TestP2QuantilePanics(t *testing.T) {
+	mustPanic(t, "p=0", func() { NewP2Quantile(0) })
+	mustPanic(t, "p=1", func() { NewP2Quantile(1) })
+}
+
+// TestQuantileMonotoneProperty: quantiles are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	r := rng.New(9)
+	f := func(seed uint8) bool {
+		n := int(seed%30) + 2
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

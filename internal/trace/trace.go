@@ -1,0 +1,180 @@
+// Package trace captures simulation time series (loads, deficits,
+// regret) with optional downsampling and writes them as CSV or JSON for
+// external plotting. A Trace doubles as a colony.Observer.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"taskalloc/internal/demand"
+)
+
+// Point is one recorded round.
+type Point struct {
+	Round  uint64 `json:"round"`
+	Loads  []int  `json:"loads"`
+	Demand []int  `json:"demand"`
+	Regret int    `json:"regret"`
+}
+
+// Trace records a (possibly downsampled) trajectory. Construct with New.
+// Not safe for concurrent use.
+type Trace struct {
+	k      int
+	every  uint64
+	max    int
+	points []Point
+}
+
+// New builds a Trace for k tasks keeping one point per every rounds
+// (every = 0 or 1 keeps all) and at most max points (0 means unlimited).
+// When the cap is hit, the trace thins itself: it doubles the stride and
+// drops every other retained point, so long runs keep uniform coverage.
+func New(k int, every uint64, max int) *Trace {
+	if k <= 0 {
+		panic("trace: New needs k >= 1")
+	}
+	if every == 0 {
+		every = 1
+	}
+	if max < 0 {
+		max = 0
+	}
+	return &Trace{k: k, every: every, max: max}
+}
+
+// Observe implements the colony.Observer contract.
+func (tr *Trace) Observe(t uint64, loads []int, dem demand.Vector) {
+	if t%tr.every != 0 {
+		return
+	}
+	if tr.max > 0 && len(tr.points) >= tr.max {
+		tr.thin()
+		if t%tr.every != 0 {
+			return
+		}
+	}
+	p := Point{
+		Round:  t,
+		Loads:  append([]int(nil), loads...),
+		Demand: append([]int(nil), dem...),
+	}
+	for j, d := range p.Demand {
+		diff := d - p.Loads[j]
+		if diff < 0 {
+			diff = -diff
+		}
+		p.Regret += diff
+	}
+	tr.points = append(tr.points, p)
+}
+
+// thin doubles the stride and keeps only points aligned to it, so the
+// retained rounds stay uniformly spaced.
+func (tr *Trace) thin() {
+	tr.every *= 2
+	kept := tr.points[:0]
+	for _, p := range tr.points {
+		if p.Round%tr.every == 0 {
+			kept = append(kept, p)
+		}
+	}
+	tr.points = kept
+}
+
+// Observer adapts the trace to the colony.Observer func type.
+func (tr *Trace) Observer() func(t uint64, loads []int, dem demand.Vector) {
+	return tr.Observe
+}
+
+// Len returns the number of stored points.
+func (tr *Trace) Len() int { return len(tr.points) }
+
+// Points returns the stored points (owned by the trace).
+func (tr *Trace) Points() []Point { return tr.points }
+
+// Stride returns the current sampling stride in rounds.
+func (tr *Trace) Stride() uint64 { return tr.every }
+
+// RegretSeries returns the regret of each stored point.
+func (tr *Trace) RegretSeries() []int {
+	out := make([]int, len(tr.points))
+	for i, p := range tr.points {
+		out[i] = p.Regret
+	}
+	return out
+}
+
+// LoadSeries returns the load of task j at each stored point.
+func (tr *Trace) LoadSeries(j int) []int {
+	if j < 0 || j >= tr.k {
+		panic(fmt.Sprintf("trace: LoadSeries task %d outside [0,%d)", j, tr.k))
+	}
+	out := make([]int, len(tr.points))
+	for i, p := range tr.points {
+		out[i] = p.Loads[j]
+	}
+	return out
+}
+
+// DeficitSeries returns d(j) − W(j) at each stored point.
+func (tr *Trace) DeficitSeries(j int) []int {
+	if j < 0 || j >= tr.k {
+		panic(fmt.Sprintf("trace: DeficitSeries task %d outside [0,%d)", j, tr.k))
+	}
+	out := make([]int, len(tr.points))
+	for i, p := range tr.points {
+		out[i] = p.Demand[j] - p.Loads[j]
+	}
+	return out
+}
+
+// WriteCSV writes "round,regret,load_0..,demand_0.." rows.
+func (tr *Trace) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"round", "regret"}
+	for j := 0; j < tr.k; j++ {
+		header = append(header, "load_"+strconv.Itoa(j))
+	}
+	for j := 0; j < tr.k; j++ {
+		header = append(header, "demand_"+strconv.Itoa(j))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, 0, len(header))
+	for _, p := range tr.points {
+		row = row[:0]
+		row = append(row, strconv.FormatUint(p.Round, 10), strconv.Itoa(p.Regret))
+		for _, l := range p.Loads {
+			row = append(row, strconv.Itoa(l))
+		}
+		for _, d := range p.Demand {
+			row = append(row, strconv.Itoa(d))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the points as a JSON array.
+func (tr *Trace) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr.points)
+}
+
+// ReadJSON parses points previously written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Point, error) {
+	var pts []Point
+	if err := json.NewDecoder(r).Decode(&pts); err != nil {
+		return nil, err
+	}
+	return pts, nil
+}

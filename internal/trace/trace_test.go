@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"taskalloc/internal/demand"
+)
+
+func obs(tr *Trace, t uint64, loads ...int) {
+	dem := demand.Vector{10, 20}
+	tr.Observe(t, loads, dem)
+}
+
+func TestRecordAll(t *testing.T) {
+	tr := New(2, 0, 0)
+	obs(tr, 1, 5, 20)
+	obs(tr, 2, 10, 25)
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	p := tr.Points()[0]
+	if p.Round != 1 || p.Regret != 5 {
+		t.Fatalf("point %+v", p)
+	}
+	if tr.Points()[1].Regret != 5 {
+		t.Fatalf("second regret %d, want 5", tr.Points()[1].Regret)
+	}
+}
+
+func TestPointsAreCopies(t *testing.T) {
+	tr := New(1, 1, 0)
+	loads := []int{5}
+	tr.Observe(1, loads, demand.Vector{10})
+	loads[0] = 99
+	if tr.Points()[0].Loads[0] != 5 {
+		t.Fatal("trace aliased caller slice")
+	}
+}
+
+func TestDownsampling(t *testing.T) {
+	tr := New(1, 10, 0)
+	for i := uint64(1); i <= 100; i++ {
+		tr.Observe(i, []int{int(i)}, demand.Vector{50})
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", tr.Len())
+	}
+	for i, p := range tr.Points() {
+		if p.Round != uint64((i+1)*10) {
+			t.Fatalf("point %d round %d", i, p.Round)
+		}
+	}
+}
+
+func TestThinningCap(t *testing.T) {
+	tr := New(1, 1, 50)
+	for i := uint64(1); i <= 1000; i++ {
+		tr.Observe(i, []int{1}, demand.Vector{1})
+	}
+	if tr.Len() > 100 {
+		t.Fatalf("Len = %d exceeds thinned cap", tr.Len())
+	}
+	if tr.Stride() < 2 {
+		t.Fatalf("stride %d never doubled", tr.Stride())
+	}
+	// Retained rounds must be multiples of the final stride (uniform).
+	for _, p := range tr.Points()[1:] {
+		if p.Round%tr.Stride() != 0 {
+			t.Fatalf("non-uniform retained round %d (stride %d)", p.Round, tr.Stride())
+		}
+	}
+}
+
+func TestSeriesAccessors(t *testing.T) {
+	tr := New(2, 1, 0)
+	obs(tr, 1, 4, 25)
+	obs(tr, 2, 12, 15)
+	if got := tr.RegretSeries(); got[0] != 11 || got[1] != 7 {
+		t.Fatalf("regret series %v", got)
+	}
+	if got := tr.LoadSeries(0); got[0] != 4 || got[1] != 12 {
+		t.Fatalf("load series %v", got)
+	}
+	if got := tr.DeficitSeries(1); got[0] != -5 || got[1] != 5 {
+		t.Fatalf("deficit series %v", got)
+	}
+}
+
+func TestSeriesPanics(t *testing.T) {
+	tr := New(1, 1, 0)
+	mustPanic(t, "LoadSeries", func() { tr.LoadSeries(1) })
+	mustPanic(t, "DeficitSeries", func() { tr.DeficitSeries(-1) })
+	mustPanic(t, "New k=0", func() { New(0, 1, 0) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestWriteCSV(t *testing.T) {
+	tr := New(2, 1, 0)
+	obs(tr, 1, 5, 20)
+	var buf bytes.Buffer
+	if err := tr.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV lines %d", len(lines))
+	}
+	if lines[0] != "round,regret,load_0,load_1,demand_0,demand_1" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "1,5,5,20,10,20" {
+		t.Fatalf("row %q", lines[1])
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr := New(2, 1, 0)
+	obs(tr, 1, 5, 20)
+	obs(tr, 2, 11, 19)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	pts, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("round-trip %d points", len(pts))
+	}
+	if pts[1].Round != 2 || pts[1].Loads[0] != 11 || pts[1].Regret != 2 {
+		t.Fatalf("round-trip point %+v", pts[1])
+	}
+}
+
+func TestReadJSONError(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}

@@ -1,0 +1,509 @@
+// Package taskalloc is a simulation library for self-stabilizing
+// distributed task allocation under noisy binary feedback, reproducing
+// "Self-Stabilizing Task Allocation In Spite of Noise" (Dornhaus, Lynch,
+// Mallmann-Trenn, Pajak, Radeva; SPAA 2020).
+//
+// A colony of n ants allocates itself over k tasks with demands d(j).
+// Each synchronous round every ant receives, per task, a binary
+// lack/overload signal that is a noisy function of the task's deficit,
+// and switches tasks using only constant memory. The package provides
+// the paper's algorithms (Algorithm Ant, Algorithm Precise Sigmoid,
+// Algorithm Precise Adversarial, and the trivial baseline), its noise
+// models (sigmoid, adversarial with pluggable grey-zone strategies,
+// noiseless, correlated), two simulation engines (an agent-based one
+// sharded across goroutines and a mean-field aggregate one), and the
+// regret metrics the paper's theorems are stated in.
+//
+// Quickstart:
+//
+//	sim, err := taskalloc.New(taskalloc.Config{
+//		Ants:    10000,
+//		Demands: []int{1500, 2500},
+//		Noise:   taskalloc.SigmoidNoise(0.05),
+//	})
+//	if err != nil { ... }
+//	sim.Run(20000, nil)
+//	fmt.Println(sim.Report())
+//
+// The experiment harness that regenerates every figure and theorem table
+// of the paper lives in cmd/experiments; see DESIGN.md and EXPERIMENTS.md.
+package taskalloc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/colony"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/meanfield"
+	"taskalloc/internal/metrics"
+	"taskalloc/internal/noise"
+)
+
+// Algorithm selects the ant automaton.
+type Algorithm int
+
+const (
+	// Ant is Algorithm Ant (Theorem 3.1): two-round phases, two spaced
+	// samples, 5·(γ/γ*)-close under both noise models.
+	Ant Algorithm = iota
+	// PreciseSigmoid is Algorithm Precise Sigmoid (Theorem 3.2):
+	// median-amplified samples, ε-close under sigmoid noise; requires
+	// Epsilon.
+	PreciseSigmoid
+	// PreciseAdversarial is Algorithm Precise Adversarial (Theorem 3.6):
+	// drain-and-hold phases, (1+ε)-close under adversarial noise;
+	// requires Epsilon.
+	PreciseAdversarial
+	// Trivial is the memoryless baseline of Appendix D: join on lack,
+	// leave on overload. It oscillates under the synchronous scheduler
+	// and behaves well only under the sequential one.
+	Trivial
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Ant:
+		return "ant"
+	case PreciseSigmoid:
+		return "precise-sigmoid"
+	case PreciseAdversarial:
+		return "precise-adversarial"
+	case Trivial:
+		return "trivial"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// NoiseKind selects the feedback model family.
+type NoiseKind int
+
+const (
+	// NoiseSigmoid draws per-ant independent signals with
+	// P[lack] = 1/(1+e^{−λΔ}).
+	NoiseSigmoid NoiseKind = iota
+	// NoiseAdversarial is deterministic and correct outside the grey
+	// zone [−γad·d, γad·d] and controlled by GreyStrategy inside it.
+	NoiseAdversarial
+	// NoisePerfect is the noiseless binary feedback of Cornejo et al.
+	NoisePerfect
+)
+
+// Noise configures the feedback model.
+type Noise struct {
+	Kind NoiseKind
+	// Lambda is the sigmoid steepness (NoiseSigmoid). Set it directly,
+	// or leave 0 and set GammaStar to place the critical value.
+	Lambda float64
+	// GammaStar, when nonzero with NoiseSigmoid and Lambda == 0,
+	// chooses λ so that the critical value equals GammaStar.
+	GammaStar float64
+	// GammaAd is the adversarial threshold (NoiseAdversarial).
+	GammaAd float64
+	// GreyStrategy names the grey-zone behavior for NoiseAdversarial:
+	// one of "truthful", "inverted", "alternating", "always-lack",
+	// "always-overload", "random". Empty means "inverted" (worst case).
+	GreyStrategy string
+	// CorrelatedFlipProb, if positive, wraps the model in colony-wide
+	// correlated sign flips with this per-task per-round probability
+	// (Remark 3.4).
+	CorrelatedFlipProb float64
+}
+
+// SigmoidNoise returns a sigmoid Noise whose critical value γ* will be
+// placed at gammaStar for the simulation's n and min demand.
+func SigmoidNoise(gammaStar float64) Noise {
+	return Noise{Kind: NoiseSigmoid, GammaStar: gammaStar}
+}
+
+// AdversarialNoise returns a worst-case (inverted grey zone) adversarial
+// Noise with threshold gammaAd.
+func AdversarialNoise(gammaAd float64) Noise {
+	return Noise{Kind: NoiseAdversarial, GammaAd: gammaAd}
+}
+
+// PerfectNoise returns the noiseless binary feedback model.
+func PerfectNoise() Noise { return Noise{Kind: NoisePerfect} }
+
+// InitKind selects the initial assignment of ants.
+type InitKind int
+
+const (
+	// InitIdle starts every ant idle (the paper's canonical start).
+	InitIdle InitKind = iota
+	// InitUniform assigns each ant uniformly over {idle, task 0..k−1}.
+	InitUniform
+	// InitFlood places every ant on task 0 (adversarial start).
+	InitFlood
+	// InitExact matches the demands exactly (zero initial regret).
+	InitExact
+)
+
+// DemandChange replaces the demand vector from round At onward.
+type DemandChange struct {
+	At      uint64
+	Demands []int
+}
+
+// Config assembles a simulation. Zero values get defaults where noted.
+type Config struct {
+	// Ants is the colony size n.
+	Ants int
+	// Demands is the per-task demand vector d.
+	Demands []int
+	// Algorithm defaults to Ant.
+	Algorithm Algorithm
+	// Gamma is the learning rate γ; 0 means 1/16 (the maximum the
+	// analysis allows).
+	Gamma float64
+	// Epsilon is the precision of the Precise algorithms.
+	Epsilon float64
+	// Noise defaults to SigmoidNoise(Gamma/2).
+	Noise Noise
+	// Init defaults to InitIdle.
+	Init InitKind
+	// DemandChanges optionally schedules demand vector changes.
+	DemandChanges []DemandChange
+	// Sequential runs the Appendix D.1 scheduler (one random ant per
+	// round) instead of the synchronous one.
+	Sequential bool
+	// MeanField replaces the agent-based engine with the aggregate
+	// binomial engine (O(2^k) per round instead of O(n·k); statistically
+	// equivalent dynamics). Only Algorithm Ant is supported, and it is
+	// mutually exclusive with Sequential.
+	MeanField bool
+	// Seed drives all randomness (default 1 if zero).
+	Seed uint64
+	// Shards is the parallel fan-out of the synchronous engine
+	// (0 = GOMAXPROCS). Trajectories are reproducible per (Seed, Shards).
+	Shards int
+	// BurnIn excludes this many initial rounds from Report averages.
+	BurnIn uint64
+	// CheckAssumptions, if true, rejects configs violating the paper's
+	// Assumptions 2.1 (d(j) = Ω(log n), Σd ≤ n/2).
+	CheckAssumptions bool
+}
+
+// Observer receives the state after every round. Slices are owned by the
+// simulation and must not be retained.
+type Observer func(round uint64, loads []int, demands []int)
+
+// Simulation is a configured run. Not safe for concurrent use.
+type Simulation struct {
+	cfg       Config
+	k         int
+	engine    *colony.Engine
+	seqEngine *colony.Sequential
+	mfEngine  *meanfield.Engine
+	rec       *metrics.Recorder
+	model     noise.Model
+	gammaStar float64
+	demSum    int
+}
+
+// New validates cfg and builds a Simulation.
+func New(cfg Config) (*Simulation, error) {
+	if cfg.Ants <= 0 {
+		return nil, errors.New("taskalloc: need Ants >= 1")
+	}
+	dem := demand.Vector(cfg.Demands)
+	if err := dem.Validate(); err != nil {
+		return nil, err
+	}
+	k := len(dem)
+	if cfg.Gamma == 0 {
+		cfg.Gamma = agent.MaxGamma
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.CheckAssumptions {
+		if err := dem.CheckAssumptions(cfg.Ants, 1); err != nil {
+			return nil, err
+		}
+	}
+
+	// Noise model.
+	nz := cfg.Noise
+	if nz.Kind == NoiseSigmoid && nz.Lambda == 0 {
+		target := nz.GammaStar
+		if target == 0 {
+			target = cfg.Gamma / 2
+		}
+		nz.Lambda = noise.LambdaForCritical(target, cfg.Ants, dem.Min())
+		if math.IsNaN(nz.Lambda) {
+			return nil, fmt.Errorf("taskalloc: cannot place γ* at %v", target)
+		}
+	}
+	var model noise.Model
+	switch nz.Kind {
+	case NoiseSigmoid:
+		model = noise.SigmoidModel{Lambda: nz.Lambda}
+	case NoiseAdversarial:
+		if nz.GammaAd <= 0 {
+			return nil, errors.New("taskalloc: adversarial noise needs GammaAd > 0")
+		}
+		strat, err := greyStrategy(nz.GreyStrategy)
+		if err != nil {
+			return nil, err
+		}
+		model = noise.AdversarialModel{GammaAd: nz.GammaAd, Strategy: strat}
+	case NoisePerfect:
+		model = noise.PerfectModel{}
+	default:
+		return nil, fmt.Errorf("taskalloc: unknown noise kind %d", nz.Kind)
+	}
+	if nz.CorrelatedFlipProb > 0 {
+		model = noise.CorrelatedModel{Base: model, FlipProb: nz.CorrelatedFlipProb, Seed: cfg.Seed}
+	}
+
+	// Algorithm factory.
+	var factory agent.Factory
+	params := agent.DefaultParams(cfg.Gamma)
+	params.Epsilon = cfg.Epsilon
+	switch cfg.Algorithm {
+	case Ant:
+		if err := params.Validate(false); err != nil {
+			return nil, err
+		}
+		factory = agent.AntFactory(k, params)
+	case PreciseSigmoid:
+		if err := params.Validate(true); err != nil {
+			return nil, err
+		}
+		factory = agent.PreciseSigmoidFactory(k, params)
+	case PreciseAdversarial:
+		if err := params.Validate(true); err != nil {
+			return nil, err
+		}
+		factory = agent.PreciseAdversarialFactory(k, params)
+	case Trivial:
+		factory = agent.TrivialFactory(k)
+	default:
+		return nil, fmt.Errorf("taskalloc: unknown algorithm %d", cfg.Algorithm)
+	}
+
+	// Schedule.
+	var sched demand.Schedule = demand.Static{V: dem}
+	if len(cfg.DemandChanges) > 0 {
+		when := make([]uint64, len(cfg.DemandChanges))
+		changes := make([]demand.Vector, len(cfg.DemandChanges))
+		for i, c := range cfg.DemandChanges {
+			when[i] = c.At
+			changes[i] = demand.Vector(c.Demands)
+		}
+		step, err := demand.NewStep(dem, when, changes)
+		if err != nil {
+			return nil, err
+		}
+		sched = step
+	}
+
+	// Initializer.
+	var init colony.Initializer
+	switch cfg.Init {
+	case InitIdle:
+		init = colony.AllIdle
+	case InitUniform:
+		init = colony.UniformRandom
+	case InitFlood:
+		init = colony.Concentrated(0)
+	case InitExact:
+		if dem.Sum() > cfg.Ants {
+			return nil, errors.New("taskalloc: InitExact needs Σd <= Ants")
+		}
+		init = colony.Exact(dem)
+	default:
+		return nil, fmt.Errorf("taskalloc: unknown init kind %d", cfg.Init)
+	}
+
+	ccfg := colony.Config{
+		N:        cfg.Ants,
+		Schedule: sched,
+		Model:    model,
+		Factory:  factory,
+		Init:     init,
+		Seed:     cfg.Seed,
+		Shards:   cfg.Shards,
+	}
+	s := &Simulation{
+		cfg:       cfg,
+		k:         k,
+		rec:       metrics.NewRecorder(k, cfg.Gamma, params.Cs, cfg.BurnIn),
+		model:     model,
+		gammaStar: model.CriticalValue(cfg.Ants, dem.Min()),
+		demSum:    dem.Sum(),
+	}
+	var err error
+	switch {
+	case cfg.MeanField && cfg.Sequential:
+		return nil, errors.New("taskalloc: MeanField and Sequential are mutually exclusive")
+	case cfg.MeanField:
+		if cfg.Algorithm != Ant {
+			return nil, errors.New("taskalloc: MeanField supports only the Ant algorithm")
+		}
+		if cfg.Init != InitIdle && cfg.Init != InitExact {
+			return nil, errors.New("taskalloc: MeanField supports InitIdle or InitExact")
+		}
+		var initLoads []int
+		if cfg.Init == InitExact {
+			initLoads = append([]int(nil), cfg.Demands...)
+		}
+		s.mfEngine, err = meanfield.New(meanfield.Config{
+			N:         cfg.Ants,
+			Schedule:  sched,
+			Model:     model,
+			Params:    params,
+			InitLoads: initLoads,
+			Seed:      cfg.Seed,
+		})
+	case cfg.Sequential:
+		s.seqEngine, err = colony.NewSequential(ccfg)
+	default:
+		s.engine, err = colony.New(ccfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func greyStrategy(name string) (noise.GreyStrategy, error) {
+	switch name {
+	case "", "inverted":
+		return noise.Inverted{}, nil
+	case "truthful":
+		return noise.Truthful{}, nil
+	case "alternating":
+		return noise.Alternating{}, nil
+	case "always-lack":
+		return noise.AlwaysLack{}, nil
+	case "always-overload":
+		return noise.AlwaysOverload{}, nil
+	case "random":
+		return noise.NewRandomGrey(), nil
+	default:
+		return nil, fmt.Errorf("taskalloc: unknown grey strategy %q", name)
+	}
+}
+
+// Run advances the simulation by rounds rounds; obs (if non-nil) is
+// invoked after each round, after the built-in metrics recorder.
+func (s *Simulation) Run(rounds int, obs Observer) {
+	inner := func(t uint64, loads []int, dem demand.Vector) {
+		s.rec.Observe(t, loads, dem)
+		if obs != nil {
+			obs(t, loads, dem)
+		}
+	}
+	switch {
+	case s.mfEngine != nil:
+		s.mfEngine.Run(rounds, meanfield.Observer(inner))
+	case s.seqEngine != nil:
+		s.seqEngine.Run(rounds, inner)
+	default:
+		s.engine.Run(rounds, inner)
+	}
+}
+
+// Round returns the last completed round.
+func (s *Simulation) Round() uint64 {
+	switch {
+	case s.mfEngine != nil:
+		return s.mfEngine.Round()
+	case s.seqEngine != nil:
+		return s.seqEngine.Round()
+	default:
+		return s.engine.Round()
+	}
+}
+
+// Loads returns a copy of the current per-task loads.
+func (s *Simulation) Loads() []int {
+	var src []int
+	switch {
+	case s.mfEngine != nil:
+		src = s.mfEngine.Loads()
+	case s.seqEngine != nil:
+		src = s.seqEngine.Loads()
+	default:
+		src = s.engine.Loads()
+	}
+	out := make([]int, len(src))
+	copy(out, src)
+	return out
+}
+
+// Switches returns the cumulative number of task/idle changes. The
+// mean-field engine does not track individual ants and reports 0.
+func (s *Simulation) Switches() uint64 {
+	switch {
+	case s.mfEngine != nil:
+		return 0
+	case s.seqEngine != nil:
+		return s.seqEngine.Switches()
+	default:
+		return s.engine.Switches()
+	}
+}
+
+// CriticalValue returns γ* of the configured noise model for this colony.
+func (s *Simulation) CriticalValue() float64 { return s.gammaStar }
+
+// Report summarizes a simulation in the paper's terms.
+type Report struct {
+	// Rounds is the number of simulated rounds.
+	Rounds uint64
+	// TotalRegret is R(t) = Σ_τ Σ_j |d(j) − W(j)_τ|.
+	TotalRegret int64
+	// AvgRegret is the per-round regret averaged after BurnIn.
+	AvgRegret float64
+	// StdRegret is its standard deviation.
+	StdRegret float64
+	// PeakRegret is max_t r(t).
+	PeakRegret int
+	// Closeness is AvgRegret / (γ*·Σd): the paper's c in "c-close".
+	Closeness float64
+	// GammaStar is the critical value γ* used for Closeness.
+	GammaStar float64
+	// MaxAbsDeficit is the per-task maximum |Δ(j)| observed.
+	MaxAbsDeficit []int
+	// ZeroCrossings counts deficit sign flips per task (oscillations).
+	ZeroCrossings []int64
+	// Switches is the cumulative assignment-change count.
+	Switches uint64
+}
+
+// String renders a one-paragraph summary.
+func (r Report) String() string {
+	return fmt.Sprintf(
+		"rounds=%d totalRegret=%d avgRegret=%.4g±%.3g peak=%d closeness=%.4g (γ*=%.4g) switches=%d",
+		r.Rounds, r.TotalRegret, r.AvgRegret, r.StdRegret, r.PeakRegret,
+		r.Closeness, r.GammaStar, r.Switches)
+}
+
+// Report returns the metrics accumulated so far.
+func (s *Simulation) Report() Report {
+	return Report{
+		Rounds:        s.rec.Rounds(),
+		TotalRegret:   s.rec.TotalRegret(),
+		AvgRegret:     s.rec.AvgRegret(),
+		StdRegret:     s.rec.StdRegret(),
+		PeakRegret:    s.rec.PeakRegret(),
+		Closeness:     s.rec.Closeness(s.gammaStar, s.demSum),
+		GammaStar:     s.gammaStar,
+		MaxAbsDeficit: s.rec.MaxAbsDeficit(),
+		ZeroCrossings: append([]int64(nil), s.rec.ZeroCrossings()...),
+		Switches:      s.Switches(),
+	}
+}
+
+// RegretBand returns the Theorem 3.1 per-round regret band 5γΣd + 3 for
+// this configuration.
+func (s *Simulation) RegretBand() float64 {
+	return 5*s.cfg.Gamma*float64(s.demSum) + 3
+}
