@@ -1,0 +1,3 @@
+module taskalloc
+
+go 1.24

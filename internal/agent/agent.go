@@ -81,6 +81,12 @@ type Factory struct {
 	Name string
 	// New constructs a fresh agent with cleared state and Idle assignment.
 	New func() Agent
+	// NewBatch, if non-nil, builds a struct-of-arrays population
+	// equivalent to n calls of New (same automaton, same RNG draw
+	// sequence). Engines prefer it over New because batch stepping
+	// avoids per-ant interface dispatch; leave it nil for custom agents
+	// and the engines fall back to the Agent path.
+	NewBatch func(n int) Batch
 }
 
 // Params collects the tunable constants shared by the paper's algorithms.

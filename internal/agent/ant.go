@@ -49,10 +49,17 @@ func NewAnt(k int, p Params) *Ant {
 // oscillations. Only the γ range check is waived; everything else is
 // validated.
 func NewHugger(k int, p Params) *Ant {
+	validateHugger(p)
+	return newAntUnchecked(k, p)
+}
+
+// validateHugger panics unless p satisfies every Algorithm Ant parameter
+// constraint except the γ ≥ γ* premise (see NewHugger). Shared by the
+// scalar and batch hugger constructors so the two paths cannot drift.
+func validateHugger(p Params) {
 	if p.Gamma <= 0 || p.Gamma > MaxGamma || p.Cs <= 0 || p.Cd <= 0 || p.Cs*p.Gamma >= 1 {
 		panic(fmt.Errorf("agent: invalid hugger params %+v", p))
 	}
-	return newAntUnchecked(k, p)
 }
 
 func newAntUnchecked(k int, p Params) *Ant {
@@ -132,8 +139,9 @@ func AntFactory(k int, p Params) Factory {
 		panic(err)
 	}
 	return Factory{
-		Name: fmt.Sprintf("ant(γ=%.4g)", p.Gamma),
-		New:  func() Agent { return NewAnt(k, p) },
+		Name:     fmt.Sprintf("ant(γ=%.4g)", p.Gamma),
+		New:      func() Agent { return NewAnt(k, p) },
+		NewBatch: func(n int) Batch { return newAntBatch(n, k, p) },
 	}
 }
 
@@ -143,5 +151,9 @@ func HuggerFactory(k int, p Params) Factory {
 	return Factory{
 		Name: fmt.Sprintf("hugger(γ=%.4g)", p.Gamma),
 		New:  func() Agent { return NewHugger(k, p) },
+		NewBatch: func(n int) Batch {
+			validateHugger(p)
+			return newAntBatch(n, k, p)
+		},
 	}
 }

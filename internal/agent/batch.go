@@ -1,0 +1,102 @@
+package agent
+
+import (
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// BatchTaskFeedback is one task's feedback description compiled for the
+// batch hot loop: the Bernoulli Lack probability is pre-converted to a
+// 53-bit integer cutoff (see rng.Cutoff), so sampling is a single raw-word
+// compare instead of an int→float conversion and a float compare. The
+// compilation preserves Bernoulli's clamping semantics — probabilities
+// ≤ 0 or ≥ 1 become deterministic descriptors that consume no draw — so a
+// batch sample consumes exactly the same RNG draws as Feedback.Sample and
+// returns the identical signal.
+type BatchTaskFeedback struct {
+	Det   bool
+	Value noise.Signal
+	Cut   uint64
+}
+
+// Sample returns one ant's signal for this task, consuming one RNG draw
+// iff the descriptor is probabilistic.
+func (f *BatchTaskFeedback) Sample(r *rng.Rng) noise.Signal {
+	if f.Det {
+		return f.Value
+	}
+	if r.BernoulliCut(f.Cut) {
+		return noise.Lack
+	}
+	return noise.Overload
+}
+
+// CompileFeedback translates the model's per-task descriptors into batch
+// form. out must have len(desc) entries. It is called once per round by
+// the engine and shared read-only by every shard.
+func CompileFeedback(desc []noise.TaskFeedback, out []BatchTaskFeedback) {
+	for j := range desc {
+		d := &desc[j]
+		switch {
+		case d.Deterministic:
+			out[j] = BatchTaskFeedback{Det: true, Value: d.Value}
+		case d.LackProb <= 0:
+			out[j] = BatchTaskFeedback{Det: true, Value: noise.Overload}
+		case d.LackProb >= 1:
+			out[j] = BatchTaskFeedback{Det: true, Value: noise.Lack}
+		default:
+			out[j] = BatchTaskFeedback{Cut: rng.Cutoff(d.LackProb)}
+		}
+	}
+}
+
+// coin is a precompiled Bernoulli draw with Bernoulli's exact semantics:
+// det < 0 is always-false (no draw), det > 0 always-true (no draw), and
+// det == 0 consumes one raw word and compares it against cut.
+type coin struct {
+	cut uint64
+	det int8
+}
+
+func makeCoin(p float64) coin {
+	switch {
+	case p <= 0:
+		return coin{det: -1}
+	case p >= 1:
+		return coin{det: 1}
+	default:
+		return coin{cut: rng.Cutoff(p)}
+	}
+}
+
+func (c coin) flip(r *rng.Rng) bool {
+	if c.det != 0 {
+		return c.det > 0
+	}
+	return r.BernoulliCut(c.cut)
+}
+
+// Batch is a struct-of-arrays population of n identical automata. All
+// per-ant state lives in contiguous typed slices owned by the batch, and
+// StepRange advances a whole index range with no interface dispatch, which
+// is what makes the colony hot loop cache-friendly and inlinable.
+//
+// Implementations must be RNG-equivalent to their Agent counterpart: for
+// the same stream, stepping ants [lo,hi) in index order must consume
+// exactly the draws that calling Agent.Step on each ant in the same order
+// would, and produce the same assignments. The colony engine's
+// equivalence tests enforce this bit-for-bit.
+//
+// Distinct index ranges touch disjoint state, so shards may call
+// StepRange concurrently as long as their ranges do not overlap and each
+// passes its own RNG stream.
+type Batch interface {
+	// StepRange advances ants [lo,hi) for round t, incrementing
+	// counts[a+1] for each ant's new assignment a (index 0 = idle) and
+	// returning the number of ants whose assignment changed.
+	StepRange(t uint64, lo, hi int, fb []BatchTaskFeedback, r *rng.Rng, counts []int) uint64
+	// Assignment returns ant i's current assignment.
+	Assignment(i int) int32
+	// Reset re-initializes ant i with assignment a and cleared memory.
+	Reset(i int, a int32)
+}

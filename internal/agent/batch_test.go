@@ -1,0 +1,245 @@
+package agent
+
+import (
+	"testing"
+
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// batchTestFactories returns every built-in factory that must provide a
+// batch implementation.
+func batchTestFactories(k int) []Factory {
+	p := DefaultParams(0.05)
+	pp := DefaultPreciseParams(0.05, 0.5)
+	return []Factory{
+		AntFactory(k, p),
+		HuggerFactory(k, DefaultParams(0.004)),
+		PreciseSigmoidFactory(k, pp),
+		PreciseAdversarialFactory(k, pp),
+		TrivialFactory(k),
+	}
+}
+
+// describeRound fabricates a per-round feedback mix covering
+// deterministic and Bernoulli descriptors.
+func describeRound(t uint64, k int) []noise.TaskFeedback {
+	desc := make([]noise.TaskFeedback, k)
+	for j := range desc {
+		switch (int(t) + j) % 4 {
+		case 0:
+			desc[j] = noise.Det(noise.Lack)
+		case 1:
+			desc[j] = noise.Det(noise.Overload)
+		case 2:
+			desc[j] = noise.Bern(0.3)
+		default:
+			desc[j] = noise.Bern(0.7)
+		}
+	}
+	return desc
+}
+
+// TestBatchMatchesAgents steps a Batch and an equal population of
+// interface Agents from identical RNG states and requires identical
+// assignments after every round — the agent-level version of the colony
+// equivalence harness.
+func TestBatchMatchesAgents(t *testing.T) {
+	const (
+		n      = 64
+		k      = 3
+		rounds = 420 // covers two full PreciseSigmoid phases (2m = 82)
+	)
+	for _, f := range batchTestFactories(k) {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			if f.NewBatch == nil {
+				t.Fatalf("factory %s has no NewBatch", f.Name)
+			}
+			batch := f.NewBatch(n)
+			agents := make([]Agent, n)
+			for i := range agents {
+				agents[i] = f.New()
+			}
+			// Mixed initial assignments, mirrored on both sides.
+			for i := 0; i < n; i++ {
+				a := int32(i%(k+1)) - 1
+				batch.Reset(i, a)
+				agents[i].Reset(a)
+				if got := batch.Assignment(i); got != a {
+					t.Fatalf("batch Reset(%d, %d) left assignment %d", i, a, got)
+				}
+			}
+
+			rb := rng.New(7)
+			ra := rng.New(7)
+			counts := make([]int, k+1)
+			batchFb := make([]BatchTaskFeedback, k)
+			for tt := uint64(1); tt <= rounds; tt++ {
+				desc := describeRound(tt, k)
+				CompileFeedback(desc, batchFb)
+				for j := range counts {
+					counts[j] = 0
+				}
+				batchSw := batch.StepRange(tt, 0, n, batchFb, rb, counts)
+
+				fb := NewFeedback(desc, ra)
+				var agentSw uint64
+				agentCounts := make([]int, k+1)
+				for i := range agents {
+					old := agents[i].Assignment()
+					a := agents[i].Step(tt, &fb, ra)
+					agentCounts[a+1]++
+					if a != old {
+						agentSw++
+					}
+				}
+
+				if batchSw != agentSw {
+					t.Fatalf("round %d: batch switches %d != agent switches %d",
+						tt, batchSw, agentSw)
+				}
+				for j := range counts {
+					if counts[j] != agentCounts[j] {
+						t.Fatalf("round %d: counts[%d] batch %d != agent %d",
+							tt, j, counts[j], agentCounts[j])
+					}
+				}
+				for i := range agents {
+					if batch.Assignment(i) != agents[i].Assignment() {
+						t.Fatalf("round %d ant %d: batch %d != agent %d",
+							tt, i, batch.Assignment(i), agents[i].Assignment())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchStepRangeSharded checks that stepping [0,n) in two disjoint
+// ranges with per-range RNG streams matches n individually forked
+// agents — the sharded consumption pattern of the colony engine.
+func TestBatchStepRangeSharded(t *testing.T) {
+	const (
+		n      = 40
+		k      = 2
+		mid    = 17
+		rounds = 100
+	)
+	f := AntFactory(k, DefaultParams(0.05))
+	batch := f.NewBatch(n)
+	agents := make([]Agent, n)
+	for i := range agents {
+		agents[i] = f.New()
+		agents[i].Reset(Idle)
+		batch.Reset(i, Idle)
+	}
+	master := rng.New(11)
+	rb0, rb1 := master.Fork(1), master.Fork(2)
+	ra0, ra1 := master.Fork(1), master.Fork(2)
+	counts := make([]int, k+1)
+	batchFb := make([]BatchTaskFeedback, k)
+	for tt := uint64(1); tt <= rounds; tt++ {
+		desc := describeRound(tt, k)
+		CompileFeedback(desc, batchFb)
+		batch.StepRange(tt, 0, mid, batchFb, rb0, counts)
+		batch.StepRange(tt, mid, n, batchFb, rb1, counts)
+
+		fb0 := NewFeedback(desc, ra0)
+		for i := 0; i < mid; i++ {
+			agents[i].Step(tt, &fb0, ra0)
+		}
+		fb1 := NewFeedback(desc, ra1)
+		for i := mid; i < n; i++ {
+			agents[i].Step(tt, &fb1, ra1)
+		}
+		for i := range agents {
+			if batch.Assignment(i) != agents[i].Assignment() {
+				t.Fatalf("round %d ant %d: batch %d != agent %d",
+					tt, i, batch.Assignment(i), agents[i].Assignment())
+			}
+		}
+	}
+}
+
+// TestCompileFeedback pins the clamping semantics: out-of-range Bernoulli
+// probabilities compile to deterministic descriptors (no RNG draw), in
+// line with rng.Bernoulli's short-circuits.
+func TestCompileFeedback(t *testing.T) {
+	desc := []noise.TaskFeedback{
+		noise.Det(noise.Lack),
+		noise.Det(noise.Overload),
+		noise.Bern(0),
+		noise.Bern(-0.5),
+		noise.Bern(1),
+		noise.Bern(1.5),
+		noise.Bern(0.25),
+	}
+	out := make([]BatchTaskFeedback, len(desc))
+	CompileFeedback(desc, out)
+	want := []BatchTaskFeedback{
+		{Det: true, Value: noise.Lack},
+		{Det: true, Value: noise.Overload},
+		{Det: true, Value: noise.Overload},
+		{Det: true, Value: noise.Overload},
+		{Det: true, Value: noise.Lack},
+		{Det: true, Value: noise.Lack},
+		{Cut: rng.Cutoff(0.25)},
+	}
+	for j := range want {
+		if out[j] != want[j] {
+			t.Fatalf("descriptor %d: got %+v, want %+v", j, out[j], want[j])
+		}
+	}
+	// A deterministic descriptor must not consume a draw.
+	r1 := rng.New(3)
+	r2 := rng.New(3)
+	for j := 0; j < 6; j++ {
+		out[j].Sample(r1)
+	}
+	if r1.Uint64() != r2.Uint64() {
+		t.Fatal("deterministic Sample consumed an RNG draw")
+	}
+}
+
+// TestCoinMatchesBernoulli checks the precompiled coin against
+// rng.Bernoulli draw for draw across the probability range, including the
+// degenerate endpoints that must not consume randomness.
+func TestCoinMatchesBernoulli(t *testing.T) {
+	ps := []float64{-1, 0, 1e-12, 0.15, 0.5, 0.85, 1 - 1e-12, 1, 2}
+	for _, p := range ps {
+		c := makeCoin(p)
+		r1 := rng.New(99)
+		r2 := rng.New(99)
+		for i := 0; i < 2000; i++ {
+			if got, want := c.flip(r1), r2.Bernoulli(p); got != want {
+				t.Fatalf("p=%v draw %d: coin %v != Bernoulli %v", p, i, got, want)
+			}
+		}
+		if r1.Uint64() != r2.Uint64() {
+			t.Fatalf("p=%v: coin and Bernoulli consumed different draw counts", p)
+		}
+	}
+}
+
+// TestBatchFactoryValidation ensures the batch constructors enforce the
+// same parameter checks as their scalar counterparts.
+func TestBatchFactoryValidation(t *testing.T) {
+	cases := []func(){
+		func() { newAntBatch(4, 0, DefaultParams(0.05)) },
+		func() { newTrivialBatch(4, 0) },
+		func() { newPreciseSigmoidBatch(4, 2, DefaultParams(0.05)) },              // no epsilon
+		func() { newPreciseAdversarialBatch(4, 2, DefaultParams(0.05)) },          // no epsilon
+		func() { HuggerFactory(2, Params{Gamma: 0.5, Cs: 1, Cd: 1}).NewBatch(4) }, // γ too big
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -213,7 +213,8 @@ func PreciseAdversarialFactory(k int, p Params) Factory {
 		panic(err)
 	}
 	return Factory{
-		Name: fmt.Sprintf("precise-adversarial(γ=%.4g, ε=%.4g)", p.Gamma, p.Epsilon),
-		New:  func() Agent { return NewPreciseAdversarial(k, p) },
+		Name:     fmt.Sprintf("precise-adversarial(γ=%.4g, ε=%.4g)", p.Gamma, p.Epsilon),
+		New:      func() Agent { return NewPreciseAdversarial(k, p) },
+		NewBatch: func(n int) Batch { return newPreciseAdversarialBatch(n, k, p) },
 	}
 }

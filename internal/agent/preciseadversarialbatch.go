@@ -1,0 +1,162 @@
+package agent
+
+import (
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// preciseAdversarialBatch is the struct-of-arrays form of Algorithm
+// Precise Adversarial. The per-ant all-Lack registers are one n·k bool
+// slice; sub-phase geometry (r1, r2) is taken from a prototype automaton
+// so the two paths can never disagree on rounding.
+type preciseAdversarialBatch struct {
+	k      int
+	r1, r2 int
+	drain  coin // ε·γ/32, used for both the gradual drain and the final leave
+
+	cur          []int32
+	assign       []int32
+	allLack      []bool // ant i's register at [i*k : (i+1)*k)
+	allOver      []bool
+	captured     []bool
+	capturedIdle []bool
+}
+
+func newPreciseAdversarialBatch(n, k int, p Params) *preciseAdversarialBatch {
+	proto := NewPreciseAdversarial(k, p) // validates p and k, fixes r1/r2
+	b := &preciseAdversarialBatch{
+		k:            k,
+		r1:           proto.r1,
+		r2:           proto.r2,
+		drain:        makeCoin(p.Epsilon * p.Gamma / 32),
+		cur:          make([]int32, n),
+		assign:       make([]int32, n),
+		allLack:      make([]bool, n*k),
+		allOver:      make([]bool, n),
+		captured:     make([]bool, n),
+		capturedIdle: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		b.Reset(i, Idle)
+	}
+	return b
+}
+
+// StepRange implements Batch, mirroring PreciseAdversarial.Step.
+func (b *preciseAdversarialBatch) StepRange(t uint64, lo, hi int, fb []BatchTaskFeedback, r *rng.Rng, counts []int) uint64 {
+	k := b.k
+	cycle := uint64(b.r1 + b.r2)
+	rr := t % cycle
+	var switches uint64
+
+	for i := lo; i < hi; i++ {
+		old := b.assign[i]
+		allLack := b.allLack[i*k : i*k+k]
+
+		if rr == 1 {
+			b.cur[i] = b.assign[i]
+			for j := 0; j < k; j++ {
+				allLack[j] = true
+			}
+			b.allOver[i] = true
+			b.captured[i] = false
+			b.capturedIdle[i] = false
+		}
+		cur := b.cur[i]
+
+		// Sample: idle ants track every task, workers only their own.
+		var own noise.Signal
+		if cur == Idle {
+			for j := 0; j < k; j++ {
+				if fb[j].Sample(r) == noise.Lack {
+					b.allOver[i] = false
+				} else {
+					allLack[j] = false
+				}
+			}
+		} else {
+			own = fb[cur].Sample(r)
+			if own == noise.Lack {
+				b.allOver[i] = false
+			} else {
+				allLack[cur] = false
+			}
+		}
+
+		switch {
+		case rr >= 1 && rr < uint64(b.r1):
+			if cur != Idle {
+				if rr >= 2 && b.assign[i] != Idle && b.drain.flip(r) {
+					b.assign[i] = Idle
+				}
+				if !b.captured[i] && own == noise.Lack {
+					b.captured[i] = true
+					b.capturedIdle[i] = b.assign[i] == Idle
+				}
+			}
+
+		case rr == uint64(b.r1):
+			if cur != Idle {
+				if !b.captured[i] {
+					b.captured[i] = true
+					b.capturedIdle[i] = b.assign[i] == Idle
+				}
+				if b.capturedIdle[i] {
+					b.assign[i] = Idle
+				} else {
+					b.assign[i] = cur
+				}
+			}
+
+		case rr != 0: // second sub-phase interior: hold
+
+		default: // rr == 0: phase close
+			if cur == Idle {
+				count := 0
+				choice := Idle
+				for j := 0; j < k; j++ {
+					if allLack[j] {
+						count++
+						if r.Intn(count) == 0 {
+							choice = int32(j)
+						}
+					}
+				}
+				b.assign[i] = choice
+			} else if b.allOver[i] {
+				if b.assign[i] != Idle {
+					if b.drain.flip(r) {
+						b.assign[i] = Idle
+					} else {
+						b.assign[i] = cur
+					}
+				}
+			} else {
+				b.assign[i] = cur
+			}
+		}
+
+		a := b.assign[i]
+		counts[a+1]++
+		if a != old {
+			switches++
+		}
+	}
+	return switches
+}
+
+// Assignment implements Batch.
+func (b *preciseAdversarialBatch) Assignment(i int) int32 { return b.assign[i] }
+
+// Reset implements Batch, mirroring PreciseAdversarial.Reset.
+func (b *preciseAdversarialBatch) Reset(i int, a int32) {
+	b.assign[i] = a
+	b.cur[i] = a
+	base := i * b.k
+	for j := 0; j < b.k; j++ {
+		b.allLack[base+j] = false
+	}
+	b.allOver[i] = false
+	b.captured[i] = false
+	b.capturedIdle[i] = false
+}

@@ -180,7 +180,8 @@ func PreciseSigmoidFactory(k int, p Params) Factory {
 		panic(err)
 	}
 	return Factory{
-		Name: fmt.Sprintf("precise-sigmoid(γ=%.4g, ε=%.4g)", p.Gamma, p.Epsilon),
-		New:  func() Agent { return NewPreciseSigmoid(k, p) },
+		Name:     fmt.Sprintf("precise-sigmoid(γ=%.4g, ε=%.4g)", p.Gamma, p.Epsilon),
+		New:      func() Agent { return NewPreciseSigmoid(k, p) },
+		NewBatch: func(n int) Batch { return newPreciseSigmoidBatch(n, k, p) },
 	}
 }

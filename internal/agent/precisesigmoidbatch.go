@@ -1,0 +1,136 @@
+package agent
+
+import (
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// preciseSigmoidBatch is the struct-of-arrays form of Algorithm Precise
+// Sigmoid. Per-ant Lack counters and the ŝ1 register are laid out as
+// n·k contiguous slices; phase geometry (m) is taken from a prototype
+// automaton so the two paths can never disagree on rounding.
+type preciseSigmoidBatch struct {
+	k     int
+	m     int
+	pause coin // ε·cs·γ/c_χ temporary drop-out
+	leave coin // γ/(c_χ·cd) permanent leave
+
+	cur    []int32
+	assign []int32
+	lack1  []int32 // ant i's counters at [i*k : (i+1)*k)
+	lack2  []int32
+	med1   []noise.Signal
+}
+
+func newPreciseSigmoidBatch(n, k int, p Params) *preciseSigmoidBatch {
+	proto := NewPreciseSigmoid(k, p) // validates p and k, fixes m
+	b := &preciseSigmoidBatch{
+		k:      k,
+		m:      proto.m,
+		pause:  makeCoin(p.Epsilon * p.Cs * p.Gamma / p.CChi),
+		leave:  makeCoin(p.Gamma / (p.CChi * p.Cd)),
+		cur:    make([]int32, n),
+		assign: make([]int32, n),
+		lack1:  make([]int32, n*k),
+		lack2:  make([]int32, n*k),
+		med1:   make([]noise.Signal, n*k),
+	}
+	for i := 0; i < n; i++ {
+		b.Reset(i, Idle)
+	}
+	return b
+}
+
+// StepRange implements Batch, mirroring PreciseSigmoid.Step.
+func (b *preciseSigmoidBatch) StepRange(t uint64, lo, hi int, fb []BatchTaskFeedback, r *rng.Rng, counts []int) uint64 {
+	k := b.k
+	m := uint64(b.m)
+	rr := t % (2 * m)
+	var switches uint64
+
+	for i := lo; i < hi; i++ {
+		old := b.assign[i]
+		base := i * k
+		lack1 := b.lack1[base : base+k]
+		lack2 := b.lack2[base : base+k]
+		med1 := b.med1[base : base+k]
+
+		if rr == 1 {
+			b.cur[i] = b.assign[i]
+			for j := 0; j < k; j++ {
+				lack1[j] = 0
+				lack2[j] = 0
+			}
+		}
+
+		switch {
+		case rr >= 1 && rr <= m:
+			for j := 0; j < k; j++ {
+				if fb[j].Sample(r) == noise.Lack {
+					lack1[j]++
+				}
+			}
+			if rr == m {
+				for j := 0; j < k; j++ {
+					if 2*int(lack1[j]) > b.m {
+						med1[j] = noise.Lack
+					} else {
+						med1[j] = noise.Overload
+					}
+				}
+				if b.cur[i] != Idle && b.pause.flip(r) {
+					b.assign[i] = Idle
+				}
+			}
+
+		default: // rr in [m+1, 2m-1] or rr == 0
+			for j := 0; j < k; j++ {
+				if fb[j].Sample(r) == noise.Lack {
+					lack2[j]++
+				}
+			}
+			if rr == 0 {
+				cur := b.cur[i]
+				if cur == Idle {
+					count := 0
+					choice := Idle
+					for j := 0; j < k; j++ {
+						if med1[j] == noise.Lack && 2*int(lack2[j]) > b.m {
+							count++
+							if r.Intn(count) == 0 {
+								choice = int32(j)
+							}
+						}
+					}
+					b.assign[i] = choice
+				} else if med1[cur] == noise.Overload && 2*int(lack2[cur]) <= b.m && b.leave.flip(r) {
+					b.assign[i] = Idle
+				} else {
+					b.assign[i] = cur
+				}
+			}
+		}
+
+		a := b.assign[i]
+		counts[a+1]++
+		if a != old {
+			switches++
+		}
+	}
+	return switches
+}
+
+// Assignment implements Batch.
+func (b *preciseSigmoidBatch) Assignment(i int) int32 { return b.assign[i] }
+
+// Reset implements Batch, mirroring PreciseSigmoid.Reset.
+func (b *preciseSigmoidBatch) Reset(i int, a int32) {
+	b.assign[i] = a
+	b.cur[i] = a
+	base := i * b.k
+	for j := 0; j < b.k; j++ {
+		b.lack1[base+j] = 0
+		b.lack2[base+j] = 0
+		b.med1[base+j] = noise.Overload
+	}
+}

@@ -65,5 +65,9 @@ func (a *Trivial) PhaseLen() int { return 1 }
 
 // TrivialFactory returns a Factory producing trivial-algorithm agents.
 func TrivialFactory(k int) Factory {
-	return Factory{Name: "trivial", New: func() Agent { return NewTrivial(k) }}
+	return Factory{
+		Name:     "trivial",
+		New:      func() Agent { return NewTrivial(k) },
+		NewBatch: func(n int) Batch { return newTrivialBatch(n, k) },
+	}
 }

@@ -1,0 +1,60 @@
+package agent
+
+import (
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// trivialBatch is the struct-of-arrays form of the Appendix D trivial
+// algorithm: the only per-ant state is the assignment.
+type trivialBatch struct {
+	k      int
+	assign []int32
+}
+
+func newTrivialBatch(n, k int) *trivialBatch {
+	if k <= 0 {
+		panic("agent: newTrivialBatch needs k >= 1")
+	}
+	b := &trivialBatch{k: k, assign: make([]int32, n)}
+	for i := range b.assign {
+		b.assign[i] = Idle
+	}
+	return b
+}
+
+// StepRange implements Batch, mirroring Trivial.Step.
+func (b *trivialBatch) StepRange(_ uint64, lo, hi int, fb []BatchTaskFeedback, r *rng.Rng, counts []int) uint64 {
+	k := b.k
+	var switches uint64
+	for i := lo; i < hi; i++ {
+		old := b.assign[i]
+		if old == Idle {
+			count := 0
+			choice := Idle
+			for j := 0; j < k; j++ {
+				if fb[j].Sample(r) == noise.Lack {
+					count++
+					if r.Intn(count) == 0 {
+						choice = int32(j)
+					}
+				}
+			}
+			b.assign[i] = choice
+		} else if fb[old].Sample(r) == noise.Overload {
+			b.assign[i] = Idle
+		}
+		a := b.assign[i]
+		counts[a+1]++
+		if a != old {
+			switches++
+		}
+	}
+	return switches
+}
+
+// Assignment implements Batch.
+func (b *trivialBatch) Assignment(i int) int32 { return b.assign[i] }
+
+// Reset implements Batch.
+func (b *trivialBatch) Reset(i int, a int32) { b.assign[i] = a }

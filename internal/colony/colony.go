@@ -133,16 +133,27 @@ func (c Config) validate() error {
 }
 
 // Engine is the synchronous scheduler. Not safe for concurrent use.
+//
+// The hot loop has two implementations. When the factory provides a
+// batch constructor (all built-in algorithms do), the whole colony's
+// state lives in one struct-of-arrays agent.Batch and each shard
+// advances its index range with a single devirtualized StepRange call
+// over per-round feedback compiled to integer Bernoulli cutoffs. The
+// fallback path steps individually allocated agent.Agent values through
+// the interface, and exists for custom or wrapped agents (e.g.
+// agent.DesyncFactory). Both paths consume identical RNG streams and
+// produce bit-identical trajectories for a fixed (Seed, Shards); the
+// package tests enforce this.
 type Engine struct {
-	cfg    Config
-	k      int
-	agents []agent.Agent
-	shards []shard
-	loads  []int
-	// nextCounts[s] accumulates shard s's per-assignment counts
-	// (index 0 = idle, 1+j = task j).
+	cfg      Config
+	k        int
+	agents   []agent.Agent // interface fallback path; nil when batch != nil
+	batch    agent.Batch   // struct-of-arrays fast path; nil when agents != nil
+	shards   []shard
+	loads    []int
 	deficits []float64
 	fbDesc   []noise.TaskFeedback
+	batchFb  []agent.BatchTaskFeedback // compiled once per round, shared by shards
 	round    uint64
 	wg       sync.WaitGroup
 	switches uint64
@@ -165,14 +176,19 @@ func New(cfg Config) (*Engine, error) {
 	e := &Engine{
 		cfg:      cfg,
 		k:        k,
-		agents:   make([]agent.Agent, cfg.N),
 		loads:    make([]int, k),
 		deficits: make([]float64, k),
 		fbDesc:   make([]noise.TaskFeedback, k),
 		active:   cfg.N,
 	}
-	for i := range e.agents {
-		e.agents[i] = cfg.Factory.New()
+	if cfg.Factory.NewBatch != nil {
+		e.batch = cfg.Factory.NewBatch(cfg.N)
+		e.batchFb = make([]agent.BatchTaskFeedback, k)
+	} else {
+		e.agents = make([]agent.Agent, cfg.N)
+		for i := range e.agents {
+			e.agents[i] = cfg.Factory.New()
+		}
 	}
 
 	shards := cfg.Shards
@@ -213,12 +229,30 @@ func New(cfg Config) (*Engine, error) {
 		if a < agent.Idle || a >= int32(k) {
 			return nil, fmt.Errorf("colony: initializer assignment %d out of range", a)
 		}
-		e.agents[i].Reset(a)
+		e.reset(i, a)
 		if a != agent.Idle {
 			e.loads[a]++
 		}
 	}
 	return e, nil
+}
+
+// reset re-initializes ant i on whichever stepping path is active.
+func (e *Engine) reset(i int, a int32) {
+	if e.batch != nil {
+		e.batch.Reset(i, a)
+	} else {
+		e.agents[i].Reset(a)
+	}
+}
+
+// assignment reads ant i's current assignment on whichever stepping path
+// is active.
+func (e *Engine) assignment(i int) int32 {
+	if e.batch != nil {
+		return e.batch.Assignment(i)
+	}
+	return e.agents[i].Assignment()
 }
 
 // Tasks returns the number of tasks.
@@ -258,13 +292,13 @@ func (e *Engine) Resize(m int) {
 	if m > e.active {
 		// Newly hatched ants start idle with fresh state.
 		for i := e.active; i < m; i++ {
-			e.agents[i].Reset(agent.Idle)
+			e.reset(i, agent.Idle)
 		}
 	} else {
 		// Dying ants release their tasks immediately so the loads seen
 		// by the next round's feedback reflect the real workforce.
 		for i := m; i < e.active; i++ {
-			if a := e.agents[i].Assignment(); a != agent.Idle {
+			if a := e.assignment(i); a != agent.Idle {
 				e.loads[a]--
 			}
 		}
@@ -285,17 +319,22 @@ func (e *Engine) Step() {
 		e.deficits[j] = float64(dem[j] - e.loads[j])
 	}
 	e.cfg.Model.Describe(noise.Env{Round: t, Deficit: e.deficits, Demand: dem}, e.fbDesc)
+	if e.batch != nil {
+		// Compile the Bernoulli descriptors to integer cutoffs once per
+		// round; every shard then shares the same read-only slice.
+		agent.CompileFeedback(e.fbDesc, e.batchFb)
+	}
 
 	if len(e.shards) == 1 {
 		s := &e.shards[0]
-		s.run(t, e.active, e.agents, e.fbDesc)
+		s.run(t, e.active, e)
 	} else {
 		e.wg.Add(len(e.shards))
 		for i := range e.shards {
 			s := &e.shards[i]
 			go func() {
 				defer e.wg.Done()
-				s.run(t, e.active, e.agents, e.fbDesc)
+				s.run(t, e.active, e)
 			}()
 		}
 		e.wg.Wait()
@@ -322,7 +361,7 @@ func (e *Engine) Switches() uint64 { return e.switches }
 // run advances one shard's ants for round t, accumulating assignment
 // counts into s.counts. Ants with index >= active are skipped (see
 // Engine.Resize).
-func (s *shard) run(t uint64, active int, agents []agent.Agent, fbDesc []noise.TaskFeedback) {
+func (s *shard) run(t uint64, active int, e *Engine) {
 	for j := range s.counts {
 		s.counts[j] = 0
 	}
@@ -331,14 +370,20 @@ func (s *shard) run(t uint64, active int, agents []agent.Agent, fbDesc []noise.T
 	if hi > active {
 		hi = active
 	}
+	if e.batch != nil {
+		// Struct-of-arrays fast path: one devirtualized call advances the
+		// whole index range against the pre-compiled cutoff table.
+		s.switches = e.batch.StepRange(t, s.lo, hi, e.batchFb, s.r, s.counts)
+		return
+	}
 	// One Feedback serves every ant in the shard: it carries only the
 	// shared per-task descriptors and the shard's RNG (sampling state
 	// lives in the RNG, not the Feedback), and hoisting it out of the
 	// loop removes a per-ant heap allocation.
-	fb := agent.NewFeedback(fbDesc, s.r)
+	fb := agent.NewFeedback(e.fbDesc, s.r)
 	for i := s.lo; i < hi; i++ {
-		old := agents[i].Assignment()
-		a := agents[i].Step(t, &fb, s.r)
+		old := e.agents[i].Assignment()
+		a := e.agents[i].Step(t, &fb, s.r)
 		s.counts[a+1]++
 		if a != old {
 			s.switches++

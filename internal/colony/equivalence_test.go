@@ -1,0 +1,156 @@
+package colony
+
+import (
+	"fmt"
+	"testing"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/noise"
+)
+
+// runTrajectory advances an engine rounds rounds and returns the
+// per-round load vectors, the cumulative regret Σ_t Σ_j |d(j) − W(j)_t|,
+// and the cumulative switch count. resizeAt, if non-zero, shrinks and
+// re-grows the colony mid-run to exercise the Resize path.
+func runTrajectory(t *testing.T, cfg Config, rounds, resizeAt int) ([][]int, int64, uint64) {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regret int64
+	loads := make([][]int, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		if resizeAt > 0 && i == resizeAt {
+			e.Resize(cfg.N * 2 / 3)
+		}
+		if resizeAt > 0 && i == resizeAt+rounds/4 {
+			e.Resize(cfg.N)
+		}
+		e.Step()
+		dem := cfg.Schedule.At(e.Round())
+		row := make([]int, len(e.Loads()))
+		copy(row, e.Loads())
+		loads = append(loads, row)
+		for j, w := range row {
+			d := dem[j] - w
+			if d < 0 {
+				d = -d
+			}
+			regret += int64(d)
+		}
+	}
+	return loads, regret, e.Switches()
+}
+
+// TestBatchInterfaceEquivalence is the determinism harness for the
+// struct-of-arrays engine: for every built-in algorithm, seeds 1–5, and
+// shard counts {1, 4}, the batch path and the interface path must
+// produce bit-identical load trajectories and identical regret and
+// switch totals for the same (Seed, Shards).
+func TestBatchInterfaceEquivalence(t *testing.T) {
+	const (
+		n      = 600
+		rounds = 240
+	)
+	dem := demand.Vector{80, 120, 60}
+	k := len(dem)
+	p := agent.DefaultParams(0.05)
+	pp := agent.DefaultPreciseParams(0.05, 0.5)
+
+	factories := []agent.Factory{
+		agent.AntFactory(k, p),
+		agent.HuggerFactory(k, agent.DefaultParams(0.004)),
+		agent.PreciseSigmoidFactory(k, pp),
+		agent.PreciseAdversarialFactory(k, pp),
+		agent.TrivialFactory(k),
+	}
+	models := []noise.Model{
+		noise.SigmoidModel{Lambda: 0.05},
+		noise.AdversarialModel{GammaAd: 0.1, Strategy: noise.NewRandomGrey()},
+	}
+
+	for _, f := range factories {
+		if f.NewBatch == nil {
+			t.Fatalf("%s: built-in factory must provide NewBatch", f.Name)
+		}
+		for _, model := range models {
+			for seed := uint64(1); seed <= 5; seed++ {
+				for _, shards := range []int{1, 4} {
+					name := fmt.Sprintf("%s/%s/seed=%d/shards=%d",
+						f.Name, model.Name(), seed, shards)
+					t.Run(name, func(t *testing.T) {
+						cfg := Config{
+							N:        n,
+							Schedule: demand.Static{V: dem},
+							Model:    model,
+							Factory:  f,
+							Init:     UniformRandom,
+							Seed:     seed,
+							Shards:   shards,
+						}
+						iface := cfg
+						iface.Factory.NewBatch = nil // force the Agent path
+
+						resizeAt := 0
+						if seed == 3 {
+							resizeAt = rounds / 3 // cover Resize on both paths
+						}
+						bLoads, bRegret, bSwitches := runTrajectory(t, cfg, rounds, resizeAt)
+						iLoads, iRegret, iSwitches := runTrajectory(t, iface, rounds, resizeAt)
+
+						for r := range bLoads {
+							for j := range bLoads[r] {
+								if bLoads[r][j] != iLoads[r][j] {
+									t.Fatalf("round %d task %d: batch load %d != interface load %d",
+										r+1, j, bLoads[r][j], iLoads[r][j])
+								}
+							}
+						}
+						if bRegret != iRegret {
+							t.Fatalf("regret: batch %d != interface %d", bRegret, iRegret)
+						}
+						if bSwitches != iSwitches {
+							t.Fatalf("switches: batch %d != interface %d", bSwitches, iSwitches)
+						}
+					})
+				}
+			}
+		}
+	}
+}
+
+// TestBatchSeedReproducibility pins the batch engine's determinism
+// contract directly: equal (Config, Shards) must give bit-identical
+// trajectories, and different shard counts are allowed to differ only in
+// RNG stream assignment, never in conservation of ants.
+func TestBatchSeedReproducibility(t *testing.T) {
+	dem := demand.Vector{150, 100}
+	cfg := Config{
+		N:        800,
+		Schedule: demand.Static{V: dem},
+		Model:    noise.SigmoidModel{Lambda: 0.04},
+		Factory:  agent.AntFactory(2, agent.DefaultParams(0.05)),
+		Init:     UniformRandom,
+		Seed:     42,
+		Shards:   3,
+	}
+	a, ra, sa := runTrajectory(t, cfg, 300, 0)
+	b, rb, sb := runTrajectory(t, cfg, 300, 0)
+	if ra != rb || sa != sb {
+		t.Fatalf("rerun diverged: regret %d vs %d, switches %d vs %d", ra, rb, sa, sb)
+	}
+	for r := range a {
+		working := 0
+		for j := range a[r] {
+			if a[r][j] != b[r][j] {
+				t.Fatalf("round %d: rerun load mismatch", r+1)
+			}
+			working += a[r][j]
+		}
+		if working > cfg.N {
+			t.Fatalf("round %d: %d working ants exceed colony size %d", r+1, working, cfg.N)
+		}
+	}
+}

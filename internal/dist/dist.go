@@ -1,0 +1,118 @@
+// Package dist provides exact samplers for the discrete distributions
+// the aggregate (mean-field) engine advances cohorts with. All samplers
+// draw from the repo's deterministic rng streams, so simulations that use
+// them stay reproducible for a fixed seed.
+package dist
+
+import (
+	"math"
+
+	"taskalloc/internal/rng"
+)
+
+// Binomial draws an exact Binomial(n, p) variate.
+//
+// The sampler is inversion from the mode: the pmf is evaluated once at
+// the mode via lgamma and then extended outward with the two-term
+// recurrence, subtracting probabilities from a single uniform until it is
+// exhausted. Expected cost is O(sqrt(n·p·(1−p))) pmf steps, which keeps
+// mean-field rounds cheap even for colony-sized n.
+func Binomial(r *rng.Rng, n int, p float64) int {
+	if n <= 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if p > 0.5 {
+		return n - Binomial(r, n, 1-p)
+	}
+
+	// Mode m = floor((n+1)p) and its pmf.
+	m := int(float64(n+1) * p)
+	if m > n {
+		m = n
+	}
+	lgN, _ := math.Lgamma(float64(n + 1))
+	lgM, _ := math.Lgamma(float64(m + 1))
+	lgNM, _ := math.Lgamma(float64(n - m + 1))
+	pm := math.Exp(lgN - lgM - lgNM +
+		float64(m)*math.Log(p) + float64(n-m)*math.Log1p(-p))
+
+	u := r.Float64() - pm
+	if u < 0 {
+		return m
+	}
+	// Walk outward from the mode, alternating up and down; any fixed
+	// ordering of the outcomes yields an exact inversion.
+	odds := p / (1 - p)
+	lo, hi := m, m
+	plo, phi := pm, pm
+	for lo > 0 || hi < n {
+		if hi < n {
+			phi *= float64(n-hi) / float64(hi+1) * odds
+			hi++
+			u -= phi
+			if u < 0 {
+				return hi
+			}
+		}
+		if lo > 0 {
+			plo *= float64(lo) / (float64(n-lo+1) * odds)
+			lo--
+			u -= plo
+			if u < 0 {
+				return lo
+			}
+		}
+	}
+	// Floating-point leftover (total mass < 1 by ~1e-15): attribute it to
+	// the upper boundary.
+	return hi
+}
+
+// Multinomial distributes n trials over the categories in proportion to
+// the non-negative weights w, writing the counts into out (len(out) must
+// equal len(w); every entry is overwritten). It uses the conditional
+// binomial decomposition, so the joint counts are exactly multinomial.
+func Multinomial(r *rng.Rng, n int, w []float64, out []int) {
+	if len(out) != len(w) {
+		panic("dist: Multinomial len(out) != len(w)")
+	}
+	total := 0.0
+	for _, x := range w {
+		if x < 0 || math.IsNaN(x) {
+			panic("dist: Multinomial negative or NaN weight")
+		}
+		total += x
+	}
+	for j := range out {
+		out[j] = 0
+	}
+	if n <= 0 {
+		return
+	}
+	if total <= 0 {
+		panic("dist: Multinomial zero total weight with n > 0")
+	}
+	rem := n
+	for j := 0; j < len(w)-1 && rem > 0; j++ {
+		if w[j] <= 0 {
+			continue
+		}
+		pj := w[j] / total
+		if pj > 1 {
+			pj = 1
+		}
+		c := Binomial(r, rem, pj)
+		out[j] = c
+		rem -= c
+		total -= w[j]
+		if total <= 0 {
+			break
+		}
+	}
+	if rem > 0 {
+		out[len(w)-1] += rem
+	}
+}

@@ -1,0 +1,152 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"taskalloc/internal/rng"
+)
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := rng.New(1)
+	if got := Binomial(r, 0, 0.5); got != 0 {
+		t.Fatalf("Binomial(0, .5) = %d", got)
+	}
+	if got := Binomial(r, 10, 0); got != 0 {
+		t.Fatalf("Binomial(10, 0) = %d", got)
+	}
+	if got := Binomial(r, 10, 1); got != 10 {
+		t.Fatalf("Binomial(10, 1) = %d", got)
+	}
+	if got := Binomial(r, -3, 0.5); got != 0 {
+		t.Fatalf("Binomial(-3, .5) = %d", got)
+	}
+	for i := 0; i < 1000; i++ {
+		if got := Binomial(r, 1, 0.5); got != 0 && got != 1 {
+			t.Fatalf("Binomial(1, .5) = %d", got)
+		}
+	}
+}
+
+func TestBinomialRange(t *testing.T) {
+	r := rng.New(2)
+	for i := 0; i < 5000; i++ {
+		n := 1 + int(r.Uint64n(2000))
+		p := r.Float64()
+		got := Binomial(r, n, p)
+		if got < 0 || got > n {
+			t.Fatalf("Binomial(%d, %g) = %d out of range", n, p, got)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{10, 0.5}, {100, 0.03}, {100, 0.97}, {5000, 0.2}, {100000, 0.001},
+	}
+	r := rng.New(3)
+	const draws = 20000
+	for _, c := range cases {
+		sum, sumsq := 0.0, 0.0
+		for i := 0; i < draws; i++ {
+			x := float64(Binomial(r, c.n, c.p))
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / draws
+		wantMean := float64(c.n) * c.p
+		variance := sumsq/draws - mean*mean
+		wantVar := float64(c.n) * c.p * (1 - c.p)
+		// 6-sigma tolerance on the sample mean.
+		tol := 6 * math.Sqrt(wantVar/draws)
+		if math.Abs(mean-wantMean) > tol {
+			t.Errorf("Binomial(%d, %g): mean %.3f, want %.3f ± %.3f",
+				c.n, c.p, mean, wantMean, tol)
+		}
+		if wantVar > 1 && (variance < 0.8*wantVar || variance > 1.25*wantVar) {
+			t.Errorf("Binomial(%d, %g): variance %.3f, want about %.3f",
+				c.n, c.p, variance, wantVar)
+		}
+	}
+}
+
+func TestMultinomialConservation(t *testing.T) {
+	r := rng.New(4)
+	w := []float64{1, 2, 0, 5, 0.5}
+	out := make([]int, len(w))
+	for i := 0; i < 2000; i++ {
+		n := int(r.Uint64n(500))
+		// Dirty the scratch to verify every entry is overwritten.
+		for j := range out {
+			out[j] = -7
+		}
+		Multinomial(r, n, w, out)
+		total := 0
+		for j, c := range out {
+			if c < 0 {
+				t.Fatalf("negative count %d at %d", c, j)
+			}
+			if w[j] == 0 && c != 0 {
+				t.Fatalf("zero-weight category %d received %d trials", j, c)
+			}
+			total += c
+		}
+		if total != n {
+			t.Fatalf("counts sum to %d, want %d", total, n)
+		}
+	}
+}
+
+func TestMultinomialProportions(t *testing.T) {
+	r := rng.New(5)
+	w := []float64{1, 3, 6}
+	out := make([]int, len(w))
+	sums := make([]float64, len(w))
+	const draws, n = 3000, 100
+	for i := 0; i < draws; i++ {
+		Multinomial(r, n, w, out)
+		for j, c := range out {
+			sums[j] += float64(c)
+		}
+	}
+	for j := range w {
+		mean := sums[j] / draws
+		want := n * w[j] / 10
+		if math.Abs(mean-want) > 0.05*n {
+			t.Errorf("category %d: mean %.2f, want %.2f", j, mean, want)
+		}
+	}
+}
+
+func TestMultinomialPanics(t *testing.T) {
+	r := rng.New(6)
+	cases := []func(){
+		func() { Multinomial(r, 5, []float64{1, 2}, make([]int, 3)) },
+		func() { Multinomial(r, 5, []float64{1, -2}, make([]int, 2)) },
+		func() { Multinomial(r, 5, []float64{0, 0}, make([]int, 2)) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBinomialDeterminism(t *testing.T) {
+	a, b := rng.New(9), rng.New(9)
+	for i := 0; i < 1000; i++ {
+		x := Binomial(a, 500, 0.123)
+		y := Binomial(b, 500, 0.123)
+		if x != y {
+			t.Fatalf("draw %d diverged: %d vs %d", i, x, y)
+		}
+	}
+}

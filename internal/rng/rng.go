@@ -8,7 +8,10 @@
 // so simulation results are reproducible for a fixed (seed, shard count).
 package rng
 
-import "math"
+import (
+	"math"
+	"math/bits"
+)
 
 // Rng is a xoshiro256++ generator. The zero value is NOT valid; use New.
 // Rng is not safe for concurrent use; fork one stream per goroutine.
@@ -74,6 +77,29 @@ func (r *Rng) Float64() float64 {
 	return float64(r.Uint64()>>11) / (1 << 53)
 }
 
+// Word53 returns the raw 53-bit word underlying Float64: Float64 is
+// exactly float64(Word53()) / 2^53, so integer comparisons against a
+// Cutoff reproduce Float64-based Bernoulli draws bit for bit while
+// skipping the int→float conversion and the float compare.
+func (r *Rng) Word53() uint64 { return r.Uint64() >> 11 }
+
+// Cutoff converts a probability p in (0, 1) to the integer threshold c
+// such that Word53() < c exactly when Float64() < p. The scaling by 2^53
+// is exact for every normal float64 in (0, 1), so for any such p
+//
+//	r.Bernoulli(p)  ==  r.Word53() < Cutoff(p)
+//
+// draw for draw. Callers must handle p <= 0 and p >= 1 themselves
+// (Bernoulli short-circuits those without consuming a draw).
+func Cutoff(p float64) uint64 {
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
+// BernoulliCut returns true with probability cut/2^53, consuming exactly
+// one draw. With cut = Cutoff(p) this is bit-identical to Bernoulli(p)
+// for p in (0, 1).
+func (r *Rng) BernoulliCut(cut uint64) bool { return r.Word53() < cut }
+
 // Bernoulli returns true with probability p. Values of p outside [0, 1]
 // are clamped.
 func (r *Rng) Bernoulli(p float64) bool {
@@ -102,27 +128,15 @@ func (r *Rng) Uint64n(n uint64) uint64 {
 	}
 	// Lemire's method: multiply-shift with a rejection step to remove bias.
 	x := r.Uint64()
-	hi, lo := mul64(x, n)
+	hi, lo := bits.Mul64(x, n)
 	if lo < n {
 		thresh := -n % n
 		for lo < thresh {
 			x = r.Uint64()
-			hi, lo = mul64(x, n)
+			hi, lo = bits.Mul64(x, n)
 		}
 	}
 	return hi
-}
-
-// mul64 returns the 128-bit product of a and b as (hi, lo).
-func mul64(a, b uint64) (hi, lo uint64) {
-	const mask32 = 1<<32 - 1
-	a0, a1 := a&mask32, a>>32
-	b0, b1 := b&mask32, b>>32
-	t := a1*b0 + (a0*b0)>>32
-	w1 := t&mask32 + a0*b1
-	hi = a1*b1 + t>>32 + w1>>32
-	lo = a * b
-	return
 }
 
 // NormFloat64 returns a standard normal variate using the polar

@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Run the engine benchmarks and record them as BENCH_<N>.json, the
+# per-PR performance trajectory (see PERFORMANCE.md). Usage:
+#
+#   scripts/bench.sh [N]            # writes BENCH_N.json (default N=1)
+#   BENCHTIME=5s scripts/bench.sh 2 # longer per-benchmark runtime
+#
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+N="${1:-1}"
+OUT="BENCH_${N}.json"
+BENCHTIME="${BENCHTIME:-2s}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+go test -run '^$' \
+  -bench 'BenchmarkEngineStep$|BenchmarkEngineStepInterface$|BenchmarkEngineParallel$' \
+  -benchtime "$BENCHTIME" -count 1 . | tee "$TMP"
+
+{
+  echo '{'
+  echo "  \"id\": ${N},"
+  echo "  \"date\": \"$(date -u +%Y-%m-%d)\","
+  echo "  \"go\": \"$(go env GOVERSION)\","
+  echo "  \"cpu\": \"$(awk -F: '/model name/ {gsub(/^ +/, "", $2); print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)\","
+  echo "  \"benchtime\": \"${BENCHTIME}\","
+  echo '  "results": ['
+  awk 'BEGIN { first = 1 }
+    /^Benchmark/ && $4 == "ns/op" {
+      name = $1; sub(/-[0-9]+$/, "", name)
+      if (!first) printf(",\n")
+      first = 0
+      printf("    {\"benchmark\": \"%s\", \"ns_op\": %s}", name, $3)
+    }
+    END { printf("\n") }' "$TMP"
+  echo '  ]'
+  echo '}'
+} > "$OUT"
+
+echo "wrote $OUT"
