@@ -2,11 +2,20 @@
 // CSV rows of the resulting average regret and closeness — the raw
 // material for regenerating the paper's trend curves at custom scales.
 //
+// The -scenario flag replaces the static demand vector with a generative
+// demand process from the scenario subsystem (sinusoid, burst,
+// randomwalk, markov, trace), and -resize schedules colony-size changes
+// (ants dying and hatching) during every run, so sweeps measure
+// self-stabilization under change rather than steady state.
+//
 // Examples:
 //
 //	sweep -param gamma -values 0.01,0.02,0.04 -n 5000 -demands 800,800
 //	sweep -param epsilon -algorithm precise-sigmoid -values 0.8,0.4,0.2
 //	sweep -param n -values 2000,4000,8000 -repeat 3
+//	sweep -scenario sinusoid -sin-period 3000 -sin-amp 0.4
+//	sweep -scenario burst -burst-every 4000 -burst-len 600 -burst-scale 2
+//	sweep -scenario markov -markov-dwell 2500 -resize 6000:2500,9000:5000
 package main
 
 import (
@@ -33,32 +42,69 @@ func main() {
 		rounds     = flag.Int("rounds", 12000, "rounds per run")
 		repeat     = flag.Int("repeat", 1, "repetitions per value (seeds seed..seed+repeat-1)")
 		seed       = flag.Uint64("seed", 1, "base seed")
+		resizeArg  = flag.String("resize", "", "colony-size schedule \"at:to,at:to\" (ants dying/hatching)")
 	)
+	var sc scenarioOpts
+	flag.StringVar(&sc.family, "scenario", "static",
+		"demand process: static | sinusoid | burst | randomwalk | markov | trace")
+	flag.Uint64Var(&sc.seed, "scenario-seed", 1, "seed of the generative demand process")
+	flag.Float64Var(&sc.sinPeriod, "sin-period", 4000, "sinusoid: rounds per cycle")
+	flag.Float64Var(&sc.sinAmp, "sin-amp", 0.5, "sinusoid: relative amplitude in [0, 1)")
+	flag.Uint64Var(&sc.burstStart, "burst-start", 2000, "burst: first onset round")
+	flag.Uint64Var(&sc.burstEvery, "burst-every", 4000, "burst: period (0 = single burst)")
+	flag.Uint64Var(&sc.burstLen, "burst-len", 500, "burst: duration in rounds")
+	flag.IntVar(&sc.burstTask, "burst-task", 0, "burst: task index that spikes")
+	flag.Float64Var(&sc.burstScale, "burst-scale", 2, "burst: peak demand multiplier")
+	flag.Uint64Var(&sc.walkEvery, "walk-every", 500, "random walk: rounds per step")
+	flag.IntVar(&sc.walkStep, "walk-step", 0, "random walk: max step (0 = 10% of min demand)")
+	flag.Float64Var(&sc.walkSpan, "walk-span", 0.5, "random walk: bounds base·(1±span)")
+	flag.Uint64Var(&sc.markovDwell, "markov-dwell", 2000, "markov: rounds per sojourn decision")
+	flag.Float64Var(&sc.markovStay, "markov-stay", 0.7, "markov: self-transition probability")
+	flag.StringVar(&sc.markovRegimes, "markov-regimes", "",
+		"markov: regimes \"d1,d2;d1,d2;...\" (default: base and its reverse)")
+	flag.StringVar(&sc.traceFile, "trace-file", "", "trace: CSV of \"round,d1,d2,...\" lines")
 	flag.Parse()
 
 	demands, err := parseInts(*demandsArg)
 	if err != nil {
 		fatal("bad -demands: %v", err)
 	}
+	resizes, err := parseResizes(*resizeArg)
+	if err != nil {
+		fatal("bad -resize: %v", err)
+	}
+	// One schedule serves every run: all families are deterministic
+	// functions of (parameters, round) — the memoizing ones cache the
+	// exact path any fresh instance would regenerate — and the trace
+	// file is parsed once.
+	sched, err := buildSchedule(demands, sc)
+	if err != nil {
+		fatal("bad scenario: %v", err)
+	}
 	values := strings.Split(*valuesArg, ",")
 
 	w := csv.NewWriter(os.Stdout)
 	defer w.Flush()
-	_ = w.Write([]string{"param", "value", "seed", "avg_regret", "std_regret",
+	_ = w.Write([]string{"param", "value", "scenario", "seed", "avg_regret", "std_regret",
 		"closeness", "gamma_star", "peak_regret", "switches_per_round"})
 
 	for _, raw := range values {
 		raw = strings.TrimSpace(raw)
 		for rep := 0; rep < *repeat; rep++ {
 			cfg := taskalloc.Config{
-				Ants:    *n,
-				Demands: demands,
-				Gamma:   *gamma,
-				Epsilon: *epsilon,
-				Noise:   taskalloc.SigmoidNoise(*gammaStar),
-				Seed:    *seed + uint64(rep),
-				BurnIn:  uint64(*rounds) / 2,
-				Shards:  1,
+				Ants:        *n,
+				Gamma:       *gamma,
+				Epsilon:     *epsilon,
+				Noise:       taskalloc.SigmoidNoise(*gammaStar),
+				Seed:        *seed + uint64(rep),
+				BurnIn:      uint64(*rounds) / 2,
+				Shards:      1,
+				SizeChanges: resizes,
+			}
+			if sched != nil {
+				cfg.Demand = sched
+			} else {
+				cfg.Demands = demands
 			}
 			switch *algorithm {
 			case "ant":
@@ -115,7 +161,7 @@ func main() {
 			sim.Run(*rounds, nil)
 			r := sim.Report()
 			_ = w.Write([]string{
-				*param, raw, fmt.Sprint(cfg.Seed),
+				*param, raw, sc.family, fmt.Sprint(cfg.Seed),
 				fmt.Sprintf("%.6g", r.AvgRegret),
 				fmt.Sprintf("%.6g", r.StdRegret),
 				fmt.Sprintf("%.6g", r.Closeness),

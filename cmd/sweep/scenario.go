@@ -1,0 +1,167 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"taskalloc"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/scenario"
+)
+
+// scenarioOpts collects the scenario-family flags. Base is the -demands
+// vector; the family generates the time-varying schedule around it.
+type scenarioOpts struct {
+	family string // static | sinusoid | burst | randomwalk | markov | trace
+	seed   uint64
+
+	sinPeriod float64 // sinusoid: rounds per cycle
+	sinAmp    float64 // sinusoid: relative amplitude in [0, 1)
+
+	burstStart uint64  // burst: first onset round
+	burstEvery uint64  // burst: period (0 = single burst)
+	burstLen   uint64  // burst: duration
+	burstTask  int     // burst: which task spikes
+	burstScale float64 // burst: peak = round(base · scale) on that task
+
+	walkEvery uint64  // random walk: epoch length
+	walkStep  int     // random walk: max per-epoch move (0 = 10% of base)
+	walkSpan  float64 // random walk: bounds base·(1±span)
+
+	markovDwell   uint64  // markov: rounds per sojourn decision
+	markovStay    float64 // markov: self-transition probability
+	markovRegimes string  // markov: "d1,d2;d1,d2;..." ("" = base and its reverse)
+
+	traceFile string // trace: CSV path of "round,d1,d2,..." lines
+}
+
+// buildSchedule turns the options into a demand.Schedule, or nil for the
+// static family (the plain -demands vector).
+func buildSchedule(base []int, o scenarioOpts) (demand.Schedule, error) {
+	bv := demand.Vector(base)
+	switch o.family {
+	case "", "static":
+		return nil, nil
+
+	case "sinusoid":
+		amp := make([]float64, len(bv))
+		phase := make([]float64, len(bv))
+		for j := range amp {
+			amp[j] = o.sinAmp
+			// Stagger tasks around the cycle so total demand stays
+			// roughly level while the split shifts.
+			phase[j] = 2 * math.Pi * float64(j) / float64(len(bv))
+		}
+		return scenario.NewSinusoid(bv, amp, o.sinPeriod, phase)
+
+	case "burst":
+		if o.burstTask < 0 || o.burstTask >= len(bv) {
+			return nil, fmt.Errorf("burst task %d outside [0, %d)", o.burstTask, len(bv))
+		}
+		if o.burstScale <= 0 {
+			return nil, fmt.Errorf("burst scale %v must be positive", o.burstScale)
+		}
+		peak := bv.Clone()
+		peak[o.burstTask] = int(math.Round(float64(peak[o.burstTask]) * o.burstScale))
+		if peak[o.burstTask] < 1 {
+			peak[o.burstTask] = 1
+		}
+		return scenario.NewBurst(bv, peak, o.burstStart, o.burstEvery, o.burstLen)
+
+	case "randomwalk":
+		step := o.walkStep
+		if step == 0 {
+			step = bv.Min() / 10
+			if step < 1 {
+				step = 1
+			}
+		}
+		if o.walkSpan <= 0 || o.walkSpan >= 1 {
+			return nil, fmt.Errorf("walk span %v outside (0, 1)", o.walkSpan)
+		}
+		min := make(demand.Vector, len(bv))
+		max := make(demand.Vector, len(bv))
+		for j, d := range bv {
+			min[j] = int(math.Floor(float64(d) * (1 - o.walkSpan)))
+			if min[j] < 1 {
+				min[j] = 1
+			}
+			max[j] = int(math.Ceil(float64(d) * (1 + o.walkSpan)))
+		}
+		return scenario.NewRandomWalk(bv, step, o.walkEvery, min, max, o.seed)
+
+	case "markov":
+		var regimes []demand.Vector
+		if o.markovRegimes == "" {
+			rev := make(demand.Vector, len(bv))
+			for j := range bv {
+				rev[j] = bv[len(bv)-1-j]
+			}
+			regimes = []demand.Vector{bv, rev}
+		} else {
+			for _, part := range strings.Split(o.markovRegimes, ";") {
+				v, err := parseInts(part)
+				if err != nil {
+					return nil, fmt.Errorf("bad markov regime %q: %v", part, err)
+				}
+				regimes = append(regimes, demand.Vector(v))
+			}
+		}
+		if o.markovStay < 0 || o.markovStay > 1 {
+			return nil, fmt.Errorf("markov stay probability %v outside [0, 1]", o.markovStay)
+		}
+		p := make([][]float64, len(regimes))
+		for i := range p {
+			p[i] = make([]float64, len(regimes))
+			for j := range p[i] {
+				if i == j {
+					p[i][j] = o.markovStay
+				} else if len(regimes) > 1 {
+					p[i][j] = (1 - o.markovStay) / float64(len(regimes)-1)
+				}
+			}
+			if len(regimes) == 1 {
+				p[i][i] = 1
+			}
+		}
+		return scenario.NewMarkovModulated(regimes, p, o.markovDwell, 0, o.seed)
+
+	case "trace":
+		f, err := os.Open(o.traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return scenario.ParseTrace(f)
+
+	default:
+		return nil, fmt.Errorf("unknown scenario family %q", o.family)
+	}
+}
+
+// parseResizes parses a "at:to,at:to" resize schedule.
+func parseResizes(s string) ([]taskalloc.SizeChange, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []taskalloc.SizeChange
+	for _, part := range strings.Split(s, ",") {
+		bits := strings.Split(strings.TrimSpace(part), ":")
+		if len(bits) != 2 {
+			return nil, fmt.Errorf("bad resize %q: want at:to", part)
+		}
+		at, err := strconv.ParseUint(strings.TrimSpace(bits[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad resize round %q: %v", bits[0], err)
+		}
+		to, err := strconv.Atoi(strings.TrimSpace(bits[1]))
+		if err != nil {
+			return nil, fmt.Errorf("bad resize size %q: %v", bits[1], err)
+		}
+		out = append(out, taskalloc.SizeChange{At: at, To: to})
+	}
+	return out, nil
+}

@@ -5,9 +5,9 @@
 // Two schedulers are provided. Engine is the synchronous model of
 // Section 2: every ant receives feedback derived from the previous
 // round's loads and all ants act concurrently; its hot loop is sharded
-// across a goroutine pool with one deterministic RNG stream per shard.
-// Sequential is the model of Appendix D.1: one uniformly random ant acts
-// per round.
+// across a persistent goroutine pool with one deterministic RNG stream
+// per shard. Sequential is the model of Appendix D.1: one uniformly
+// random ant acts per round.
 package colony
 
 import (
@@ -150,12 +150,12 @@ type Engine struct {
 	agents   []agent.Agent // interface fallback path; nil when batch != nil
 	batch    agent.Batch   // struct-of-arrays fast path; nil when agents != nil
 	shards   []shard
+	pool     *workerPool // persistent shard workers; nil when len(shards) == 1
 	loads    []int
 	deficits []float64
 	fbDesc   []noise.TaskFeedback
 	batchFb  []agent.BatchTaskFeedback // compiled once per round, shared by shards
 	round    uint64
-	wg       sync.WaitGroup
 	switches uint64
 	active   int
 }
@@ -165,6 +165,67 @@ type shard struct {
 	r        *rng.Rng
 	counts   []int // per-assignment accumulator, len k+1
 	switches uint64
+}
+
+// workerPool runs one persistent goroutine per shard. Workers park on
+// their work channel between rounds, so a Step costs one channel send and
+// one WaitGroup wait per shard instead of a goroutine spawn — the
+// difference is what makes 10⁵-round scenario sweeps cheap at high shard
+// counts.
+//
+// While parked, a worker references only its channel, its shard index,
+// and the pool itself — never the Engine. The Engine pointer travels
+// inside each stepReq, so an abandoned Engine becomes unreachable, the
+// runtime cleanup registered in New closes the channels, and the workers
+// exit. Close is therefore optional (but immediate).
+type workerPool struct {
+	work []chan stepReq
+	wg   *sync.WaitGroup // separate allocation: workers must not point into Engine
+	stop sync.Once
+}
+
+// stepReq carries one round's work order to a parked worker.
+type stepReq struct {
+	e      *Engine
+	t      uint64
+	active int
+}
+
+func newWorkerPool(workers int) *workerPool {
+	p := &workerPool{
+		work: make([]chan stepReq, workers),
+		wg:   new(sync.WaitGroup),
+	}
+	for i := range p.work {
+		ch := make(chan stepReq, 1)
+		p.work[i] = ch
+		go func() {
+			for req := range ch {
+				req.e.shards[i].run(req.t, req.active, req.e)
+				p.wg.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// step fans one round out to every worker and waits for all of them.
+func (p *workerPool) step(e *Engine, t uint64, active int) {
+	p.wg.Add(len(p.work))
+	req := stepReq{e: e, t: t, active: active}
+	for _, ch := range p.work {
+		ch <- req
+	}
+	p.wg.Wait()
+}
+
+// close shuts the workers down; idempotent.
+func (p *workerPool) close() {
+	p.stop.Do(func() {
+		for _, ch := range p.work {
+			close(ch)
+		}
+	})
 }
 
 // New builds a synchronous engine and applies the initializer.
@@ -234,7 +295,21 @@ func New(cfg Config) (*Engine, error) {
 			e.loads[a]++
 		}
 	}
+	if len(e.shards) > 1 {
+		e.pool = newWorkerPool(len(e.shards))
+		// Release the workers of engines dropped without Close.
+		runtime.AddCleanup(e, (*workerPool).close, e.pool)
+	}
 	return e, nil
+}
+
+// Close stops the persistent worker pool, if any. Optional — abandoned
+// engines release their workers through a runtime cleanup — and
+// idempotent, but Step must not be called after Close.
+func (e *Engine) Close() {
+	if e.pool != nil {
+		e.pool.close()
+	}
 }
 
 // reset re-initializes ant i on whichever stepping path is active.
@@ -329,15 +404,7 @@ func (e *Engine) Step() {
 		s := &e.shards[0]
 		s.run(t, e.active, e)
 	} else {
-		e.wg.Add(len(e.shards))
-		for i := range e.shards {
-			s := &e.shards[i]
-			go func() {
-				defer e.wg.Done()
-				s.run(t, e.active, e)
-			}()
-		}
-		e.wg.Wait()
+		e.pool.step(e, t, e.active)
 	}
 
 	for j := range e.loads {
@@ -415,6 +482,7 @@ type Sequential struct {
 	r        *rng.Rng
 	round    uint64
 	switches uint64
+	active   int
 }
 
 // NewSequential builds a sequential engine (Shards is ignored).
@@ -431,6 +499,7 @@ func NewSequential(cfg Config) (*Sequential, error) {
 		deficits: make([]float64, k),
 		fbDesc:   make([]noise.TaskFeedback, k),
 		r:        rng.New(cfg.Seed),
+		active:   cfg.N,
 	}
 	for i := range e.agents {
 		e.agents[i] = cfg.Factory.New()
@@ -462,7 +531,32 @@ func (e *Sequential) Loads() []int { return e.loads }
 // Round returns the index of the last completed round.
 func (e *Sequential) Round() uint64 { return e.round }
 
-// Step lets one uniformly random ant act.
+// Active returns the number of active ants (see Resize).
+func (e *Sequential) Active() int { return e.active }
+
+// Resize changes the active colony size to m in [1, N], with the same
+// semantics as Engine.Resize: dying ants (index >= m) release their
+// tasks immediately and are never picked by the scheduler; hatched ants
+// re-enter idle with cleared memory. Takes effect from the next Step.
+func (e *Sequential) Resize(m int) {
+	if m < 1 || m > e.cfg.N {
+		panic(fmt.Sprintf("colony: Resize to %d outside [1, %d]", m, e.cfg.N))
+	}
+	if m > e.active {
+		for i := e.active; i < m; i++ {
+			e.agents[i].Reset(agent.Idle)
+		}
+	} else {
+		for i := m; i < e.active; i++ {
+			if a := e.agents[i].Assignment(); a != agent.Idle {
+				e.loads[a]--
+			}
+		}
+	}
+	e.active = m
+}
+
+// Step lets one uniformly random active ant act.
 func (e *Sequential) Step() {
 	t := e.round + 1
 	dem := e.cfg.Schedule.At(t)
@@ -471,7 +565,7 @@ func (e *Sequential) Step() {
 	}
 	e.cfg.Model.Describe(noise.Env{Round: t, Deficit: e.deficits, Demand: dem}, e.fbDesc)
 
-	i := e.r.Intn(e.cfg.N)
+	i := e.r.Intn(e.active)
 	old := e.agents[i].Assignment()
 	fb := agent.NewFeedback(e.fbDesc, e.r)
 	now := e.agents[i].Step(t, &fb, e.r)

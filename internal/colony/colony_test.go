@@ -2,7 +2,9 @@ package colony
 
 import (
 	"math"
+	"runtime"
 	"testing"
+	"time"
 
 	"taskalloc/internal/agent"
 	"taskalloc/internal/demand"
@@ -555,6 +557,168 @@ func TestResizeShrinkAndRegrow(t *testing.T) {
 	}
 	if working > e.Active() {
 		t.Fatalf("workers %d exceed active %d", working, e.Active())
+	}
+}
+
+// TestWorkerPoolLifecycle: multi-shard engines park persistent workers
+// between rounds; Close releases them promptly, and closing twice is
+// safe. The trajectory must be unaffected by pooling (covered against
+// the single-shard path by determinism: same Seed+Shards re-run).
+func TestWorkerPoolLifecycle(t *testing.T) {
+	before := runtime.NumGoroutine()
+	cfg := baseConfig(400, demand.Vector{50, 50})
+	cfg.Shards = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(50, nil)
+	// Inspect the pool directly rather than global goroutine counts:
+	// cleanups reaping engines abandoned by other tests can shrink the
+	// global count at any moment.
+	if e.pool == nil || len(e.pool.work) != 4 {
+		t.Fatalf("expected a 4-worker pool, got %+v", e.pool)
+	}
+	e.Close()
+	e.Close() // idempotent
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("pool workers leaked after Close: %d -> %d goroutines", before, got)
+	}
+
+	// Single-shard engines have no pool; Close must still be a no-op.
+	cfg.Shards = 1
+	e2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Run(10, nil)
+	e2.Close()
+}
+
+// TestWorkerPoolAbandonedEnginesCollected: engines dropped without Close
+// must not accumulate parked workers (the runtime cleanup closes their
+// channels once the engine is collected).
+func TestWorkerPoolAbandonedEnginesCollected(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		cfg := baseConfig(200, demand.Vector{30})
+		cfg.Shards = 4
+		cfg.Seed = uint64(i + 1)
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(5, nil)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before+2*4 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("abandoned engines leaked workers: %d -> %d goroutines",
+		before, runtime.NumGoroutine())
+}
+
+// TestSequentialResize mirrors the Engine Resize semantics on the
+// Appendix D.1 scheduler: dying ants release their tasks, the scheduler
+// only picks active ants, and hatched ants re-enter idle.
+func TestSequentialResize(t *testing.T) {
+	n := 200
+	dem := demand.Vector{60}
+	cfg := Config{
+		N:        n,
+		Schedule: demand.Static{V: dem},
+		Model:    noise.SigmoidModel{Lambda: 1},
+		Factory:  agent.TrivialFactory(1),
+		Init:     Concentrated(0),
+		Seed:     14,
+	}
+	e, err := NewSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Active() != n {
+		t.Fatalf("Active = %d", e.Active())
+	}
+	e.Resize(n / 4) // mass die-off: 150 of the 200 flooded workers die
+	if e.Loads()[0] != n/4 {
+		t.Fatalf("dead ants still counted: load %d, active %d", e.Loads()[0], n/4)
+	}
+	e.Run(4000, nil)
+	if got := e.Loads()[0]; got > e.Active() {
+		t.Fatalf("load %d exceeds active %d", got, e.Active())
+	}
+	e.Resize(n) // hatch back; re-converge toward the demand
+	if e.Active() != n {
+		t.Fatal("Active after regrow")
+	}
+	e.Run(12000, nil)
+	if got := e.Loads()[0]; got < dem[0]/2 || got > 2*dem[0] {
+		t.Fatalf("no re-convergence after regrow: load %d, demand %d", got, dem[0])
+	}
+	mustPanic(t, "zero", func() { e.Resize(0) })
+	mustPanic(t, "too big", func() { e.Resize(n + 1) })
+}
+
+// TestResizeLoadConservationBothPaths: across interleaved shrink→grow
+// cycles and a demand change, the loads always equal the recount of
+// active ants' assignments and never exceed the active population — on
+// the struct-of-arrays batch path and the interface fallback alike.
+func TestResizeLoadConservationBothPaths(t *testing.T) {
+	sched, err := demand.NewStep(demand.Vector{60, 90},
+		[]uint64{120}, []demand.Vector{{90, 60}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []bool{true, false} {
+		factory := agent.AntFactory(2, agent.DefaultParams(0.05))
+		if !batch {
+			factory.NewBatch = nil // force the interface path
+		}
+		e, err := New(Config{
+			N:        600,
+			Schedule: sched,
+			Model:    noise.SigmoidModel{Lambda: 0.1},
+			Factory:  factory,
+			Init:     UniformRandom,
+			Seed:     15,
+			Shards:   3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resizes := map[uint64]int{40: 200, 100: 600, 160: 350, 220: 600}
+		for r := uint64(1); r <= 260; r++ {
+			if to, ok := resizes[r]; ok {
+				e.Resize(to)
+			}
+			e.Step()
+			counts := make([]int, e.Tasks())
+			working := 0
+			for i := 0; i < e.Active(); i++ {
+				if a := e.assignment(i); a != agent.Idle {
+					counts[a]++
+					working++
+				}
+			}
+			for j, w := range e.Loads() {
+				if w != counts[j] {
+					t.Fatalf("batch=%v round %d task %d: load %d != recount %d",
+						batch, r, j, w, counts[j])
+				}
+			}
+			if working > e.Active() {
+				t.Fatalf("batch=%v round %d: %d workers > %d active",
+					batch, r, working, e.Active())
+			}
+		}
 	}
 }
 

@@ -87,6 +87,14 @@ type Model interface {
 	CriticalValue(n int, dMin int) float64
 }
 
+// Switcher is implemented by models whose regime changes over time
+// (e.g. the scenario package's SwitchedModel): ModelAt returns the model
+// in force at round t. Reporting code uses it to compute the in-force
+// critical value γ* instead of the construction-time one.
+type Switcher interface {
+	ModelAt(t uint64) Model
+}
+
 // Sigmoid evaluates the logistic function 1/(1+e^{−λx}) in a numerically
 // stable way.
 func Sigmoid(lambda, x float64) float64 {

@@ -1,0 +1,203 @@
+// Package scenario generates the changing environments of the paper's
+// Section 6 argument: self-stabilization is what makes the algorithms
+// useful when demands drift and ants die or hatch, so the simulator
+// must be able to express rich time-varying workloads, not just
+// hand-written step changes.
+//
+// The package provides two axes:
+//
+//   - Generative demand processes implementing demand.Schedule —
+//     Sinusoid (seasonal drift), Burst (recurring spikes), RandomWalk
+//     (bounded diffusion), MarkovModulated (regime switching), and
+//     Trace (replay of a recorded schedule). All are deterministic
+//     functions of (their parameters, round): re-running a scenario
+//     reproduces it exactly, and none depends on engine sharding.
+//
+//   - A Timeline of discrete events: colony-size changes (Resize —
+//     ants dying and hatching) and feedback-regime switches
+//     (NoiseSwitch, applied through SwitchedModel). Timeline.Drive
+//     applies the resizes to any engine while it runs.
+//
+// The stateful schedules (RandomWalk, MarkovModulated) memoize their
+// sample paths lazily, so At is O(1) amortized over a forward sweep and
+// the same instance can be shared by sequential re-runs; they are not
+// safe for concurrent use, matching the engines they feed.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+
+	"taskalloc/internal/colony"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/noise"
+)
+
+// Resize schedules a colony-size change: from round At onward the
+// active colony size is To (colony.Engine.Resize / Sequential.Resize).
+type Resize struct {
+	At uint64
+	To int
+}
+
+// NoiseSwitch schedules a feedback-regime change: from round At onward
+// feedback is drawn from Model.
+type NoiseSwitch struct {
+	At    uint64
+	Model noise.Model
+}
+
+// Timeline is a scenario's discrete event schedule. Both event lists
+// must be ordered by strictly increasing At >= 1.
+type Timeline struct {
+	Resizes  []Resize
+	Switches []NoiseSwitch
+}
+
+// Validate checks event ordering and bounds for a colony of n ants.
+func (tl Timeline) Validate(n int) error {
+	for i, r := range tl.Resizes {
+		if r.At < 1 {
+			return errors.New("scenario: Resize.At must be >= 1")
+		}
+		if i > 0 && r.At <= tl.Resizes[i-1].At {
+			return errors.New("scenario: Resizes must have strictly increasing At")
+		}
+		if r.To < 1 || r.To > n {
+			return fmt.Errorf("scenario: Resize to %d outside [1, %d]", r.To, n)
+		}
+	}
+	for i, s := range tl.Switches {
+		if s.At < 1 {
+			return errors.New("scenario: NoiseSwitch.At must be >= 1")
+		}
+		if i > 0 && s.At <= tl.Switches[i-1].At {
+			return errors.New("scenario: Switches must have strictly increasing At")
+		}
+		if s.Model == nil {
+			return errors.New("scenario: NoiseSwitch with nil model")
+		}
+	}
+	return nil
+}
+
+// ActiveAt projects the colony size in force at round t for a colony of
+// n ants: the To of the latest resize with At <= t, or n when none has
+// fired. It does not require Resizes to be sorted, so it is safe to call
+// before Validate.
+func (tl Timeline) ActiveAt(n int, t uint64) int {
+	var bestAt uint64
+	out := n
+	for _, r := range tl.Resizes {
+		if r.At <= t && r.At >= bestAt {
+			bestAt = r.At
+			out = r.To
+		}
+	}
+	return out
+}
+
+// Model wraps base into a SwitchedModel applying the timeline's noise
+// switches; with no switches it returns base unchanged.
+func (tl Timeline) Model(base noise.Model) noise.Model {
+	if len(tl.Switches) == 0 {
+		return base
+	}
+	return NewSwitchedModel(base, tl.Switches)
+}
+
+// Runner is the engine surface Timeline.Drive needs; colony.Engine and
+// colony.Sequential both implement it.
+type Runner interface {
+	Run(rounds int, obs colony.Observer)
+	Round() uint64
+	Resize(m int)
+}
+
+// Drive advances r by rounds rounds, applying the timeline's resizes so
+// that a Resize{At, To} is in force for every round >= At. Resizes whose
+// round already passed are skipped. Noise switches need no driving: they
+// are part of the model (see Timeline.Model) and key on the round number.
+func (tl Timeline) Drive(r Runner, rounds int, obs colony.Observer) {
+	i := 0
+	for rounds > 0 {
+		next := r.Round() + 1 // the round the engine will execute next
+		for i < len(tl.Resizes) && tl.Resizes[i].At <= next {
+			if tl.Resizes[i].At == next {
+				r.Resize(tl.Resizes[i].To)
+			}
+			i++
+		}
+		chunk := rounds
+		if i < len(tl.Resizes) {
+			// Compare in uint64: an event far in the future must clamp
+			// nothing, not wrap negative through int().
+			if gap := tl.Resizes[i].At - next; gap < uint64(chunk) {
+				chunk = int(gap)
+			}
+		}
+		r.Run(chunk, obs)
+		rounds -= chunk
+	}
+}
+
+// SwitchedModel is a noise.Model whose regime changes at scheduled
+// rounds: rounds before the first switch use Base, later rounds use the
+// model of the latest switch with At <= round. It implements
+// noise.Switcher so reporting code can resolve the in-force model.
+type SwitchedModel struct {
+	base   noise.Model
+	when   []uint64
+	models []noise.Model
+}
+
+// NewSwitchedModel builds a SwitchedModel; switches must be ordered by
+// strictly increasing At (Timeline.Validate enforces this for timelines).
+func NewSwitchedModel(base noise.Model, switches []NoiseSwitch) *SwitchedModel {
+	m := &SwitchedModel{base: base}
+	for _, s := range switches {
+		m.when = append(m.when, s.At)
+		m.models = append(m.models, s.Model)
+	}
+	return m
+}
+
+// ModelAt implements noise.Switcher: the model in force at round t.
+func (m *SwitchedModel) ModelAt(t uint64) noise.Model {
+	in := m.base
+	for i, w := range m.when {
+		if t >= w {
+			in = m.models[i]
+		} else {
+			break
+		}
+	}
+	return in
+}
+
+// Name implements noise.Model.
+func (m *SwitchedModel) Name() string {
+	return fmt.Sprintf("switched(%s, %d switches)", m.base.Name(), len(m.models))
+}
+
+// Describe implements noise.Model by delegating to the in-force regime.
+func (m *SwitchedModel) Describe(env noise.Env, out []noise.TaskFeedback) {
+	m.ModelAt(env.Round).Describe(env, out)
+}
+
+// CriticalValue implements noise.Model with the initial regime's γ*;
+// round-aware callers should resolve ModelAt themselves (the root
+// Simulation reports the in-force γ* this way).
+func (m *SwitchedModel) CriticalValue(n int, dMin int) float64 {
+	return m.base.CriticalValue(n, dMin)
+}
+
+var _ noise.Model = (*SwitchedModel)(nil)
+var _ noise.Switcher = (*SwitchedModel)(nil)
+var _ Runner = (*colony.Engine)(nil)
+var _ Runner = (*colony.Sequential)(nil)
+var _ demand.Schedule = (*Sinusoid)(nil)
+var _ demand.Schedule = (*Burst)(nil)
+var _ demand.Schedule = (*RandomWalk)(nil)
+var _ demand.Schedule = (*MarkovModulated)(nil)
+var _ demand.Schedule = (*Trace)(nil)

@@ -1,0 +1,408 @@
+package scenario
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/colony"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/noise"
+)
+
+// checkSchedule verifies the demand.Schedule contract over a window:
+// fixed task count, positive entries, and At determinism (same t twice).
+func checkSchedule(t *testing.T, s demand.Schedule, rounds uint64) {
+	t.Helper()
+	k := s.Tasks()
+	for r := uint64(0); r <= rounds; r++ {
+		v := s.At(r)
+		if len(v) != k {
+			t.Fatalf("round %d: %d tasks, want %d", r, len(v), k)
+		}
+		for j, d := range v {
+			if d < 1 {
+				t.Fatalf("round %d task %d: non-positive demand %d", r, j, d)
+			}
+		}
+		w := s.At(r)
+		for j := range v {
+			if v[j] != w[j] {
+				t.Fatalf("round %d: At not deterministic", r)
+			}
+		}
+	}
+}
+
+func TestSinusoid(t *testing.T) {
+	base := demand.Vector{200, 400}
+	s, err := NewSinusoid(base, []float64{0.5, 0.25}, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, s, 500)
+	// Period: one full cycle returns to the same value.
+	for _, r := range []uint64{3, 57, 90} {
+		a, b := s.At(r), s.At(r+100)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("period violated at round %d", r)
+			}
+		}
+	}
+	// Amplitude: task 0 reaches ~±50% of base over a cycle.
+	lo, hi := base[0], base[0]
+	for r := uint64(0); r < 100; r++ {
+		d := s.At(r)[0]
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if lo > 110 || hi < 290 {
+		t.Fatalf("amplitude not realized: min %d max %d", lo, hi)
+	}
+
+	if _, err := NewSinusoid(base, []float64{1.5, 0}, 100, nil); err == nil {
+		t.Fatal("amplitude >= 1 accepted")
+	}
+	if _, err := NewSinusoid(base, nil, 0, nil); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestBurst(t *testing.T) {
+	base := demand.Vector{100, 100}
+	peak := demand.Vector{300, 50}
+	b, err := NewBurst(base, peak, 50, 200, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, b, 600)
+	cases := []struct {
+		t    uint64
+		peak bool
+	}{
+		{0, false}, {49, false}, {50, true}, {69, true}, {70, false},
+		{249, false}, {250, true}, {270, false}, {450, true},
+	}
+	for _, c := range cases {
+		got := b.At(c.t)[0] == peak[0]
+		if got != c.peak {
+			t.Fatalf("round %d: peak=%v, want %v", c.t, got, c.peak)
+		}
+	}
+	// Single burst: Every = 0.
+	one, err := NewBurst(base, peak, 10, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.At(12)[0] != peak[0] || one.At(15)[0] != base[0] || one.At(1000)[0] != base[0] {
+		t.Fatal("single-burst window wrong")
+	}
+	if _, err := NewBurst(base, peak, 0, 10, 10); err == nil {
+		t.Fatal("Len >= Every accepted")
+	}
+	if _, err := NewBurst(base, demand.Vector{1}, 0, 0, 1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestRandomWalk(t *testing.T) {
+	base := demand.Vector{200, 300}
+	min := demand.Vector{100, 150}
+	max := demand.Vector{300, 450}
+	w, err := NewRandomWalk(base, 10, 50, min, max, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, w, 5000)
+	moved := false
+	for r := uint64(0); r <= 5000; r++ {
+		v := w.At(r)
+		for j := range v {
+			if v[j] < min[j] || v[j] > max[j] {
+				t.Fatalf("round %d: %d outside [%d, %d]", r, v[j], min[j], max[j])
+			}
+		}
+		if v[0] != base[0] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("walk never moved")
+	}
+	// Constant within an epoch; reproducible across instances; sample
+	// paths differ across seeds. Out-of-order access must agree with a
+	// forward sweep.
+	if w.At(57)[0] != w.At(99)[0] {
+		t.Fatal("demand changed mid-epoch")
+	}
+	w2, _ := NewRandomWalk(base, 10, 50, min, max, 7)
+	if got, want := w2.At(4321)[1], w.At(4321)[1]; got != want {
+		t.Fatalf("same seed diverged: %d vs %d", got, want)
+	}
+	w3, _ := NewRandomWalk(base, 10, 50, min, max, 8)
+	same := true
+	for r := uint64(0); r < 5000; r += 50 {
+		if w3.At(r)[0] != w.At(r)[0] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical paths")
+	}
+	if _, err := NewRandomWalk(base, 0, 50, min, max, 1); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := NewRandomWalk(base, 5, 50, demand.Vector{250, 150}, max, 1); err == nil {
+		t.Fatal("min above base accepted")
+	}
+}
+
+func TestMarkovModulated(t *testing.T) {
+	regimes := []demand.Vector{{400, 100}, {100, 400}, {250, 250}}
+	p := [][]float64{
+		{0.5, 0.5, 0},
+		{0.25, 0.5, 0.25},
+		{0, 0.5, 0.5},
+	}
+	m, err := NewMarkovModulated(regimes, p, 100, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, m, 20000)
+	// Every vector is one of the regimes; forbidden one-step transitions
+	// (0 -> 2 and 2 -> 0 have probability 0) never occur.
+	visited := map[int]bool{}
+	prev := m.State(0)
+	if prev != 0 {
+		t.Fatalf("start state %d", prev)
+	}
+	for e := uint64(1); e <= 200; e++ {
+		s := m.State(e * 100)
+		visited[s] = true
+		if (prev == 0 && s == 2) || (prev == 2 && s == 0) {
+			t.Fatalf("forbidden transition %d -> %d at epoch %d", prev, s, e)
+		}
+		prev = s
+	}
+	if len(visited) < 3 {
+		t.Fatalf("chain visited only %d regimes in 200 epochs", len(visited))
+	}
+	// Reproducible across instances.
+	m2, _ := NewMarkovModulated(regimes, p, 100, 0, 3)
+	if m2.State(12345) != m.State(12345) {
+		t.Fatal("same seed diverged")
+	}
+	if _, err := NewMarkovModulated(regimes, [][]float64{{1}}, 100, 0, 1); err == nil {
+		t.Fatal("non-square matrix accepted")
+	}
+	if _, err := NewMarkovModulated(regimes, [][]float64{
+		{0.5, 0.4, 0}, {0.25, 0.5, 0.25}, {0, 0.5, 0.5},
+	}, 100, 0, 1); err == nil {
+		t.Fatal("non-stochastic row accepted")
+	}
+	if _, err := NewMarkovModulated(regimes, p, 100, 5, 1); err == nil {
+		t.Fatal("bad start regime accepted")
+	}
+}
+
+func TestTraceAndParse(t *testing.T) {
+	tr, err := NewTrace([]uint64{0, 100, 250}, []demand.Vector{{10, 20}, {20, 10}, {5, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSchedule(t, tr, 400)
+	for _, c := range []struct {
+		t    uint64
+		want int
+	}{{0, 10}, {99, 10}, {100, 20}, {249, 20}, {250, 5}, {9999, 5}} {
+		if got := tr.At(c.t)[0]; got != c.want {
+			t.Fatalf("At(%d)[0] = %d, want %d", c.t, got, c.want)
+		}
+	}
+
+	parsed, err := ParseTrace(strings.NewReader(
+		"# recorded schedule\n\n0, 10, 20\n100,20,10\n250,5,5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Len() != 3 || parsed.Tasks() != 2 || parsed.At(120)[1] != 10 {
+		t.Fatalf("parsed trace wrong: %+v", parsed)
+	}
+	for _, bad := range []string{
+		"5\n",          // no demands
+		"x,1\n",        // bad round
+		"0,zz\n",       // bad demand
+		"0,1\n0,2\n",   // non-increasing rounds
+		"0,1\n5,1,2\n", // ragged widths
+		"0,0\n",        // non-positive demand
+	} {
+		if _, err := ParseTrace(strings.NewReader(bad)); err == nil {
+			t.Fatalf("bad trace %q accepted", bad)
+		}
+	}
+}
+
+func TestSwitchedModel(t *testing.T) {
+	base := noise.PerfectModel{}
+	inv := noise.AdversarialModel{GammaAd: 0.5, Strategy: noise.Inverted{}}
+	m := NewSwitchedModel(base, []NoiseSwitch{{At: 100, Model: inv}})
+
+	if m.ModelAt(99) != noise.Model(base) || m.ModelAt(100) == noise.Model(base) {
+		t.Fatal("regime boundary wrong")
+	}
+	var sw noise.Switcher = m // must satisfy the reporting interface
+	if sw.ModelAt(500).Name() != inv.Name() {
+		t.Fatal("ModelAt after switch")
+	}
+
+	// Describe delegates per round: deficit 0 is Lack under perfect
+	// feedback, Overload under the inverted grey zone.
+	env := noise.Env{Deficit: []float64{0}, Demand: []int{100}}
+	out := make([]noise.TaskFeedback, 1)
+	env.Round = 99
+	m.Describe(env, out)
+	if !out[0].Deterministic || out[0].Value != noise.Lack {
+		t.Fatalf("pre-switch feedback %+v", out[0])
+	}
+	env.Round = 100
+	m.Describe(env, out)
+	if !out[0].Deterministic || out[0].Value != noise.Overload {
+		t.Fatalf("post-switch feedback %+v", out[0])
+	}
+	if m.CriticalValue(1000, 100) != 0 {
+		t.Fatal("CriticalValue must report the initial regime")
+	}
+	if m.Name() == "" {
+		t.Fatal("empty name")
+	}
+}
+
+func TestTimelineValidate(t *testing.T) {
+	ok := Timeline{
+		Resizes:  []Resize{{At: 10, To: 5}, {At: 20, To: 10}},
+		Switches: []NoiseSwitch{{At: 5, Model: noise.PerfectModel{}}},
+	}
+	if err := ok.Validate(10); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Timeline{
+		{Resizes: []Resize{{At: 0, To: 5}}},
+		{Resizes: []Resize{{At: 10, To: 5}, {At: 10, To: 6}}},
+		{Resizes: []Resize{{At: 10, To: 0}}},
+		{Resizes: []Resize{{At: 10, To: 11}}},
+		{Switches: []NoiseSwitch{{At: 0, Model: noise.PerfectModel{}}}},
+		{Switches: []NoiseSwitch{{At: 5, Model: nil}}},
+		{Switches: []NoiseSwitch{{At: 5, Model: noise.PerfectModel{}}, {At: 5, Model: noise.PerfectModel{}}}},
+	}
+	for i, tl := range bad {
+		if err := tl.Validate(10); err == nil {
+			t.Fatalf("bad timeline %d accepted", i)
+		}
+	}
+	if m := (Timeline{}).Model(noise.PerfectModel{}); m.Name() != "perfect" {
+		t.Fatal("empty timeline must not wrap the model")
+	}
+}
+
+// TestTimelineActiveAt: the projection picks the latest fired resize and
+// tolerates unsorted (not-yet-validated) input.
+func TestTimelineActiveAt(t *testing.T) {
+	tl := Timeline{Resizes: []Resize{{At: 30, To: 7}, {At: 10, To: 5}}}
+	for _, c := range []struct {
+		t    uint64
+		want int
+	}{{0, 12}, {9, 12}, {10, 5}, {29, 5}, {30, 7}, {1000, 7}} {
+		if got := tl.ActiveAt(12, c.t); got != c.want {
+			t.Fatalf("ActiveAt(12, %d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+// TestTimelineDrive: resizes land exactly at their scheduled rounds on
+// both engine types, regardless of how Run is chunked.
+func TestTimelineDrive(t *testing.T) {
+	dem := demand.Vector{50}
+	tl := Timeline{Resizes: []Resize{{At: 10, To: 100}, {At: 30, To: 400}}}
+	cfg := colony.Config{
+		N:        400,
+		Schedule: demand.Static{V: dem},
+		Model:    noise.SigmoidModel{Lambda: 1},
+		Factory:  agent.AntFactory(1, agent.DefaultParams(0.05)),
+		Seed:     3,
+		Shards:   2,
+	}
+	e, err := colony.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	activeAt := map[uint64]int{}
+	tl.Drive(e, 40, func(r uint64, _ []int, _ demand.Vector) {
+		activeAt[r] = e.Active()
+	})
+	if e.Round() != 40 {
+		t.Fatalf("Round = %d", e.Round())
+	}
+	for _, c := range []struct {
+		r    uint64
+		want int
+	}{{9, 400}, {10, 100}, {29, 100}, {30, 400}, {40, 400}} {
+		if activeAt[c.r] != c.want {
+			t.Fatalf("round %d: active %d, want %d", c.r, activeAt[c.r], c.want)
+		}
+	}
+
+	seq, err := colony.NewSequential(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl.Drive(seq, 40, nil)
+	if seq.Round() != 40 || seq.Active() != 400 {
+		t.Fatalf("sequential drive: round %d active %d", seq.Round(), seq.Active())
+	}
+
+	// Regression: an event farther ahead than MaxInt64 rounds must not
+	// wrap the chunk computation negative (Drive would spin forever).
+	far := Timeline{Resizes: []Resize{{At: math.MaxUint64 - 3, To: 100}}}
+	e3, err := colony.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far.Drive(e3, 25, nil)
+	if e3.Round() != 25 || e3.Active() != 400 {
+		t.Fatalf("far-future resize broke Drive: round %d active %d", e3.Round(), e3.Active())
+	}
+
+	// Late scheduling: events whose round already passed are skipped.
+	e2, err := colony.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Run(20, nil)
+	tl.Drive(e2, 20, nil)
+	if e2.Active() != 400 {
+		t.Fatalf("late drive applied stale resize: active %d", e2.Active())
+	}
+}
+
+// TestScheduleDemandSumsStayFeasible: a scenario kept within Assumptions
+// 2.1 at construction stays within them over its whole horizon when the
+// parameters promise it (sinusoid amplitude keeps Σd <= (1+amp)Σbase).
+func TestScheduleDemandSumsStayFeasible(t *testing.T) {
+	base := demand.Vector{300, 300}
+	s, err := NewSinusoid(base, []float64{0.3, 0.3}, 500, []float64{0, math.Pi})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := uint64(0); r <= 2000; r++ {
+		if sum := s.At(r).Sum(); sum > 790 {
+			t.Fatalf("round %d: Σd = %d exceeds (1+amp)Σbase", r, sum)
+		}
+	}
+}

@@ -1,0 +1,407 @@
+package scenario
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"taskalloc/internal/demand"
+	"taskalloc/internal/rng"
+)
+
+// memo caches the most recent At result so the engine's several At(t)
+// calls per round (feedback, observer, metrics) share one allocation.
+type memo struct {
+	t uint64
+	v demand.Vector
+}
+
+func (m *memo) get(t uint64) (demand.Vector, bool) {
+	if m.v != nil && m.t == t {
+		return m.v, true
+	}
+	return nil, false
+}
+
+func (m *memo) put(t uint64, v demand.Vector) demand.Vector {
+	m.t, m.v = t, v
+	return v
+}
+
+// clampPos rounds x to the nearest integer demand, never below 1.
+func clampPos(x float64) int {
+	d := int(math.Round(x))
+	if d < 1 {
+		return 1
+	}
+	return d
+}
+
+// epochSeed derives the deterministic RNG seed for one epoch of a
+// generative schedule: a splitmix-style hash of (seed, epoch), so sample
+// paths are reproducible and independent of the order At is called in.
+func epochSeed(seed, epoch uint64) uint64 {
+	x := seed ^ 0x9e3779b97f4a7c15 ^ (epoch * 0xd1342543de82ef95)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Sinusoid is a seasonal demand process: task j oscillates around
+// Base[j] with relative amplitude Amp[j] and a common period,
+//
+//	d_j(t) = max(1, round(Base[j] · (1 + Amp[j]·sin(2πt/Period + Phase[j])))).
+//
+// It models slow environmental drift (day/night foraging cycles); each
+// round's vector is a pure function of t.
+type Sinusoid struct {
+	Base   demand.Vector
+	Amp    []float64 // per-task relative amplitude, in [0, 1)
+	Period float64   // rounds per full cycle, > 0
+	Phase  []float64 // per-task phase offset in radians; nil = all zero
+
+	m memo
+}
+
+// NewSinusoid validates and builds a Sinusoid. amp and phase may be nil
+// (no modulation / zero phase) or per-task slices.
+func NewSinusoid(base demand.Vector, amp []float64, period float64, phase []float64) (*Sinusoid, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if period <= 0 {
+		return nil, errors.New("scenario: Sinusoid needs Period > 0")
+	}
+	if amp == nil {
+		amp = make([]float64, len(base))
+	}
+	if len(amp) != len(base) {
+		return nil, errors.New("scenario: Sinusoid Amp length mismatch")
+	}
+	for _, a := range amp {
+		if a < 0 || a >= 1 || math.IsNaN(a) {
+			return nil, fmt.Errorf("scenario: Sinusoid amplitude %v outside [0, 1)", a)
+		}
+	}
+	if phase == nil {
+		phase = make([]float64, len(base))
+	}
+	if len(phase) != len(base) {
+		return nil, errors.New("scenario: Sinusoid Phase length mismatch")
+	}
+	return &Sinusoid{Base: base, Amp: amp, Period: period, Phase: phase}, nil
+}
+
+// At implements demand.Schedule.
+func (s *Sinusoid) At(t uint64) demand.Vector {
+	if v, ok := s.m.get(t); ok {
+		return v
+	}
+	v := make(demand.Vector, len(s.Base))
+	omega := 2 * math.Pi / s.Period
+	for j, d := range s.Base {
+		v[j] = clampPos(float64(d) * (1 + s.Amp[j]*math.Sin(omega*float64(t)+s.Phase[j])))
+	}
+	return s.m.put(t, v)
+}
+
+// Tasks implements demand.Schedule.
+func (s *Sinusoid) Tasks() int { return len(s.Base) }
+
+// Burst is a spike process: demand sits at Base and jumps to Peak for
+// Len rounds starting at Start, recurring every Every rounds (Every = 0
+// means a single burst). It models food bonanzas and brood-care
+// emergencies as sharp, repeated regime flips.
+type Burst struct {
+	Base  demand.Vector
+	Peak  demand.Vector
+	Start uint64 // first onset round
+	Every uint64 // burst period; 0 = one burst only
+	Len   uint64 // burst duration in rounds, >= 1
+}
+
+// NewBurst validates and builds a Burst.
+func NewBurst(base, peak demand.Vector, start, every, length uint64) (*Burst, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if err := peak.Validate(); err != nil {
+		return nil, err
+	}
+	if len(peak) != len(base) {
+		return nil, errors.New("scenario: Burst peak/base length mismatch")
+	}
+	if length == 0 {
+		return nil, errors.New("scenario: Burst needs Len >= 1")
+	}
+	if every != 0 && length >= every {
+		return nil, errors.New("scenario: Burst Len must be < Every")
+	}
+	return &Burst{Base: base, Peak: peak, Start: start, Every: every, Len: length}, nil
+}
+
+// At implements demand.Schedule.
+func (b *Burst) At(t uint64) demand.Vector {
+	if t >= b.Start {
+		off := t - b.Start
+		if b.Every != 0 {
+			off %= b.Every
+		}
+		if off < b.Len {
+			return b.Peak
+		}
+	}
+	return b.Base
+}
+
+// Tasks implements demand.Schedule.
+func (b *Burst) Tasks() int { return len(b.Base) }
+
+// RandomWalk is a bounded diffusion: every Every rounds each task's
+// demand takes an independent uniform step in [−Step, +Step], clamped to
+// [Min[j], Max[j]]. Steps are derived from a hash of (Seed, epoch), so
+// the sample path is reproducible and independent of call order; the
+// path is memoized epoch by epoch.
+type RandomWalk struct {
+	Base  demand.Vector
+	Step  int    // max per-epoch move per task, >= 1
+	Every uint64 // epoch length in rounds, >= 1
+	Min   demand.Vector
+	Max   demand.Vector
+	Seed  uint64
+
+	path []demand.Vector // memoized epoch values; path[0] = Base
+}
+
+// NewRandomWalk validates and builds a RandomWalk. min and max bound the
+// walk per task and must bracket base.
+func NewRandomWalk(base demand.Vector, step int, every uint64, min, max demand.Vector, seed uint64) (*RandomWalk, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if step < 1 {
+		return nil, errors.New("scenario: RandomWalk needs Step >= 1")
+	}
+	if every < 1 {
+		return nil, errors.New("scenario: RandomWalk needs Every >= 1")
+	}
+	if len(min) != len(base) || len(max) != len(base) {
+		return nil, errors.New("scenario: RandomWalk bounds length mismatch")
+	}
+	for j := range base {
+		if min[j] < 1 || min[j] > base[j] || max[j] < base[j] {
+			return nil, fmt.Errorf("scenario: RandomWalk needs 1 <= Min[%d] <= Base[%d] <= Max[%d]", j, j, j)
+		}
+	}
+	return &RandomWalk{Base: base, Step: step, Every: every, Min: min, Max: max, Seed: seed}, nil
+}
+
+// At implements demand.Schedule.
+func (w *RandomWalk) At(t uint64) demand.Vector {
+	epoch := t / w.Every
+	if w.path == nil {
+		w.path = append(w.path, w.Base.Clone())
+	}
+	for uint64(len(w.path)) <= epoch {
+		e := uint64(len(w.path))
+		r := rng.New(epochSeed(w.Seed, e))
+		prev := w.path[e-1]
+		next := make(demand.Vector, len(prev))
+		for j, d := range prev {
+			d += r.Intn(2*w.Step+1) - w.Step
+			if d < w.Min[j] {
+				d = w.Min[j]
+			}
+			if d > w.Max[j] {
+				d = w.Max[j]
+			}
+			next[j] = d
+		}
+		w.path = append(w.path, next)
+	}
+	return w.path[epoch]
+}
+
+// Tasks implements demand.Schedule.
+func (w *RandomWalk) Tasks() int { return len(w.Base) }
+
+// MarkovModulated switches between a finite set of demand regimes
+// following a Markov chain: every Dwell rounds the regime transitions
+// according to the row-stochastic matrix P. It models environments with
+// qualitatively distinct modes (forage-heavy vs brood-heavy) and
+// geometric sojourn times, in the spirit of the Markov-modulated demand
+// processes of the time-varying estimation literature.
+type MarkovModulated struct {
+	Regimes []demand.Vector
+	P       [][]float64 // P[i][j] = transition probability i -> j
+	Dwell   uint64      // rounds between transition decisions, >= 1
+	Start   int         // initial regime index
+	Seed    uint64
+
+	states []int // memoized regime per epoch; states[0] = Start
+}
+
+// NewMarkovModulated validates and builds a MarkovModulated schedule.
+func NewMarkovModulated(regimes []demand.Vector, p [][]float64, dwell uint64, start int, seed uint64) (*MarkovModulated, error) {
+	if len(regimes) == 0 {
+		return nil, errors.New("scenario: MarkovModulated needs >= 1 regime")
+	}
+	k := len(regimes[0])
+	for i, v := range regimes {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		if len(v) != k {
+			return nil, fmt.Errorf("scenario: regime %d has %d tasks, want %d", i, len(v), k)
+		}
+	}
+	if len(p) != len(regimes) {
+		return nil, errors.New("scenario: transition matrix must be square over the regimes")
+	}
+	for i, row := range p {
+		if len(row) != len(regimes) {
+			return nil, errors.New("scenario: transition matrix must be square over the regimes")
+		}
+		sum := 0.0
+		for _, q := range row {
+			if q < 0 || math.IsNaN(q) {
+				return nil, fmt.Errorf("scenario: negative transition probability in row %d", i)
+			}
+			sum += q
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("scenario: transition row %d sums to %v, want 1", i, sum)
+		}
+	}
+	if dwell < 1 {
+		return nil, errors.New("scenario: MarkovModulated needs Dwell >= 1")
+	}
+	if start < 0 || start >= len(regimes) {
+		return nil, fmt.Errorf("scenario: start regime %d outside [0, %d)", start, len(regimes))
+	}
+	return &MarkovModulated{Regimes: regimes, P: p, Dwell: dwell, Start: start, Seed: seed}, nil
+}
+
+// At implements demand.Schedule.
+func (m *MarkovModulated) At(t uint64) demand.Vector {
+	epoch := t / m.Dwell
+	if m.states == nil {
+		m.states = append(m.states, m.Start)
+	}
+	for uint64(len(m.states)) <= epoch {
+		e := uint64(len(m.states))
+		r := rng.New(epochSeed(m.Seed, e))
+		u := r.Float64()
+		row := m.P[m.states[e-1]]
+		next := len(row) - 1
+		acc := 0.0
+		for j, q := range row {
+			acc += q
+			if u < acc {
+				next = j
+				break
+			}
+		}
+		m.states = append(m.states, next)
+	}
+	return m.Regimes[m.states[epoch]]
+}
+
+// Tasks implements demand.Schedule.
+func (m *MarkovModulated) Tasks() int { return len(m.Regimes[0]) }
+
+// State returns the regime index in force at round t (sampling the path
+// up to t if needed).
+func (m *MarkovModulated) State(t uint64) int {
+	m.At(t)
+	return m.states[t/m.Dwell]
+}
+
+// Trace replays a recorded demand schedule: piecewise-constant vectors
+// with strictly increasing change rounds. Rounds before the first stamp
+// use the first vector. It is how measured workloads (or schedules
+// exported from other simulators) are fed back into the engines.
+type Trace struct {
+	when []uint64
+	vecs []demand.Vector
+}
+
+// NewTrace builds a Trace from change rounds and vectors of equal count;
+// when must be strictly increasing and all vectors the same length.
+func NewTrace(when []uint64, vecs []demand.Vector) (*Trace, error) {
+	if len(when) == 0 || len(when) != len(vecs) {
+		return nil, errors.New("scenario: Trace needs matching, non-empty when/vectors")
+	}
+	k := len(vecs[0])
+	for i := range when {
+		if i > 0 && when[i] <= when[i-1] {
+			return nil, errors.New("scenario: Trace rounds must be strictly increasing")
+		}
+		if len(vecs[i]) != k {
+			return nil, fmt.Errorf("scenario: Trace vector %d has %d tasks, want %d", i, len(vecs[i]), k)
+		}
+		if err := vecs[i].Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Trace{when: when, vecs: vecs}, nil
+}
+
+// ParseTrace reads a trace from CSV-like text: one "round,d1,d2,..."
+// line per change point, ordered by round. Blank lines and lines
+// starting with '#' are skipped.
+func ParseTrace(r io.Reader) (*Trace, error) {
+	var when []uint64
+	var vecs []demand.Vector
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("scenario: trace line %d: want round,d1[,d2...]", line)
+		}
+		round, err := strconv.ParseUint(strings.TrimSpace(fields[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: trace line %d: bad round: %v", line, err)
+		}
+		v := make(demand.Vector, len(fields)-1)
+		for j, f := range fields[1:] {
+			d, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return nil, fmt.Errorf("scenario: trace line %d: bad demand: %v", line, err)
+			}
+			v[j] = d
+		}
+		when = append(when, round)
+		vecs = append(vecs, v)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return NewTrace(when, vecs)
+}
+
+// At implements demand.Schedule (binary search over the change points).
+func (tr *Trace) At(t uint64) demand.Vector {
+	i := sort.Search(len(tr.when), func(i int) bool { return tr.when[i] > t })
+	if i == 0 {
+		return tr.vecs[0]
+	}
+	return tr.vecs[i-1]
+}
+
+// Tasks implements demand.Schedule.
+func (tr *Trace) Tasks() int { return len(tr.vecs[0]) }
+
+// Len returns the number of change points.
+func (tr *Trace) Len() int { return len(tr.when) }

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Bench smoke guard: fail if BenchmarkEngineParallel regresses more than
+# TOLERANCE (default 20%) against the checked-in baseline BENCH_N.json.
+# Usage:
+#
+#   scripts/bench_guard.sh [baseline-N]     # default baseline 1
+#   TOLERANCE=0.3 BENCHTIME=20x scripts/bench_guard.sh
+#
+# Intended as a CI smoke: short -benchtime keeps it fast, the generous
+# tolerance absorbs run-to-run noise, and a real engine regression (like
+# losing the persistent-pool or batch-path wins) blows well past it.
+#
+# Caveat: the baseline's ns/op were recorded on the repo's bench host
+# (see the json's "cpu" field). On a substantially different machine the
+# absolute comparison degrades — raise TOLERANCE there, or re-record a
+# local baseline with scripts/bench.sh and pass its N.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASE="BENCH_${1:-1}.json"
+TOLERANCE="${TOLERANCE:-0.20}"
+BENCHTIME="${BENCHTIME:-20x}"
+TMP="$(mktemp)"
+trap 'rm -f "$TMP"' EXIT
+
+[ -f "$BASE" ] || { echo "bench_guard: missing baseline $BASE" >&2; exit 2; }
+
+go test -run '^$' -bench 'BenchmarkEngineParallel$' -benchtime "$BENCHTIME" -count 1 . | tee "$TMP"
+
+awk -v base="$BASE" -v tol="$TOLERANCE" '
+  BEGIN {
+    # Baseline entries come in two schemas: bench.sh emits
+    # {"benchmark": ..., "ns_op": M}; annotated baselines carry
+    # before/after pairs, where "after_ns_op" is the recorded value.
+    while ((getline line < base) > 0) {
+      if (line ~ /BenchmarkEngineParallel/ && line ~ /"(after_)?ns_op"/) {
+        name = line; sub(/.*"benchmark": *"/, "", name); sub(/".*/, "", name)
+        ns = line
+        if (ns ~ /"after_ns_op"/) sub(/.*"after_ns_op": *[^0-9]*/, "", ns)
+        else sub(/.*"ns_op": *[^0-9]*/, "", ns)
+        sub(/[^0-9].*/, "", ns)
+        want[name] = ns + 0
+      }
+    }
+    close(base)
+    if (length(want) == 0) { print "bench_guard: no baseline entries in " base; exit 2 }
+  }
+  /^BenchmarkEngineParallel/ && $4 == "ns/op" {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    if (!(name in want)) next
+    got = $3 + 0
+    limit = want[name] * (1 + tol)
+    checked++
+    if (got > limit) {
+      printf("bench_guard: REGRESSION %s: %.0f ns/op > %.0f (baseline %.0f +%d%%)\n",
+             name, got, limit, want[name], tol * 100)
+      failed++
+    } else {
+      printf("bench_guard: ok %s: %.0f ns/op <= %.0f (baseline %.0f +%d%%)\n",
+             name, got, limit, want[name], tol * 100)
+    }
+  }
+  END {
+    if (checked == 0) { print "bench_guard: no benchmark output matched the baseline"; exit 2 }
+    if (failed > 0) exit 1
+    printf("bench_guard: %d benchmarks within %d%% of %s\n", checked, tol * 100, base)
+  }
+' "$TMP"

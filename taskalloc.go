@@ -40,6 +40,7 @@ import (
 	"taskalloc/internal/meanfield"
 	"taskalloc/internal/metrics"
 	"taskalloc/internal/noise"
+	"taskalloc/internal/scenario"
 )
 
 // Algorithm selects the ant automaton.
@@ -149,6 +150,22 @@ type DemandChange struct {
 	Demands []int
 }
 
+// SizeChange resizes the active colony to To ants from round At onward —
+// ants dying (shrink) or hatching (grow) per Section 6. Changes are
+// applied by Run; see Simulation.Resize for the semantics.
+type SizeChange struct {
+	At uint64
+	To int
+}
+
+// NoiseChange switches the feedback model from round At onward — a
+// noise-regime change (e.g. weather degrading signal quality). Each
+// entry is a full Noise configuration resolved like Config.Noise.
+type NoiseChange struct {
+	At    uint64
+	Noise Noise
+}
+
 // Config assembles a simulation. Zero values get defaults where noted.
 type Config struct {
 	// Ants is the colony size n.
@@ -168,8 +185,24 @@ type Config struct {
 	Init InitKind
 	// DemandChanges optionally schedules demand vector changes.
 	DemandChanges []DemandChange
+	// Demand optionally supplies a full demand schedule — the scenario
+	// axis. It generalizes Demands+DemandChanges (set at most one of the
+	// two forms): the internal/scenario package provides generative
+	// families (sinusoid, burst, random walk, Markov-modulated, trace
+	// replay). The round-1 vector Demand.At(1) anchors validation, noise
+	// placement, and InitExact.
+	Demand demand.Schedule
+	// SizeChanges optionally schedules colony resizes (ants dying and
+	// hatching, Section 6), applied by Run at their rounds. Entries must
+	// have strictly increasing At >= 1 and To in [1, Ants]. Not supported
+	// with MeanField.
+	SizeChanges []SizeChange
+	// NoiseChanges optionally schedules feedback-regime switches,
+	// resolved against the demand in force at the switch round. Entries
+	// must have strictly increasing At >= 1.
+	NoiseChanges []NoiseChange
 	// Sequential runs the Appendix D.1 scheduler (one random ant per
-	// round) instead of the synchronous one.
+	// round) instead of the synchronous one. Shards must be left 0.
 	Sequential bool
 	// MeanField replaces the agent-based engine with the aggregate
 	// binomial engine (O(2^k) per round instead of O(n·k); statistically
@@ -196,13 +229,13 @@ type Observer func(round uint64, loads []int, demands []int)
 type Simulation struct {
 	cfg       Config
 	k         int
+	sched     demand.Schedule
 	engine    *colony.Engine
 	seqEngine *colony.Sequential
 	mfEngine  *meanfield.Engine
 	rec       *metrics.Recorder
 	model     noise.Model
-	gammaStar float64
-	demSum    int
+	timeline  scenario.Timeline // SizeChanges as events Run drives
 }
 
 // New validates cfg and builds a Simulation.
@@ -210,11 +243,48 @@ func New(cfg Config) (*Simulation, error) {
 	if cfg.Ants <= 0 {
 		return nil, errors.New("taskalloc: need Ants >= 1")
 	}
-	dem := demand.Vector(cfg.Demands)
+	if cfg.Sequential && cfg.Shards != 0 {
+		return nil, errors.New("taskalloc: Sequential runs one ant per round and ignores sharding; leave Shards = 0")
+	}
+
+	// Demand schedule: a full Demand schedule, or the Demands
+	// (+DemandChanges) form.
+	var sched demand.Schedule
+	switch {
+	case cfg.Demand != nil:
+		if len(cfg.Demands) > 0 || len(cfg.DemandChanges) > 0 {
+			return nil, errors.New("taskalloc: Demand is mutually exclusive with Demands/DemandChanges")
+		}
+		sched = cfg.Demand
+	case len(cfg.DemandChanges) > 0:
+		initial := demand.Vector(cfg.Demands)
+		if err := initial.Validate(); err != nil {
+			return nil, err
+		}
+		when := make([]uint64, len(cfg.DemandChanges))
+		changes := make([]demand.Vector, len(cfg.DemandChanges))
+		for i, c := range cfg.DemandChanges {
+			when[i] = c.At
+			changes[i] = demand.Vector(c.Demands)
+		}
+		step, err := demand.NewStep(initial, when, changes)
+		if err != nil {
+			return nil, err
+		}
+		sched = step
+	default:
+		sched = demand.Static{V: demand.Vector(cfg.Demands)}
+	}
+	// dem anchors validation, noise placement, and InitExact: the vector
+	// in force at round 1.
+	dem := sched.At(1).Clone()
 	if err := dem.Validate(); err != nil {
 		return nil, err
 	}
-	k := len(dem)
+	k := sched.Tasks()
+	if len(dem) != k {
+		return nil, fmt.Errorf("taskalloc: schedule reports %d tasks but yields %d", k, len(dem))
+	}
 	if cfg.Gamma == 0 {
 		cfg.Gamma = agent.MaxGamma
 	}
@@ -227,39 +297,38 @@ func New(cfg Config) (*Simulation, error) {
 		}
 	}
 
-	// Noise model.
-	nz := cfg.Noise
-	if nz.Kind == NoiseSigmoid && nz.Lambda == 0 {
-		target := nz.GammaStar
-		if target == 0 {
-			target = cfg.Gamma / 2
-		}
-		nz.Lambda = noise.LambdaForCritical(target, cfg.Ants, dem.Min())
-		if math.IsNaN(nz.Lambda) {
-			return nil, fmt.Errorf("taskalloc: cannot place γ* at %v", target)
-		}
+	// Scenario events: SizeChanges and NoiseChanges become one
+	// scenario.Timeline, which owns the ordering/bounds validation, the
+	// noise-model wrapping, and the Run-time resize driving. Resizes are
+	// validated before noise placement consumes ActiveAt, so a bad
+	// SizeChange reports itself rather than a misplaced γ*.
+	timeline := scenario.Timeline{Resizes: make([]scenario.Resize, len(cfg.SizeChanges))}
+	for i, c := range cfg.SizeChanges {
+		timeline.Resizes[i] = scenario.Resize{At: c.At, To: c.To}
 	}
-	var model noise.Model
-	switch nz.Kind {
-	case NoiseSigmoid:
-		model = noise.SigmoidModel{Lambda: nz.Lambda}
-	case NoiseAdversarial:
-		if nz.GammaAd <= 0 {
-			return nil, errors.New("taskalloc: adversarial noise needs GammaAd > 0")
-		}
-		strat, err := greyStrategy(nz.GreyStrategy)
+	if err := timeline.Validate(cfg.Ants); err != nil {
+		return nil, fmt.Errorf("taskalloc: %w", err)
+	}
+	// Noise model, then any scheduled regime switches. Each is resolved
+	// against the demand and colony size in force at its round, so
+	// placement accounts for planned die-offs (Timeline.ActiveAt).
+	model, err := buildNoiseModel(cfg.Noise, cfg.Gamma, timeline.ActiveAt(cfg.Ants, 1), dem.Min(), cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cfg.NoiseChanges {
+		m, err := buildNoiseModel(c.Noise, cfg.Gamma, timeline.ActiveAt(cfg.Ants, c.At), sched.At(c.At).Min(), cfg.Seed)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("taskalloc: NoiseChanges[%d]: %w", i, err)
 		}
-		model = noise.AdversarialModel{GammaAd: nz.GammaAd, Strategy: strat}
-	case NoisePerfect:
-		model = noise.PerfectModel{}
-	default:
-		return nil, fmt.Errorf("taskalloc: unknown noise kind %d", nz.Kind)
+		timeline.Switches = append(timeline.Switches, scenario.NoiseSwitch{At: c.At, Model: m})
 	}
-	if nz.CorrelatedFlipProb > 0 {
-		model = noise.CorrelatedModel{Base: model, FlipProb: nz.CorrelatedFlipProb, Seed: cfg.Seed}
+	// Second Validate covers the just-built Switches (Resizes re-check
+	// is free and keeps this a single authority).
+	if err := timeline.Validate(cfg.Ants); err != nil {
+		return nil, fmt.Errorf("taskalloc: %w", err)
 	}
+	model = timeline.Model(model)
 
 	// Algorithm factory.
 	var factory agent.Factory
@@ -285,22 +354,6 @@ func New(cfg Config) (*Simulation, error) {
 		factory = agent.TrivialFactory(k)
 	default:
 		return nil, fmt.Errorf("taskalloc: unknown algorithm %d", cfg.Algorithm)
-	}
-
-	// Schedule.
-	var sched demand.Schedule = demand.Static{V: dem}
-	if len(cfg.DemandChanges) > 0 {
-		when := make([]uint64, len(cfg.DemandChanges))
-		changes := make([]demand.Vector, len(cfg.DemandChanges))
-		for i, c := range cfg.DemandChanges {
-			when[i] = c.At
-			changes[i] = demand.Vector(c.Demands)
-		}
-		step, err := demand.NewStep(dem, when, changes)
-		if err != nil {
-			return nil, err
-		}
-		sched = step
 	}
 
 	// Initializer.
@@ -331,14 +384,13 @@ func New(cfg Config) (*Simulation, error) {
 		Shards:   cfg.Shards,
 	}
 	s := &Simulation{
-		cfg:       cfg,
-		k:         k,
-		rec:       metrics.NewRecorder(k, cfg.Gamma, params.Cs, cfg.BurnIn),
-		model:     model,
-		gammaStar: model.CriticalValue(cfg.Ants, dem.Min()),
-		demSum:    dem.Sum(),
+		cfg:      cfg,
+		k:        k,
+		sched:    sched,
+		rec:      metrics.NewRecorder(k, cfg.Gamma, params.Cs, cfg.BurnIn),
+		model:    model,
+		timeline: timeline,
 	}
-	var err error
 	switch {
 	case cfg.MeanField && cfg.Sequential:
 		return nil, errors.New("taskalloc: MeanField and Sequential are mutually exclusive")
@@ -349,9 +401,12 @@ func New(cfg Config) (*Simulation, error) {
 		if cfg.Init != InitIdle && cfg.Init != InitExact {
 			return nil, errors.New("taskalloc: MeanField supports InitIdle or InitExact")
 		}
+		if len(cfg.SizeChanges) > 0 {
+			return nil, errors.New("taskalloc: MeanField does not support SizeChanges")
+		}
 		var initLoads []int
 		if cfg.Init == InitExact {
-			initLoads = append([]int(nil), cfg.Demands...)
+			initLoads = append([]int(nil), dem...)
 		}
 		s.mfEngine, err = meanfield.New(meanfield.Config{
 			N:         cfg.Ants,
@@ -370,6 +425,44 @@ func New(cfg Config) (*Simulation, error) {
 		return nil, err
 	}
 	return s, nil
+}
+
+// buildNoiseModel resolves one Noise configuration into a model for a
+// colony of n ants whose minimum anchoring demand is dMin (the round the
+// model takes force).
+func buildNoiseModel(nz Noise, gamma float64, n, dMin int, seed uint64) (noise.Model, error) {
+	if nz.Kind == NoiseSigmoid && nz.Lambda == 0 {
+		target := nz.GammaStar
+		if target == 0 {
+			target = gamma / 2
+		}
+		nz.Lambda = noise.LambdaForCritical(target, n, dMin)
+		if math.IsNaN(nz.Lambda) {
+			return nil, fmt.Errorf("taskalloc: cannot place γ* at %v", target)
+		}
+	}
+	var model noise.Model
+	switch nz.Kind {
+	case NoiseSigmoid:
+		model = noise.SigmoidModel{Lambda: nz.Lambda}
+	case NoiseAdversarial:
+		if nz.GammaAd <= 0 {
+			return nil, errors.New("taskalloc: adversarial noise needs GammaAd > 0")
+		}
+		strat, err := greyStrategy(nz.GreyStrategy)
+		if err != nil {
+			return nil, err
+		}
+		model = noise.AdversarialModel{GammaAd: nz.GammaAd, Strategy: strat}
+	case NoisePerfect:
+		model = noise.PerfectModel{}
+	default:
+		return nil, fmt.Errorf("taskalloc: unknown noise kind %d", nz.Kind)
+	}
+	if nz.CorrelatedFlipProb > 0 {
+		model = noise.CorrelatedModel{Base: model, FlipProb: nz.CorrelatedFlipProb, Seed: seed}
+	}
+	return model, nil
 }
 
 func greyStrategy(name string) (noise.GreyStrategy, error) {
@@ -391,8 +484,10 @@ func greyStrategy(name string) (noise.GreyStrategy, error) {
 	}
 }
 
-// Run advances the simulation by rounds rounds; obs (if non-nil) is
-// invoked after each round, after the built-in metrics recorder.
+// Run advances the simulation by rounds rounds, applying any scheduled
+// SizeChanges at their rounds (via scenario.Timeline.Drive); obs (if
+// non-nil) is invoked after each round, after the built-in metrics
+// recorder.
 func (s *Simulation) Run(rounds int, obs Observer) {
 	inner := func(t uint64, loads []int, dem demand.Vector) {
 		s.rec.Observe(t, loads, dem)
@@ -400,6 +495,27 @@ func (s *Simulation) Run(rounds int, obs Observer) {
 			obs(t, loads, dem)
 		}
 	}
+	if len(s.timeline.Resizes) == 0 {
+		s.runChunk(rounds, inner)
+		return
+	}
+	s.timeline.Drive(simRunner{s: s, inner: inner}, rounds, nil)
+}
+
+// simRunner adapts Simulation to scenario.Runner so Run reuses
+// Timeline.Drive's event chunking instead of duplicating it. The
+// metrics/observer fan-out travels in inner; Drive's own observer
+// parameter stays nil.
+type simRunner struct {
+	s     *Simulation
+	inner func(uint64, []int, demand.Vector)
+}
+
+func (r simRunner) Run(rounds int, _ colony.Observer) { r.s.runChunk(rounds, r.inner) }
+func (r simRunner) Round() uint64                     { return r.s.Round() }
+func (r simRunner) Resize(m int)                      { r.s.applyResize(m) }
+
+func (s *Simulation) runChunk(rounds int, inner func(uint64, []int, demand.Vector)) {
 	switch {
 	case s.mfEngine != nil:
 		s.mfEngine.Run(rounds, meanfield.Observer(inner))
@@ -407,6 +523,52 @@ func (s *Simulation) Run(rounds int, obs Observer) {
 		s.seqEngine.Run(rounds, inner)
 	default:
 		s.engine.Run(rounds, inner)
+	}
+}
+
+// Resize changes the active colony size to m in [1, Ants] from the next
+// round onward: shrinking kills ants (they stop being stepped and their
+// tasks are released immediately), growing hatches them back idle with
+// cleared memory — the Section 6 perturbation the paper's algorithms
+// self-stabilize against. Not supported by the mean-field engine.
+func (s *Simulation) Resize(m int) error {
+	if s.mfEngine != nil {
+		return errors.New("taskalloc: Resize is not supported with MeanField")
+	}
+	if m < 1 || m > s.cfg.Ants {
+		return fmt.Errorf("taskalloc: Resize to %d outside [1, %d]", m, s.cfg.Ants)
+	}
+	s.applyResize(m)
+	return nil
+}
+
+func (s *Simulation) applyResize(m int) {
+	if s.seqEngine != nil {
+		s.seqEngine.Resize(m)
+	} else {
+		s.engine.Resize(m)
+	}
+}
+
+// Close releases the synchronous engine's persistent worker pool
+// immediately. Optional — abandoned simulations release it through a
+// runtime cleanup — and idempotent; Run must not be called after Close.
+func (s *Simulation) Close() {
+	if s.engine != nil {
+		s.engine.Close()
+	}
+}
+
+// Active returns the number of active (living) ants; it differs from
+// Config.Ants only after a Resize or SizeChange.
+func (s *Simulation) Active() int {
+	switch {
+	case s.mfEngine != nil:
+		return s.cfg.Ants
+	case s.seqEngine != nil:
+		return s.seqEngine.Active()
+	default:
+		return s.engine.Active()
 	}
 }
 
@@ -451,8 +613,42 @@ func (s *Simulation) Switches() uint64 {
 	}
 }
 
-// CriticalValue returns γ* of the configured noise model for this colony.
-func (s *Simulation) CriticalValue() float64 { return s.gammaStar }
+// inForceRound is the round whose regime reporting reflects: the last
+// completed round, or round 1 before any stepping.
+func (s *Simulation) inForceRound() uint64 {
+	if r := s.Round(); r > 0 {
+		return r
+	}
+	return 1
+}
+
+// demandsInForce returns the demand vector in force (owned by the
+// schedule; callers must not mutate it).
+func (s *Simulation) demandsInForce() demand.Vector {
+	return s.sched.At(s.inForceRound())
+}
+
+// modelInForce resolves the noise regime in force (after any scheduled
+// NoiseChanges).
+func (s *Simulation) modelInForce() noise.Model {
+	if sw, ok := s.model.(noise.Switcher); ok {
+		return sw.ModelAt(s.inForceRound())
+	}
+	return s.model
+}
+
+// Demands returns a copy of the demand vector in force.
+func (s *Simulation) Demands() []int {
+	return append([]int(nil), s.demandsInForce()...)
+}
+
+// CriticalValue returns γ* of the noise regime in force, evaluated at
+// the demand vector in force and the active colony size — after a
+// demand change, noise switch, or resize it tracks the new regime
+// rather than the construction-time one.
+func (s *Simulation) CriticalValue() float64 {
+	return s.modelInForce().CriticalValue(s.Active(), s.demandsInForce().Min())
+}
 
 // Report summarizes a simulation in the paper's terms.
 type Report struct {
@@ -466,9 +662,11 @@ type Report struct {
 	StdRegret float64
 	// PeakRegret is max_t r(t).
 	PeakRegret int
-	// Closeness is AvgRegret / (γ*·Σd): the paper's c in "c-close".
+	// Closeness is AvgRegret / (γ*·Σd): the paper's c in "c-close",
+	// computed with the γ* and Σd in force (they track demand changes,
+	// noise switches, and resizes).
 	Closeness float64
-	// GammaStar is the critical value γ* used for Closeness.
+	// GammaStar is the in-force critical value γ* used for Closeness.
 	GammaStar float64
 	// MaxAbsDeficit is the per-task maximum |Δ(j)| observed.
 	MaxAbsDeficit []int
@@ -486,16 +684,19 @@ func (r Report) String() string {
 		r.Closeness, r.GammaStar, r.Switches)
 }
 
-// Report returns the metrics accumulated so far.
+// Report returns the metrics accumulated so far. Closeness and
+// GammaStar are evaluated against the demand vector and noise regime in
+// force, not the construction-time ones.
 func (s *Simulation) Report() Report {
+	gammaStar := s.CriticalValue()
 	return Report{
 		Rounds:        s.rec.Rounds(),
 		TotalRegret:   s.rec.TotalRegret(),
 		AvgRegret:     s.rec.AvgRegret(),
 		StdRegret:     s.rec.StdRegret(),
 		PeakRegret:    s.rec.PeakRegret(),
-		Closeness:     s.rec.Closeness(s.gammaStar, s.demSum),
-		GammaStar:     s.gammaStar,
+		Closeness:     s.rec.Closeness(gammaStar, s.demandsInForce().Sum()),
+		GammaStar:     gammaStar,
 		MaxAbsDeficit: s.rec.MaxAbsDeficit(),
 		ZeroCrossings: append([]int64(nil), s.rec.ZeroCrossings()...),
 		Switches:      s.Switches(),
@@ -503,7 +704,7 @@ func (s *Simulation) Report() Report {
 }
 
 // RegretBand returns the Theorem 3.1 per-round regret band 5γΣd + 3 for
-// this configuration.
+// the demand vector in force.
 func (s *Simulation) RegretBand() float64 {
-	return 5*s.cfg.Gamma*float64(s.demSum) + 3
+	return 5*s.cfg.Gamma*float64(s.demandsInForce().Sum()) + 3
 }
