@@ -1,0 +1,61 @@
+package taskalloc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"taskalloc"
+	"taskalloc/internal/sweeprun"
+)
+
+// sweepGrid builds the PR 3 acceptance grid: 16 γ values × 4 seeds of a
+// mid-size colony, the workload PERFORMANCE.md's serial-vs-parallel
+// table is recorded on.
+func sweepGrid() []sweeprun.Job {
+	jobs := make([]sweeprun.Job, 0, 16*4)
+	for v := 0; v < 16; v++ {
+		gamma := 0.01 + 0.003*float64(v)
+		for seed := uint64(1); seed <= 4; seed++ {
+			jobs = append(jobs, sweeprun.Job{
+				Meta: []string{fmt.Sprintf("%.3f", gamma)},
+				Config: taskalloc.Config{
+					Ants:    2000,
+					Demands: []int{300, 500},
+					Gamma:   gamma,
+					Noise:   taskalloc.SigmoidNoise(gamma / 2),
+					Seed:    seed,
+					Shards:  1,
+					BurnIn:  200,
+				},
+				Rounds: 400,
+			})
+		}
+	}
+	return jobs
+}
+
+// BenchmarkSweepRunner measures the multi-simulation batch runner on the
+// 16-value × 4-seed grid: workers=1 is the serial sweep baseline,
+// workers=8 the parallel runner over one shared worker pool. Jobs are
+// independent CPU-bound simulations, so on a host with >= 8 cores the
+// ratio of the two ns/op values is the sweep speedup (the collector adds
+// one mutex acquisition per job). BENCH_3.json records both.
+func BenchmarkSweepRunner(b *testing.B) {
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pool := taskalloc.NewWorkerPool()
+			defer pool.Close()
+			jobs := sweepGrid()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				results := sweeprun.Run(jobs, sweeprun.Options{Workers: workers, Pool: pool})
+				for _, r := range results {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(jobs))*float64(b.N)/b.Elapsed().Seconds(), "jobs/s")
+		})
+	}
+}

@@ -7,19 +7,26 @@
 //	experiments                     # all experiments
 //	experiments -quick              # smaller colonies/horizons
 //	experiments -seed 7 -run F2
+//	experiments -parallel 8         # experiments in flight; output order fixed
 //
 // Each experiment prints its tables, ASCII figures, and notes; the IDs
-// map to paper artifacts as indexed in DESIGN.md.
+// map to paper artifacts as indexed in DESIGN.md. Experiments run
+// concurrently on the sweep runner's ordered collector (-parallel,
+// default GOMAXPROCS): each experiment's output block is printed in ID
+// order as its prefix completes, so the report reads identically at any
+// parallelism.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
 	"taskalloc/internal/expt"
+	"taskalloc/internal/sweeprun"
 )
 
 func main() {
@@ -28,6 +35,7 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller colonies and horizons")
 	seed := flag.Uint64("seed", 42, "random seed")
 	md := flag.Bool("md", false, "emit a markdown report (the EXPERIMENTS.md generator)")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiments in flight (output is identical at any value)")
 	flag.Parse()
 
 	if *md {
@@ -68,27 +76,40 @@ func main() {
 	}
 
 	params := expt.Params{Quick: *quick, Seed: *seed}
+	type outcome struct {
+		res *expt.Result
+		err error
+		dur time.Duration
+	}
+	outs := make([]outcome, len(targets))
 	failed := 0
-	for _, e := range targets {
-		fmt.Printf("=== %s — %s (%s)\n", e.ID, e.Title, e.Paper)
+	// Experiments run concurrently; printing happens from the ordered
+	// collector, one completed prefix at a time, so the report is
+	// deterministic regardless of which experiment finishes first.
+	sweeprun.Ordered(len(targets), *parallel, func(i int) {
 		start := time.Now()
-		res, err := e.Run(params)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, err)
+		res, err := targets[i].Run(params)
+		outs[i] = outcome{res: res, err: err, dur: time.Since(start)}
+	}, func(i int) {
+		e := targets[i]
+		fmt.Printf("=== %s — %s (%s)\n", e.ID, e.Title, e.Paper)
+		o := outs[i]
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", e.ID, o.err)
 			failed++
-			continue
+			return
 		}
-		for _, fig := range res.Figures {
+		for _, fig := range o.res.Figures {
 			fmt.Println(fig)
 		}
-		for _, tbl := range res.Tables {
+		for _, tbl := range o.res.Tables {
 			fmt.Println(tbl.Render())
 		}
-		for _, n := range res.Notes {
+		for _, n := range o.res.Notes {
 			fmt.Println("  note:", n)
 		}
-		fmt.Printf("  (%s in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
-	}
+		fmt.Printf("  (%s in %s)\n\n", e.ID, o.dur.Round(time.Millisecond))
+	})
 	if failed > 0 {
 		os.Exit(1)
 	}

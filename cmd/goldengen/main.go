@@ -1,0 +1,43 @@
+// Command goldengen (re)generates the golden scenario regression corpus
+// under testdata/golden/ — one CSV trajectory per scenario family ×
+// algorithm, as defined by internal/goldencases. It is wired to
+// go:generate (see taskalloc.go):
+//
+//	go generate ./...
+//
+// Regenerate ONLY when a trajectory change is intended (e.g. a
+// documented agent.FeedbackStreamVersion bump); the corpus exists so CI
+// catches unintended drift.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"taskalloc/internal/goldencases"
+)
+
+func main() {
+	out := flag.String("out", filepath.Join("testdata", "golden"), "output directory")
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, c := range goldencases.All() {
+		data, err := goldencases.CSV(c)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, c.Name+".csv")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", path)
+	}
+}

@@ -2,17 +2,24 @@
 // CSV rows of the resulting average regret and closeness — the raw
 // material for regenerating the paper's trend curves at custom scales.
 //
+// The (value × seed) grid is executed by the multi-simulation batch
+// runner (internal/sweeprun): -parallel N simulations run concurrently
+// on a bounded worker group sharing one persistent shard worker pool,
+// and rows are collected deterministically in grid order, so the CSV is
+// byte-identical for every -parallel value (including 1).
+//
 // The -scenario flag replaces the static demand vector with a generative
 // demand process from the scenario subsystem (sinusoid, burst,
 // randomwalk, markov, trace), and -resize schedules colony-size changes
 // (ants dying and hatching) during every run, so sweeps measure
-// self-stabilization under change rather than steady state.
+// self-stabilization under change rather than steady state. -aggregate
+// appends per-value ensemble statistics (mean/std/quantiles over seeds).
 //
 // Examples:
 //
 //	sweep -param gamma -values 0.01,0.02,0.04 -n 5000 -demands 800,800
 //	sweep -param epsilon -algorithm precise-sigmoid -values 0.8,0.4,0.2
-//	sweep -param n -values 2000,4000,8000 -repeat 3
+//	sweep -param n -values 2000,4000,8000 -repeat 3 -parallel 8 -aggregate
 //	sweep -scenario sinusoid -sin-period 3000 -sin-amp 0.4
 //	sweep -scenario burst -burst-every 4000 -burst-len 600 -burst-scale 2
 //	sweep -scenario markov -markov-dwell 2500 -resize 6000:2500,9000:5000
@@ -22,11 +29,16 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"taskalloc"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/scenario"
+	"taskalloc/internal/sweeprun"
 )
 
 func main() {
@@ -43,6 +55,8 @@ func main() {
 		repeat     = flag.Int("repeat", 1, "repetitions per value (seeds seed..seed+repeat-1)")
 		seed       = flag.Uint64("seed", 1, "base seed")
 		resizeArg  = flag.String("resize", "", "colony-size schedule \"at:to,at:to\" (ants dying/hatching)")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations in flight (1 = serial; output is identical either way)")
+		aggregate  = flag.Bool("aggregate", false, "append per-value ensemble statistics over the seeds")
 	)
 	var sc scenarioOpts
 	flag.StringVar(&sc.family, "scenario", "static",
@@ -65,6 +79,9 @@ func main() {
 	flag.StringVar(&sc.traceFile, "trace-file", "", "trace: CSV of \"round,d1,d2,...\" lines")
 	flag.Parse()
 
+	if *rounds < 1 {
+		fatal("bad -rounds: need >= 1, got %d", *rounds)
+	}
 	demands, err := parseInts(*demandsArg)
 	if err != nil {
 		fatal("bad -demands: %v", err)
@@ -73,40 +90,116 @@ func main() {
 	if err != nil {
 		fatal("bad -resize: %v", err)
 	}
-	// One schedule serves every run: all families are deterministic
-	// functions of (parameters, round) — the memoizing ones cache the
-	// exact path any fresh instance would regenerate — and the trace
-	// file is parsed once.
 	sched, err := buildSchedule(demands, sc)
 	if err != nil {
 		fatal("bad scenario: %v", err)
 	}
-	values := strings.Split(*valuesArg, ",")
+	if sched != nil {
+		// One frozen schedule serves every run: the generative families
+		// memoize their sample paths (not safe for the concurrent jobs
+		// below), so pre-sample once over the shared horizon. All
+		// families are deterministic functions of (parameters, round),
+		// so the snapshot equals what any fresh instance would generate.
+		frozen, err := scenario.Freeze(sched, uint64(*rounds)+1)
+		if err != nil {
+			fatal("bad scenario: %v", err)
+		}
+		sched = frozen
+	}
 
-	w := csv.NewWriter(os.Stdout)
+	p := jobParams{
+		param: *param, n: *n, demands: demands, algorithm: *algorithm,
+		gamma: *gamma, epsilon: *epsilon, gammaStar: *gammaStar,
+		rounds: *rounds, repeat: *repeat, seed: *seed,
+		resizes: resizes, sched: sched, family: sc.family,
+	}
+	if err := runSweep(os.Stdout, strings.Split(*valuesArg, ","), p, *parallel, *aggregate); err != nil {
+		fatal("%v", err)
+	}
+}
+
+// runSweep expands the grid, executes it on the batch runner, and writes
+// the CSV to out. The output is a pure function of (values, p,
+// aggregate): the parallel worker count never changes a byte.
+func runSweep(out io.Writer, values []string, p jobParams, parallel int, aggregate bool) error {
+	jobs, err := buildJobs(values, p)
+	if err != nil {
+		return err
+	}
+
+	w := csv.NewWriter(out)
 	defer w.Flush()
 	_ = w.Write([]string{"param", "value", "scenario", "seed", "avg_regret", "std_regret",
 		"closeness", "gamma_star", "peak_regret", "switches_per_round"})
 
+	var jobErr error
+	results := sweeprun.Stream(jobs, sweeprun.Options{Workers: parallel}, func(r sweeprun.Result) {
+		if r.Err != nil {
+			if jobErr == nil {
+				jobErr = fmt.Errorf("config for %s=%s: %v", p.param, r.Job.Meta[1], r.Err)
+			}
+			return
+		}
+		rep := r.Report
+		_ = w.Write(append(r.Job.Meta,
+			fmt.Sprintf("%.6g", rep.AvgRegret),
+			fmt.Sprintf("%.6g", rep.StdRegret),
+			fmt.Sprintf("%.6g", rep.Closeness),
+			fmt.Sprintf("%.6g", rep.GammaStar),
+			fmt.Sprint(rep.PeakRegret),
+			fmt.Sprintf("%.6g", float64(rep.Switches)/float64(p.rounds)),
+		))
+	})
+	if jobErr != nil {
+		return jobErr
+	}
+
+	if aggregate {
+		writeAggregates(w, results, p.param, p.family, p.repeat)
+	}
+	return nil
+}
+
+// jobParams carries the resolved base configuration of a sweep grid.
+type jobParams struct {
+	param     string
+	n         int
+	demands   []int
+	algorithm string
+	gamma     float64
+	epsilon   float64
+	gammaStar float64
+	rounds    int
+	repeat    int
+	seed      uint64
+	resizes   []taskalloc.SizeChange
+	sched     demand.Schedule
+	family    string
+}
+
+// buildJobs expands the (value × seed) grid into fully-resolved sweeprun
+// jobs, in the deterministic order the CSV rows are emitted in.
+func buildJobs(values []string, p jobParams) ([]sweeprun.Job, error) {
+	var jobs []sweeprun.Job
 	for _, raw := range values {
 		raw = strings.TrimSpace(raw)
-		for rep := 0; rep < *repeat; rep++ {
+		for rep := 0; rep < p.repeat; rep++ {
 			cfg := taskalloc.Config{
-				Ants:        *n,
-				Gamma:       *gamma,
-				Epsilon:     *epsilon,
-				Noise:       taskalloc.SigmoidNoise(*gammaStar),
-				Seed:        *seed + uint64(rep),
-				BurnIn:      uint64(*rounds) / 2,
+				Ants:        p.n,
+				Gamma:       p.gamma,
+				Epsilon:     p.epsilon,
+				Noise:       taskalloc.SigmoidNoise(p.gammaStar),
+				Seed:        p.seed + uint64(rep),
+				BurnIn:      uint64(p.rounds) / 2,
 				Shards:      1,
-				SizeChanges: resizes,
+				SizeChanges: p.resizes,
 			}
-			if sched != nil {
-				cfg.Demand = sched
+			if p.sched != nil {
+				cfg.Demand = p.sched
 			} else {
-				cfg.Demands = demands
+				cfg.Demands = p.demands
 			}
-			switch *algorithm {
+			switch p.algorithm {
 			case "ant":
 				cfg.Algorithm = taskalloc.Ant
 			case "precise-sigmoid":
@@ -116,60 +209,78 @@ func main() {
 			case "trivial":
 				cfg.Algorithm = taskalloc.Trivial
 			default:
-				fatal("unknown algorithm %q", *algorithm)
+				return nil, fmt.Errorf("unknown algorithm %q", p.algorithm)
 			}
 
-			switch *param {
+			switch p.param {
 			case "gamma":
 				v, err := strconv.ParseFloat(raw, 64)
 				if err != nil {
-					fatal("bad value %q: %v", raw, err)
+					return nil, fmt.Errorf("bad value %q: %v", raw, err)
 				}
 				cfg.Gamma = v
 			case "epsilon":
 				v, err := strconv.ParseFloat(raw, 64)
 				if err != nil {
-					fatal("bad value %q: %v", raw, err)
+					return nil, fmt.Errorf("bad value %q: %v", raw, err)
 				}
 				cfg.Epsilon = v
 			case "gammaStar":
 				v, err := strconv.ParseFloat(raw, 64)
 				if err != nil {
-					fatal("bad value %q: %v", raw, err)
+					return nil, fmt.Errorf("bad value %q: %v", raw, err)
 				}
 				cfg.Noise = taskalloc.SigmoidNoise(v)
 			case "n":
 				v, err := strconv.Atoi(raw)
 				if err != nil {
-					fatal("bad value %q: %v", raw, err)
+					return nil, fmt.Errorf("bad value %q: %v", raw, err)
 				}
 				cfg.Ants = v
 			case "shards":
 				v, err := strconv.Atoi(raw)
 				if err != nil {
-					fatal("bad value %q: %v", raw, err)
+					return nil, fmt.Errorf("bad value %q: %v", raw, err)
 				}
 				cfg.Shards = v
 			default:
-				fatal("unknown -param %q", *param)
+				return nil, fmt.Errorf("unknown -param %q", p.param)
 			}
 
-			sim, err := taskalloc.New(cfg)
-			if err != nil {
-				fatal("config for %s=%s: %v", *param, raw, err)
-			}
-			sim.Run(*rounds, nil)
-			r := sim.Report()
-			_ = w.Write([]string{
-				*param, raw, sc.family, fmt.Sprint(cfg.Seed),
-				fmt.Sprintf("%.6g", r.AvgRegret),
-				fmt.Sprintf("%.6g", r.StdRegret),
-				fmt.Sprintf("%.6g", r.Closeness),
-				fmt.Sprintf("%.6g", r.GammaStar),
-				fmt.Sprint(r.PeakRegret),
-				fmt.Sprintf("%.6g", float64(r.Switches)/float64(*rounds)),
+			jobs = append(jobs, sweeprun.Job{
+				Meta:   []string{p.param, raw, p.family, fmt.Sprint(cfg.Seed)},
+				Config: cfg,
+				Rounds: p.rounds,
 			})
 		}
+	}
+	return jobs, nil
+}
+
+// writeAggregates appends one ensemble-statistics block: a second header
+// and one row per swept value, aggregating that value's seeds.
+func writeAggregates(w *csv.Writer, results []sweeprun.Result, param, family string, repeat int) {
+	_ = w.Write([]string{"param", "value", "scenario", "seeds",
+		"avg_regret_mean", "avg_regret_std", "avg_regret_p50", "avg_regret_p90",
+		"closeness_mean", "closeness_std", "switches_per_round_mean", "switches_per_round_std"})
+	for lo := 0; lo < len(results); lo += repeat {
+		hi := lo + repeat
+		if hi > len(results) {
+			hi = len(results)
+		}
+		group := results[lo:hi]
+		sum := sweeprun.Summarize(group)
+		_ = w.Write([]string{
+			param, group[0].Job.Meta[1], family, fmt.Sprint(sum.Jobs),
+			fmt.Sprintf("%.6g", sum.AvgRegret.Mean),
+			fmt.Sprintf("%.6g", sum.AvgRegret.Std),
+			fmt.Sprintf("%.6g", sum.AvgRegret.P50),
+			fmt.Sprintf("%.6g", sum.AvgRegret.P90),
+			fmt.Sprintf("%.6g", sum.Closeness.Mean),
+			fmt.Sprintf("%.6g", sum.Closeness.Std),
+			fmt.Sprintf("%.6g", sum.SwitchesPerRound.Mean),
+			fmt.Sprintf("%.6g", sum.SwitchesPerRound.Std),
+		})
 	}
 }
 

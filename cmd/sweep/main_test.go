@@ -1,12 +1,16 @@
 package main
 
 import (
+	"bytes"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"taskalloc"
+	"taskalloc/internal/scenario"
 )
 
 // TestScenarioFamiliesEndToEnd runs every scenario family through the
@@ -97,6 +101,59 @@ func TestBuildScheduleErrors(t *testing.T) {
 		if _, err := buildSchedule(base, o); err == nil {
 			t.Fatalf("%+v accepted", o)
 		}
+	}
+}
+
+// TestParallelSweepByteIdentical is the acceptance contract of the
+// batch runner rewiring: for the same flags, -parallel N must produce a
+// CSV byte-identical to -parallel 1, scenario demand and aggregates
+// included.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	base := []int{150, 200}
+	sched, err := buildSchedule(base, scenarioOpts{
+		family: "sinusoid", sinPeriod: 300, sinAmp: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 300
+	frozen, err := scenario.Freeze(sched, uint64(rounds)+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resizes, err := parseResizes("100:800,200:1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := jobParams{
+		param: "gamma", n: 1000, demands: base, algorithm: "ant",
+		gamma: 1.0 / 16, epsilon: 0.5, gammaStar: 0.02,
+		rounds: rounds, repeat: 3, seed: 1,
+		resizes: resizes, sched: frozen, family: "sinusoid",
+	}
+	values := []string{"0.02", "0.04", "0.0625"}
+
+	var serial bytes.Buffer
+	if err := runSweep(&serial, values, p, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(serial.String(), "gamma,0.04,sinusoid,2,") {
+		t.Fatalf("missing expected rows:\n%s", serial.String())
+	}
+	for _, workers := range []int{2, 8} {
+		var par bytes.Buffer
+		if err := runSweep(&par, values, p, workers, true); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(serial.Bytes(), par.Bytes()) {
+			t.Fatalf("-parallel %d output differs from -parallel 1:\n--- serial\n%s--- parallel\n%s",
+				workers, serial.String(), par.String())
+		}
+	}
+
+	// Bad grid values surface as errors, not partial output corruption.
+	if err := runSweep(io.Discard, []string{"zz"}, p, 4, false); err == nil {
+		t.Fatal("bad value must error")
 	}
 }
 

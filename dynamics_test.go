@@ -145,6 +145,57 @@ func TestSizeChangesApplied(t *testing.T) {
 	}
 }
 
+// TestSizeChangesMeanField: the mean-field engine accepts SizeChanges
+// and applies each at the next phase boundary (at most one round after
+// the scheduled round), with commanded Active reported immediately and
+// load conservation against the active population.
+func TestSizeChangesMeanField(t *testing.T) {
+	cfg := Config{
+		Ants:      4000,
+		Demands:   []int{500, 700},
+		MeanField: true,
+		Noise:     SigmoidNoise(0.03),
+		SizeChanges: []SizeChange{
+			{At: 1000, To: 1600},
+			{At: 2000, To: 4000},
+		},
+		Seed: 31,
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	activeAt := map[uint64]int{}
+	working := map[uint64]int{}
+	sim.Run(3000, func(round uint64, loads []int, _ []int) {
+		activeAt[round] = sim.Active()
+		w := 0
+		for _, x := range loads {
+			w += x
+		}
+		working[round] = w
+	})
+	for _, c := range []struct {
+		r    uint64
+		want int
+	}{{999, 4000}, {1000, 1600}, {1999, 1600}, {2000, 4000}, {2900, 4000}} {
+		if activeAt[c.r] != c.want {
+			t.Fatalf("round %d: active %d, want %d", c.r, activeAt[c.r], c.want)
+		}
+	}
+	// The kill lands within one phase (2 rounds) of the schedule.
+	if working[1002] > 1600 {
+		t.Fatalf("shrink not realized by round 1002: %d workers", working[1002])
+	}
+	if sim.Switches() == 0 {
+		t.Fatal("mean-field switches untracked under a resize scenario")
+	}
+	rep := sim.Report()
+	if math.IsNaN(rep.AvgRegret) || rep.AvgRegret <= 0 {
+		t.Fatalf("implausible report %+v", rep)
+	}
+}
+
 // TestSizeChangeFarFuture: a change scheduled beyond MaxInt64 rounds
 // ahead must not wrap Run's chunking negative (regression: Run spun
 // forever instead of finishing the requested rounds).
@@ -184,11 +235,6 @@ func TestSizeChangeValidation(t *testing.T) {
 		func(c Config) Config { c.SizeChanges = []SizeChange{{At: 5, To: 101}}; return c },
 		func(c Config) Config {
 			c.SizeChanges = []SizeChange{{At: 5, To: 50}, {At: 5, To: 60}}
-			return c
-		},
-		func(c Config) Config {
-			c.MeanField = true
-			c.SizeChanges = []SizeChange{{At: 5, To: 50}}
 			return c
 		},
 		func(c Config) Config { c.Sequential = true; c.Shards = 2; return c },
@@ -242,8 +288,14 @@ func TestSimulationResize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := mf.Resize(100); err == nil {
-		t.Fatal("mean-field Resize accepted")
+	if err := mf.Resize(100); err != nil {
+		t.Fatalf("mean-field Resize rejected: %v", err)
+	}
+	if mf.Active() != 100 {
+		t.Fatalf("mean-field Active = %d after Resize(100)", mf.Active())
+	}
+	if err := mf.Resize(501); err == nil {
+		t.Fatal("mean-field Resize above Ants accepted")
 	}
 }
 

@@ -1,0 +1,79 @@
+package taskalloc_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"taskalloc/internal/goldencases"
+)
+
+// TestGoldenScenarioCorpus replays every golden case and byte-compares
+// its trajectory against testdata/golden/. A mismatch means the
+// engines' trajectories drifted — scenario demand evaluation, resize
+// semantics, the feedback RNG stream, or the shard handoff. If (and
+// only if) the change is intended, bump/justify it and regenerate with
+// `go generate ./...`.
+func TestGoldenScenarioCorpus(t *testing.T) {
+	cases := goldencases.All()
+	if len(cases) < 20 {
+		t.Fatalf("corpus shrank to %d cases", len(cases))
+	}
+	seen := map[string]bool{}
+	for _, c := range cases {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel() // cases are independent; exercises concurrent replay
+			path := filepath.Join("testdata", "golden", c.Name+".csv")
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run `go generate ./...`): %v", err)
+			}
+			got, err := goldencases.CSV(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("trajectory drifted from %s at line %d\n"+
+					"(intended? regenerate with `go generate ./...`)\n got: %s\nwant: %s",
+					path, firstDiffLine(got, want), firstDiff(got, want), firstDiff(want, got))
+			}
+		})
+		seen[c.Name+".csv"] = true
+	}
+
+	// No stale files: everything in testdata/golden must be a live case.
+	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !seen[e.Name()] {
+			t.Errorf("stale golden file %s (no matching case)", e.Name())
+		}
+	}
+}
+
+// firstDiffLine returns the 1-based line number of the first differing
+// line between a and b.
+func firstDiffLine(a, b []byte) int {
+	al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if !bytes.Equal(al[i], bl[i]) {
+			return i + 1
+		}
+	}
+	return min(len(al), len(bl)) + 1
+}
+
+// firstDiff returns x's first line that differs from y's same-index line.
+func firstDiff(x, y []byte) []byte {
+	xl, yl := bytes.Split(x, []byte("\n")), bytes.Split(y, []byte("\n"))
+	for i := 0; i < len(xl); i++ {
+		if i >= len(yl) || !bytes.Equal(xl[i], yl[i]) {
+			return xl[i]
+		}
+	}
+	return nil
+}

@@ -21,6 +21,26 @@ import (
 // Idle is the assignment of an ant that works on no task.
 const Idle int32 = -1
 
+// FeedbackStreamVersion documents the feedback RNG draw sequence the
+// built-in automata consume, so trajectory-pinning artifacts (the golden
+// scenario corpus, recorded experiment tables) can name the stream they
+// were generated under.
+//
+// v1: every Precise Sigmoid ant sampled all k tasks each round, wasting
+// k−1 draws per working ant (a working ant only ever consults its own
+// task's counters).
+//
+// v2 (current): a working Precise Sigmoid ant samples only its own task
+// — one feedback draw per working ant per round — while idle ants still
+// sample the full vector (any task may be joined). Algorithm Ant and
+// Precise Adversarial already drew this way. Precise Sigmoid
+// trajectories with k > 1 therefore differ from v1 at the same seed;
+// every other algorithm, and every k = 1 run, is unchanged. The batch
+// and interface paths moved together, so they remain bit-identical
+// (the colony equivalence matrix enforces it), and the stream tests in
+// this package and internal/colony pin v2.
+const FeedbackStreamVersion = 2
+
 // Feedback exposes one round's feedback to an agent. Signals are sampled
 // lazily so that a working ant that only inspects its own task costs one
 // RNG draw instead of k.

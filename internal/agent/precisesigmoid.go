@@ -115,11 +115,18 @@ func (a *PreciseSigmoid) Step(t uint64, fb *Feedback, r *rng.Rng) int32 {
 	}
 }
 
-// record samples every task once and accumulates Lack counts into dst.
-// Working ants could restrict to their own task, but idle ants need the
-// full vector and the automaton does not know its future, so the paper's
-// "collect feedback from all tasks" convention is kept.
+// record accumulates this round's Lack counts into dst. An idle ant
+// samples every task (any task may be joined at phase close); a working
+// ant samples only its own — it never consults another task's counters,
+// so the extra k−1 draws of stream v1 were pure waste. One draw per
+// working ant per round; see FeedbackStreamVersion.
 func (a *PreciseSigmoid) record(fb *Feedback, dst []int32) {
+	if a.cur != Idle {
+		if fb.Sample(int(a.cur)) == noise.Lack {
+			dst[a.cur]++
+		}
+		return
+	}
 	for j := 0; j < a.k; j++ {
 		if fb.Sample(j) == noise.Lack {
 			dst[j]++

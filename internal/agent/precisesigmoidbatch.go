@@ -62,12 +62,22 @@ func (b *preciseSigmoidBatch) StepRange(t uint64, lo, hi int, fb []BatchTaskFeed
 				lack2[j] = 0
 			}
 		}
+		cur := b.cur[i]
 
 		switch {
 		case rr >= 1 && rr <= m:
-			for j := 0; j < k; j++ {
-				if fb[j].Sample(r) == noise.Lack {
-					lack1[j]++
+			// Stream v2: a working ant samples only its own task (it
+			// never reads another task's counters); idle ants need the
+			// full vector. Mirrors PreciseSigmoid.record exactly.
+			if cur != Idle {
+				if fb[cur].Sample(r) == noise.Lack {
+					lack1[cur]++
+				}
+			} else {
+				for j := 0; j < k; j++ {
+					if fb[j].Sample(r) == noise.Lack {
+						lack1[j]++
+					}
 				}
 			}
 			if rr == m {
@@ -78,19 +88,24 @@ func (b *preciseSigmoidBatch) StepRange(t uint64, lo, hi int, fb []BatchTaskFeed
 						med1[j] = noise.Overload
 					}
 				}
-				if b.cur[i] != Idle && b.pause.flip(r) {
+				if cur != Idle && b.pause.flip(r) {
 					b.assign[i] = Idle
 				}
 			}
 
 		default: // rr in [m+1, 2m-1] or rr == 0
-			for j := 0; j < k; j++ {
-				if fb[j].Sample(r) == noise.Lack {
-					lack2[j]++
+			if cur != Idle {
+				if fb[cur].Sample(r) == noise.Lack {
+					lack2[cur]++
+				}
+			} else {
+				for j := 0; j < k; j++ {
+					if fb[j].Sample(r) == noise.Lack {
+						lack2[j]++
+					}
 				}
 			}
 			if rr == 0 {
-				cur := b.cur[i]
 				if cur == Idle {
 					count := 0
 					choice := Idle

@@ -1,0 +1,82 @@
+package agent
+
+import (
+	"testing"
+
+	"taskalloc/internal/noise"
+	"taskalloc/internal/rng"
+)
+
+// drawsConsumed steps one automaton at round t against probabilistic
+// descriptors and returns how many RNG words it consumed, by comparing
+// the stream state against a reference clone advanced draw by draw.
+func drawsConsumed(t *testing.T, a Agent, round uint64, k int) int {
+	t.Helper()
+	desc := make([]noise.TaskFeedback, k)
+	for j := range desc {
+		desc[j] = noise.Bern(0.4)
+	}
+	r := rng.New(97)
+	ref := rng.New(97)
+	fb := NewFeedback(desc, r)
+	a.Step(round, &fb, r)
+	for n := 0; n <= 4*k+4; n++ {
+		if *r == *ref {
+			return n
+		}
+		ref.Uint64()
+	}
+	t.Fatalf("stream advanced by more than %d draws", 4*k+4)
+	return -1
+}
+
+// TestFeedbackStreamVersion pins the documented stream version: bumping
+// the draw sequence again requires bumping the constant (and
+// regenerating the golden corpus), which this test makes explicit.
+func TestFeedbackStreamVersion(t *testing.T) {
+	if FeedbackStreamVersion != 2 {
+		t.Fatalf("FeedbackStreamVersion = %d; the draw-sequence tests below pin v2",
+			FeedbackStreamVersion)
+	}
+}
+
+// TestPreciseSigmoidOneDrawPerWorkingAnt is the stream-v2 contract: in
+// a sampling round, a working Precise Sigmoid ant consumes exactly one
+// feedback draw (its own task) while an idle ant consumes k.
+func TestPreciseSigmoidOneDrawPerWorkingAnt(t *testing.T) {
+	const k = 4
+	p := DefaultPreciseParams(0.05, 0.5)
+	// Round 2 is a first-half-phase sampling round (rr = 2 ∈ [1, m], no
+	// pause or join coins); round m+1 opens the second half-phase.
+	m := NewPreciseSigmoid(k, p).HalfPhase()
+	for _, round := range []uint64{2, uint64(m) + 1} {
+		working := NewPreciseSigmoid(k, p)
+		working.Reset(1)
+		if got := drawsConsumed(t, working, round, k); got != 1 {
+			t.Fatalf("round %d: working ant consumed %d draws, want 1", round, got)
+		}
+		idle := NewPreciseSigmoid(k, p)
+		idle.Reset(Idle)
+		if got := drawsConsumed(t, idle, round, k); got != k {
+			t.Fatalf("round %d: idle ant consumed %d draws, want %d", round, got, k)
+		}
+	}
+}
+
+// TestAntDrawCountsUnchanged guards the already-lean algorithms against
+// accidental stream drift: a working Algorithm Ant ant consumes its own
+// sample plus the pause coin in odd rounds; an idle one samples all k.
+func TestAntDrawCountsUnchanged(t *testing.T) {
+	const k = 3
+	p := DefaultParams(0.05)
+	working := NewAnt(k, p)
+	working.Reset(0)
+	if got := drawsConsumed(t, working, 1, k); got != 2 {
+		t.Fatalf("working ant consumed %d draws, want 2 (sample + pause coin)", got)
+	}
+	idle := NewAnt(k, p)
+	idle.Reset(Idle)
+	if got := drawsConsumed(t, idle, 1, k); got != k {
+		t.Fatalf("idle ant consumed %d draws, want %d", got, k)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"taskalloc/internal/agent"
 	"taskalloc/internal/demand"
@@ -111,6 +112,13 @@ type Config struct {
 	// 0 means GOMAXPROCS. Results depend on the shard count (each shard
 	// owns an RNG stream), so fix it for reproducibility.
 	Shards int
+	// Pool, if non-nil, supplies the persistent shard workers from a
+	// shared reservoir instead of engine-owned goroutines: the engine
+	// checks a worker set out at construction and returns it on Close,
+	// so a sweep of many short-lived engines reuses the same parked
+	// goroutines. Ignored by single-shard engines (they step inline) and
+	// by Sequential. Trajectories are unaffected.
+	Pool *Pool
 }
 
 func (c Config) validate() error {
@@ -150,7 +158,7 @@ type Engine struct {
 	agents   []agent.Agent // interface fallback path; nil when batch != nil
 	batch    agent.Batch   // struct-of-arrays fast path; nil when agents != nil
 	shards   []shard
-	pool     *workerPool // persistent shard workers; nil when len(shards) == 1
+	pool     *workers // persistent shard workers; nil when len(shards) == 1
 	loads    []int
 	deficits []float64
 	fbDesc   []noise.TaskFeedback
@@ -167,18 +175,18 @@ type shard struct {
 	switches uint64
 }
 
-// workerPool runs one persistent goroutine per shard. Workers park on
+// workerSet runs one persistent goroutine per shard. Workers park on
 // their work channel between rounds, so a Step costs one channel send and
 // one WaitGroup wait per shard instead of a goroutine spawn — the
 // difference is what makes 10⁵-round scenario sweeps cheap at high shard
 // counts.
 //
 // While parked, a worker references only its channel, its shard index,
-// and the pool itself — never the Engine. The Engine pointer travels
-// inside each stepReq, so an abandoned Engine becomes unreachable, the
-// runtime cleanup registered in New closes the channels, and the workers
-// exit. Close is therefore optional (but immediate).
-type workerPool struct {
+// and the set itself — never any Engine. The Engine pointer travels
+// inside each stepReq, so a set is not bound to the engine that is using
+// it: between rounds (and between engine lifetimes, via Pool) the same
+// parked goroutines can serve any engine with the same shard count.
+type workerSet struct {
 	work []chan stepReq
 	wg   *sync.WaitGroup // separate allocation: workers must not point into Engine
 	stop sync.Once
@@ -191,8 +199,8 @@ type stepReq struct {
 	active int
 }
 
-func newWorkerPool(workers int) *workerPool {
-	p := &workerPool{
+func newWorkerSet(workers int) *workerSet {
+	p := &workerSet{
 		work: make([]chan stepReq, workers),
 		wg:   new(sync.WaitGroup),
 	}
@@ -210,7 +218,7 @@ func newWorkerPool(workers int) *workerPool {
 }
 
 // step fans one round out to every worker and waits for all of them.
-func (p *workerPool) step(e *Engine, t uint64, active int) {
+func (p *workerSet) step(e *Engine, t uint64, active int) {
 	p.wg.Add(len(p.work))
 	req := stepReq{e: e, t: t, active: active}
 	for _, ch := range p.work {
@@ -220,12 +228,99 @@ func (p *workerPool) step(e *Engine, t uint64, active int) {
 }
 
 // close shuts the workers down; idempotent.
-func (p *workerPool) close() {
+func (p *workerSet) close() {
 	p.stop.Do(func() {
 		for _, ch := range p.work {
 			close(ch)
 		}
 	})
+}
+
+// Pool is a shared reservoir of persistent shard worker sets that
+// outlives any single Engine. An engine built with Config.Pool checks a
+// worker set out at construction and returns it on Close (or, for
+// abandoned engines, through the runtime cleanup), so a sweep of many
+// short-lived engines keeps reusing the same parked goroutines instead
+// of spawning and tearing down a set per simulation.
+//
+// Pool is safe for concurrent use: engines sharing one Pool may be
+// constructed, stepped, and closed from different goroutines (each
+// checked-out set is used by exactly one engine at a time). Sets are
+// keyed by worker count, so sweeps that vary Shards coexist in one Pool.
+// Trajectories remain a function of (Seed, Shards) only — which physical
+// worker set executes a shard never influences its RNG stream.
+type Pool struct {
+	mu     sync.Mutex
+	idle   map[int][]*workerSet
+	closed bool
+}
+
+// NewPool returns an empty Pool. Worker sets are spawned lazily on first
+// checkout of each size.
+func NewPool() *Pool { return &Pool{idle: make(map[int][]*workerSet)} }
+
+// acquire checks out a parked worker set with the given worker count,
+// spawning a fresh one when none is idle.
+func (p *Pool) acquire(workers int) *workerSet {
+	p.mu.Lock()
+	if sets := p.idle[workers]; len(sets) > 0 {
+		ws := sets[len(sets)-1]
+		p.idle[workers] = sets[:len(sets)-1]
+		p.mu.Unlock()
+		return ws
+	}
+	p.mu.Unlock()
+	return newWorkerSet(workers)
+}
+
+// release parks a quiescent worker set for reuse; if the Pool has been
+// closed in the meantime the set's goroutines are shut down instead.
+func (p *Pool) release(ws *workerSet) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		ws.close()
+		return
+	}
+	p.idle[len(ws.work)] = append(p.idle[len(ws.work)], ws)
+	p.mu.Unlock()
+}
+
+// Close shuts down every parked worker set and marks the Pool closed;
+// sets still checked out by live engines are shut down when those
+// engines release them. Idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	p.closed = true
+	idle := p.idle
+	p.idle = make(map[int][]*workerSet)
+	p.mu.Unlock()
+	for _, sets := range idle {
+		for _, ws := range sets {
+			ws.close()
+		}
+	}
+}
+
+// workers binds an Engine to its checked-out worker set and remembers
+// where the set must go on release: back to the shared Pool, or closed
+// outright when the engine owns it. The release is idempotent so that
+// an explicit Close and the runtime cleanup cannot double-return a set.
+type workers struct {
+	set  *workerSet
+	pool *Pool // nil when the engine owns the set outright
+	done atomic.Bool
+}
+
+func (w *workers) release() {
+	if w.done.Swap(true) {
+		return
+	}
+	if w.pool != nil {
+		w.pool.release(w.set)
+	} else {
+		w.set.close()
+	}
 }
 
 // New builds a synchronous engine and applies the initializer.
@@ -296,19 +391,26 @@ func New(cfg Config) (*Engine, error) {
 		}
 	}
 	if len(e.shards) > 1 {
-		e.pool = newWorkerPool(len(e.shards))
-		// Release the workers of engines dropped without Close.
-		runtime.AddCleanup(e, (*workerPool).close, e.pool)
+		if cfg.Pool != nil {
+			e.pool = &workers{set: cfg.Pool.acquire(len(e.shards)), pool: cfg.Pool}
+		} else {
+			e.pool = &workers{set: newWorkerSet(len(e.shards))}
+		}
+		// Release the workers of engines dropped without Close: back to
+		// the shared Pool, or shut down when engine-owned.
+		runtime.AddCleanup(e, (*workers).release, e.pool)
 	}
 	return e, nil
 }
 
-// Close stops the persistent worker pool, if any. Optional — abandoned
-// engines release their workers through a runtime cleanup — and
-// idempotent, but Step must not be called after Close.
+// Close releases the persistent worker set, if any: engine-owned workers
+// are shut down, workers checked out of a shared Pool are returned to
+// it. Optional — abandoned engines release their workers through a
+// runtime cleanup — and idempotent, but Step must not be called after
+// Close.
 func (e *Engine) Close() {
 	if e.pool != nil {
-		e.pool.close()
+		e.pool.release()
 	}
 }
 
@@ -404,7 +506,7 @@ func (e *Engine) Step() {
 		s := &e.shards[0]
 		s.run(t, e.active, e)
 	} else {
-		e.pool.step(e, t, e.active)
+		e.pool.set.step(e, t, e.active)
 	}
 
 	for j := range e.loads {

@@ -576,7 +576,7 @@ func TestWorkerPoolLifecycle(t *testing.T) {
 	// Inspect the pool directly rather than global goroutine counts:
 	// cleanups reaping engines abandoned by other tests can shrink the
 	// global count at any moment.
-	if e.pool == nil || len(e.pool.work) != 4 {
+	if e.pool == nil || len(e.pool.set.work) != 4 {
 		t.Fatalf("expected a 4-worker pool, got %+v", e.pool)
 	}
 	e.Close()

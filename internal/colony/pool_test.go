@@ -1,0 +1,171 @@
+package colony
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/noise"
+)
+
+func poolConfig(seed uint64, shards int, pool *Pool) Config {
+	dem := demand.Vector{60, 40}
+	return Config{
+		N:        400,
+		Schedule: demand.Static{V: dem},
+		Model:    noise.SigmoidModel{Lambda: 0.05},
+		Factory:  agent.AntFactory(2, agent.DefaultParams(0.05)),
+		Init:     UniformRandom,
+		Seed:     seed,
+		Shards:   shards,
+		Pool:     pool,
+	}
+}
+
+// TestPoolReuseAcrossEngines: sequential engines sharing a Pool must
+// check out the same worker set (no goroutine growth per engine) and
+// produce trajectories bit-identical to engine-owned workers.
+func TestPoolReuseAcrossEngines(t *testing.T) {
+	pool := NewPool()
+	defer pool.Close()
+
+	// run executes one engine to completion (with an explicit Close, so
+	// the worker set goes straight back to the pool) and returns its
+	// final loads, cumulative regret contribution, and switches.
+	run := func(cfg Config) ([]int, uint64) {
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		e.Run(60, nil)
+		loads := append([]int(nil), e.Loads()...)
+		return loads, e.Switches()
+	}
+
+	for round := 0; round < 2; round++ {
+		for seed := uint64(1); seed <= 4; seed++ {
+			aLoads, aSw := run(poolConfig(seed, 4, pool))
+			bLoads, bSw := run(poolConfig(seed, 4, nil))
+			if aSw != bSw {
+				t.Fatalf("seed %d: pooled switches %d != owned %d", seed, aSw, bSw)
+			}
+			for j := range aLoads {
+				if aLoads[j] != bLoads[j] {
+					t.Fatalf("seed %d task %d: pooled load %d != owned %d",
+						seed, j, aLoads[j], bLoads[j])
+				}
+			}
+		}
+	}
+
+	// The engines ran one at a time and each Closed before the next was
+	// built, so they all reused one checked-out set: exactly one
+	// 4-worker set must be parked now.
+	pool.mu.Lock()
+	parked := len(pool.idle[4])
+	pool.mu.Unlock()
+	if parked != 1 {
+		t.Fatalf("expected exactly one parked 4-worker set, got %d", parked)
+	}
+}
+
+// TestPoolConcurrentEngines: engines sharing one Pool from concurrent
+// goroutines must each see the deterministic (Seed, Shards) trajectory.
+func TestPoolConcurrentEngines(t *testing.T) {
+	pool := NewPool()
+	defer pool.Close()
+
+	type out struct {
+		regret   int64
+		switches uint64
+	}
+	want := make([]out, 6)
+	for i := range want {
+		e, err := New(poolConfig(uint64(i+1), 3, nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(80, nil)
+		var regret int64
+		dem := poolConfig(1, 3, nil).Schedule.At(1)
+		for j, w := range e.Loads() {
+			d := int64(dem[j] - w)
+			if d < 0 {
+				d = -d
+			}
+			regret += d
+		}
+		want[i] = out{regret: regret, switches: e.Switches()}
+		e.Close()
+	}
+
+	got := make([]out, len(want))
+	var wg sync.WaitGroup
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := New(poolConfig(uint64(i+1), 3, pool))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer e.Close()
+			e.Run(80, nil)
+			var regret int64
+			dem := e.cfg.Schedule.At(1)
+			for j, w := range e.Loads() {
+				d := int64(dem[j] - w)
+				if d < 0 {
+					d = -d
+				}
+				regret += d
+			}
+			got[i] = out{regret: regret, switches: e.Switches()}
+		}(i)
+	}
+	wg.Wait()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("engine %d: pooled concurrent run %+v != solo run %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestPoolCloseShutsDownWorkers: Close reaps parked sets immediately and
+// checked-out sets when their engine releases them; release after Close
+// must not park workers forever.
+func TestPoolCloseShutsDownWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	pool := NewPool()
+
+	e, err := New(poolConfig(1, 4, pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(10, nil)
+
+	e2, err := New(poolConfig(2, 2, pool))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Run(10, nil)
+	e2.Close() // parks a 2-worker set
+
+	pool.Close()
+	pool.Close() // idempotent
+	e.Close()    // releases into a closed pool: must shut down, not park
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.GC()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Fatalf("pool workers leaked after Close: %d -> %d goroutines", before, got)
+	}
+}

@@ -1,0 +1,56 @@
+package colony
+
+import (
+	"fmt"
+	"testing"
+
+	"taskalloc/internal/agent"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/noise"
+)
+
+// TestPreciseSigmoidStreamV2Pinned freezes the stream-v2 draw sequence
+// (agent.FeedbackStreamVersion): the exact Precise Sigmoid loads at
+// phase boundaries for a fixed (Seed, Shards), on both stepping paths.
+// If this fails, the feedback draw sequence changed — bump
+// agent.FeedbackStreamVersion, update these values, and regenerate the
+// golden corpus (go generate ./...).
+func TestPreciseSigmoidStreamV2Pinned(t *testing.T) {
+	if agent.FeedbackStreamVersion != 2 {
+		t.Fatalf("pinned values are for stream v2, constant says v%d", agent.FeedbackStreamVersion)
+	}
+	dem := demand.Vector{80, 120, 60}
+	want := []struct {
+		round uint64
+		loads []int
+	}{
+		{82, []int{178, 217, 205}},
+		{164, []int{178, 217, 205}},
+		{328, []int{177, 217, 205}},
+	}
+	for _, iface := range []bool{false, true} {
+		f := agent.PreciseSigmoidFactory(3, agent.DefaultPreciseParams(0.05, 0.5))
+		if iface {
+			f.NewBatch = nil
+		}
+		e, err := New(Config{
+			N: 600, Schedule: demand.Static{V: dem},
+			Model:   noise.SigmoidModel{Lambda: 3.5},
+			Factory: f,
+			Init:    AllIdle, Seed: 11, Shards: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range want {
+			for e.Round() < w.round {
+				e.Step()
+			}
+			got := fmt.Sprint(e.Loads())
+			if got != fmt.Sprint(w.loads) {
+				t.Errorf("interface=%v round %d: loads %v, want %v", iface, w.round, got, w.loads)
+			}
+		}
+		e.Close()
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 
 	"taskalloc/internal/rng"
 )
@@ -59,6 +60,9 @@ func (v Vector) Clone() Vector {
 	copy(out, v)
 	return out
 }
+
+// Equal reports element-wise equality.
+func (v Vector) Equal(o Vector) bool { return slices.Equal(v, o) }
 
 // Validate checks structural sanity: non-empty and all entries positive.
 func (v Vector) Validate() error {

@@ -116,3 +116,26 @@ func Multinomial(r *rng.Rng, n int, w []float64, out []int) {
 		out[len(w)-1] += rem
 	}
 }
+
+// Hypergeometric draws the number of "successes" in draws draws without
+// replacement from a population of size pop containing succ successes.
+// The sampler is the exact sequential urn: each draw succeeds with the
+// conditional probability (succ−s)/(pop−i), realized as one integer
+// bounded draw, so cost is O(draws). The mean-field engine uses it for
+// cohort intersections (pause∧leave overlaps) and for killing a uniform
+// subset of the colony on Resize, where draws is small or a one-off.
+func Hypergeometric(r *rng.Rng, pop, succ, draws int) int {
+	if pop < 0 || succ < 0 || succ > pop || draws < 0 || draws > pop {
+		panic("dist: Hypergeometric parameters out of range")
+	}
+	s := 0
+	for i := 0; i < draws; i++ {
+		if r.Uint64n(uint64(pop-i)) < uint64(succ-s) {
+			s++
+			if s == succ {
+				break
+			}
+		}
+	}
+	return s
+}

@@ -150,3 +150,39 @@ func TestBinomialDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestHypergeometricMomentsAndBounds: the sampler must respect hard
+// bounds and match the distribution's mean within Monte-Carlo error.
+func TestHypergeometricMomentsAndBounds(t *testing.T) {
+	r := rng.New(7)
+	const pop, succ, draws, iters = 200, 60, 50, 20000
+	sum := 0.0
+	for i := 0; i < iters; i++ {
+		s := Hypergeometric(r, pop, succ, draws)
+		if s < 0 || s > succ || s > draws {
+			t.Fatalf("sample %d outside [0, min(%d, %d)]", s, succ, draws)
+		}
+		if s < draws-(pop-succ) {
+			t.Fatalf("sample %d below forced minimum", s)
+		}
+		sum += float64(s)
+	}
+	mean := sum / iters
+	want := float64(draws) * float64(succ) / float64(pop) // 15
+	if math.Abs(mean-want) > 0.15 {
+		t.Fatalf("mean %v, want %v", mean, want)
+	}
+	// Degenerate corners.
+	if Hypergeometric(r, 10, 0, 5) != 0 {
+		t.Fatal("no successes in population must sample 0")
+	}
+	if Hypergeometric(r, 10, 10, 7) != 7 {
+		t.Fatal("all-success population must sample draws")
+	}
+	if Hypergeometric(r, 10, 4, 0) != 0 {
+		t.Fatal("zero draws must sample 0")
+	}
+	if Hypergeometric(r, 10, 4, 10) != 4 {
+		t.Fatal("full sweep must sample every success")
+	}
+}

@@ -8,7 +8,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"A22", "AB1", "C1", "CV1", "D1", "D2", "F1", "F2", "R1",
-		"S1", "S2", "S3", "S4", "T31", "T32", "T33", "T35", "T36", "V1", "W1", "X1"}
+		"S1", "S2", "S3", "S4", "S5", "T31", "T32", "T33", "T35", "T36", "V1", "W1", "X1"}
 	all := All()
 	if len(all) != len(want) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(want))

@@ -53,17 +53,20 @@ type Config struct {
 
 // Engine is the aggregate simulator. Not safe for concurrent use.
 type Engine struct {
-	cfg    Config
-	k      int
-	r      *rng.Rng
-	loads  []int // loads after the last completed round
-	phaseW []int // loads at the start of the current phase
-	idle   int   // idle count at the start of the current phase
-	p1     []float64
-	p2     []float64
-	fbDesc []noise.TaskFeedback
-	defs   []float64
-	round  uint64
+	cfg      Config
+	k        int
+	r        *rng.Rng
+	loads    []int // loads after the last completed round
+	phaseW   []int // loads at the start of the current phase
+	idle     int   // idle count at the start of the current phase
+	p1       []float64
+	p2       []float64
+	fbDesc   []noise.TaskFeedback
+	defs     []float64
+	round    uint64
+	active   int // current applied colony size (see Resize)
+	resizeTo int // pending Resize target; -1 = none
+	switches uint64
 
 	// scratch for subset enumeration
 	subsetW []float64
@@ -94,17 +97,19 @@ func New(cfg Config) (*Engine, error) {
 	}
 	k := cfg.Schedule.Tasks()
 	e := &Engine{
-		cfg:    cfg,
-		k:      k,
-		r:      rng.New(cfg.Seed),
-		loads:  make([]int, k),
-		phaseW: make([]int, k),
-		p1:     make([]float64, k),
-		p2:     make([]float64, k),
-		fbDesc: make([]noise.TaskFeedback, k),
-		defs:   make([]float64, k),
-		taskW:  make([]float64, k),
-		taskC:  make([]int, k),
+		cfg:      cfg,
+		k:        k,
+		r:        rng.New(cfg.Seed),
+		loads:    make([]int, k),
+		phaseW:   make([]int, k),
+		p1:       make([]float64, k),
+		p2:       make([]float64, k),
+		fbDesc:   make([]noise.TaskFeedback, k),
+		defs:     make([]float64, k),
+		taskW:    make([]float64, k),
+		taskC:    make([]int, k),
+		active:   cfg.N,
+		resizeTo: -1,
 	}
 	if k <= cfg.MaxEnumTasks {
 		e.subsetW = make([]float64, 1<<k)
@@ -140,11 +145,66 @@ func (e *Engine) Idle() int {
 	for _, w := range e.loads {
 		working += w
 	}
-	return e.cfg.N - working
+	return e.active - working
 }
 
 // Round returns the last completed round.
 func (e *Engine) Round() uint64 { return e.round }
+
+// Active returns the colony size in force: the last Resize target, or N.
+func (e *Engine) Active() int {
+	if e.resizeTo >= 0 {
+		return e.resizeTo
+	}
+	return e.active
+}
+
+// Switches returns the cumulative number of assignment changes — pauses,
+// resumes, permanent leaves, and idle joins — aggregated cohort-wise: the
+// engine tracks the exact distribution of the per-phase switch count
+// (pause/leave overlaps are resolved with a hypergeometric draw) even
+// though it never materializes individual ants.
+func (e *Engine) Switches() uint64 { return e.switches }
+
+// Resize schedules a colony-size change to m in [1, N]: ants dying
+// (shrink) or hatching back idle (grow), the Section 6 perturbation. The
+// change is applied at the next phase open — the only instant the
+// aggregate cohorts are well-defined (mid-phase, paused ants are
+// indistinguishable from idle ones) — so it takes force at most one
+// round after the agent engines would apply it. Dying ants are a uniform
+// random subset of the colony (cohort exchangeability), sampled
+// multivariate-hypergeometrically over the task and idle cohorts.
+func (e *Engine) Resize(m int) {
+	if m < 1 || m > e.cfg.N {
+		panic(fmt.Sprintf("meanfield: Resize to %d outside [1, %d]", m, e.cfg.N))
+	}
+	e.resizeTo = m
+}
+
+// applyPendingResize realizes a scheduled Resize at a phase boundary.
+func (e *Engine) applyPendingResize() {
+	m := e.resizeTo
+	e.resizeTo = -1
+	if m == e.active {
+		return
+	}
+	if m < e.active {
+		// Kill a uniform subset of active - m ants: sequential
+		// conditional hypergeometric over the task cohorts; leftover
+		// kills land on the idle cohort (derived, no bookkeeping).
+		kills := e.active - m
+		pop := e.active
+		for j := 0; j < e.k && kills > 0; j++ {
+			kj := dist.Hypergeometric(e.r, pop, e.loads[j], kills)
+			pop -= e.loads[j]
+			e.loads[j] -= kj
+			kills -= kj
+		}
+	}
+	// Growing needs no cohort work: hatched ants enter idle with cleared
+	// memory, exactly the state the aggregate idle cohort models.
+	e.active = m
+}
 
 // lackProbs fills dst with the per-ant Lack probability of every task for
 // round t given the current loads.
@@ -171,14 +231,20 @@ func (e *Engine) Step() {
 	t := e.round + 1
 	dem := e.cfg.Schedule.At(t)
 	if t%2 == 1 {
-		// Phase open: record the phase-start cohort sizes and sample
-		// probabilities, then thin the workforce.
+		// Phase boundary: realize any scheduled Resize while the cohorts
+		// are clean (no outstanding pauses), then open the phase: record
+		// the phase-start cohort sizes and sample probabilities, and
+		// thin the workforce.
+		if e.resizeTo >= 0 {
+			e.applyPendingResize()
+		}
 		copy(e.phaseW, e.loads)
 		e.idle = e.Idle()
 		e.lackProbs(t, dem, e.p1)
 		for j := 0; j < e.k; j++ {
 			paused := dist.Binomial(e.r, e.phaseW[j], e.cfg.Params.Cs*e.cfg.Params.Gamma)
 			e.loads[j] = e.phaseW[j] - paused
+			e.switches += uint64(paused) // working → idle (temporary)
 		}
 		e.round = t
 		return
@@ -188,20 +254,30 @@ func (e *Engine) Step() {
 	e.lackProbs(t, dem, e.p2)
 	p := e.cfg.Params
 
-	// Permanent leaves from each phase-start cohort.
+	// Permanent leaves from each phase-start cohort. The leave coin is
+	// independent of the pause coin, so among the left leavers the
+	// already-paused ones (who change nothing at close: idle → idle) are
+	// a hypergeometric overlap; the rest of the paused cohort resumes
+	// (idle → task) and the unpaused leavers drop out (task → idle).
 	for j := 0; j < e.k; j++ {
 		q := (1 - e.p1[j]) * (1 - e.p2[j]) * p.Gamma / p.Cd
 		left := dist.Binomial(e.r, e.phaseW[j], q)
+		paused := e.phaseW[j] - e.loads[j]
+		overlap := dist.Hypergeometric(e.r, e.phaseW[j], paused, left)
+		e.switches += uint64(paused-overlap) + uint64(left-overlap)
 		e.loads[j] = e.phaseW[j] - left
 	}
 
-	// Idle joins.
+	// Idle joins (each join is one idle → task switch).
 	if e.idle > 0 {
+		stayed := e.idle
 		if e.subsetW != nil {
 			e.joinsEnumerated()
+			stayed = e.subsetC[0]
 		} else {
-			e.joinsPerAnt()
+			stayed = e.joinsPerAnt()
 		}
+		e.switches += uint64(e.idle - stayed)
 	}
 	e.idle = 0 // recomputed at the next phase open
 	e.round = t
@@ -250,8 +326,10 @@ func (e *Engine) joinsEnumerated() {
 }
 
 // joinsPerAnt is the fallback for large k: idle ants are sampled
-// individually (workers are still aggregated).
-func (e *Engine) joinsPerAnt() {
+// individually (workers are still aggregated). It returns the number of
+// idle ants that stayed idle.
+func (e *Engine) joinsPerAnt() int {
+	stayed := 0
 	for i := 0; i < e.idle; i++ {
 		count := 0
 		choice := -1
@@ -265,8 +343,11 @@ func (e *Engine) joinsPerAnt() {
 		}
 		if choice >= 0 {
 			e.loads[choice]++
+		} else {
+			stayed++
 		}
 	}
+	return stayed
 }
 
 // Run advances the engine by rounds rounds, invoking obs after each.

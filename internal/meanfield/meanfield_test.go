@@ -204,3 +204,121 @@ func TestInitLoadsRespected(t *testing.T) {
 		t.Fatalf("initial state loads=%v idle=%d", e.Loads(), e.Idle())
 	}
 }
+
+// TestSwitchesCrossValidation: the aggregate switch count must match the
+// agent engine's per-ant count statistically (same workload, per-round
+// rate within a tolerance), since both realize the same process.
+func TestSwitchesCrossValidation(t *testing.T) {
+	n := 2000
+	dem := demand.Vector{300, 500}
+	model := noise.SigmoidModel{Lambda: 3.5}
+	params := agent.DefaultParams(agent.MaxGamma)
+	const rounds = 4000
+
+	mfRate := func(seed uint64) float64 {
+		cfg := baseConfig(n, dem)
+		cfg.Model = model
+		cfg.Params = params
+		cfg.Seed = seed
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(rounds, nil)
+		return float64(e.Switches()) / rounds
+	}
+	agRate := func(seed uint64) float64 {
+		e, err := colony.New(colony.Config{
+			N:        n,
+			Schedule: demand.Static{V: dem},
+			Model:    model,
+			Factory:  agent.AntFactory(2, params),
+			Seed:     seed,
+			Shards:   1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e.Run(rounds, nil)
+		return float64(e.Switches()) / rounds
+	}
+
+	mf := (mfRate(1) + mfRate(2) + mfRate(3)) / 3
+	ag := (agRate(4) + agRate(5) + agRate(6)) / 3
+	if mf <= 0 {
+		t.Fatal("mean-field engine tracked no switches")
+	}
+	if math.Abs(mf-ag) > 0.2*math.Max(mf, ag) {
+		t.Fatalf("switch rates disagree: mean-field %v vs agent %v", mf, ag)
+	}
+}
+
+// TestResizeShrinkGrow: Resize must land at the next phase boundary,
+// conserve cohort totals, kill proportionally (statistically), and let
+// the colony re-converge after a regrow — the S4 workload at mean-field
+// scale.
+func TestResizeShrinkGrow(t *testing.T) {
+	n := 4000
+	dem := demand.Vector{400, 600}
+	cfg := baseConfig(n, dem)
+	cfg.Params = agent.DefaultParams(agent.MaxGamma)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run(3000, nil)
+	before := 0
+	for _, w := range e.Loads() {
+		before += w
+	}
+	if before == 0 {
+		t.Fatal("colony never filled")
+	}
+
+	// Shrink to half mid-phase: commanded size reported immediately,
+	// cohorts adjusted at the next phase open.
+	e.Resize(n / 2)
+	if e.Active() != n/2 {
+		t.Fatalf("Active() = %d after Resize(%d)", e.Active(), n/2)
+	}
+	e.Step() // phase boundary realizes the kill
+	working := 0
+	for _, w := range e.Loads() {
+		if w < 0 {
+			t.Fatal("negative load after shrink")
+		}
+		working += w
+	}
+	if working > n/2 {
+		t.Fatalf("%d workers exceed active %d after shrink", working, n/2)
+	}
+	// A uniform kill of half the colony halves the workforce: allow a
+	// generous stochastic band.
+	if working < before/4 || working > before*3/4+100 {
+		t.Fatalf("shrink killed non-uniformly: %d workers from %d", working, before)
+	}
+	e.Run(2000, nil)
+
+	// Regrow: hatched ants re-enter idle, then refill the demands.
+	e.Resize(n)
+	rec := metrics.NewRecorder(2, agent.MaxGamma, agent.DefaultCs, 2000)
+	e.Run(4000, Observer(rec.Observer()))
+	if e.Active() != n {
+		t.Fatalf("Active() = %d after regrow", e.Active())
+	}
+	if rec.AvgRegret() > 5*agent.MaxGamma*float64(dem.Sum())+3 {
+		t.Fatalf("no re-convergence after regrow: avg regret %v", rec.AvgRegret())
+	}
+
+	// Out-of-range targets panic like the agent engines.
+	for _, bad := range []int{0, n + 1, -3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Resize(%d) did not panic", bad)
+				}
+			}()
+			e.Resize(bad)
+		}()
+	}
+}

@@ -1,0 +1,58 @@
+package scenario
+
+import (
+	"fmt"
+
+	"taskalloc/internal/demand"
+)
+
+// Frozen is an immutable snapshot of a demand schedule over a fixed
+// horizon. Unlike the generative schedules in this package — whose At
+// methods memoize their sample path and are therefore not safe for
+// concurrent use — a Frozen schedule is read-only after construction and
+// may be shared freely by simulations running in parallel (the sweep
+// runner's usage). Rounds beyond the horizon return the horizon's
+// vector, so a run never observes a demand the freeze did not cover.
+type Frozen struct {
+	vecs    []demand.Vector // vecs[t]; unchanged rounds share one backing vector
+	horizon uint64
+}
+
+// Freeze pre-samples s over rounds [0, horizon] and returns the
+// immutable snapshot. Consecutive rounds with equal demand share one
+// backing vector, so freezing a piecewise-constant schedule over a long
+// horizon costs O(horizon) pointers but only O(changes·k) ints.
+func Freeze(s demand.Schedule, horizon uint64) (*Frozen, error) {
+	if s == nil {
+		return nil, fmt.Errorf("scenario: Freeze needs a schedule")
+	}
+	k := s.Tasks()
+	vecs := make([]demand.Vector, horizon+1)
+	for t := uint64(0); t <= horizon; t++ {
+		v := s.At(t)
+		if len(v) != k {
+			return nil, fmt.Errorf("scenario: schedule yields %d tasks at round %d, want %d", len(v), t, k)
+		}
+		if t > 0 && vecs[t-1].Equal(v) {
+			vecs[t] = vecs[t-1] // share the backing array
+			continue
+		}
+		vecs[t] = v.Clone() // generative schedules own (and reuse) v
+	}
+	return &Frozen{vecs: vecs, horizon: horizon}, nil
+}
+
+// At implements demand.Schedule. Callers must not mutate the returned
+// vector (it is shared across rounds and goroutines).
+func (f *Frozen) At(t uint64) demand.Vector {
+	if t > f.horizon {
+		t = f.horizon
+	}
+	return f.vecs[t]
+}
+
+// Tasks implements demand.Schedule.
+func (f *Frozen) Tasks() int { return len(f.vecs[0]) }
+
+// Horizon returns the last pre-sampled round.
+func (f *Frozen) Horizon() uint64 { return f.horizon }

@@ -1,0 +1,75 @@
+package scenario
+
+import (
+	"sync"
+	"testing"
+
+	"taskalloc/internal/demand"
+)
+
+// TestFreezeMatchesSource: the frozen snapshot must reproduce the source
+// schedule round for round, share backing arrays across unchanged
+// rounds, and clamp beyond the horizon.
+func TestFreezeMatchesSource(t *testing.T) {
+	base := demand.Vector{200, 300}
+	walk, err := NewRandomWalk(base, 10, 7, demand.Vector{100, 150}, demand.Vector{300, 450}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const horizon = 200
+	frozen, err := Freeze(walk, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh instance: the frozen path must equal what any fresh walk
+	// would regenerate (Freeze consumed the memoizing original).
+	fresh, err := NewRandomWalk(base, 10, 7, demand.Vector{100, 150}, demand.Vector{300, 450}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := uint64(0); tt <= horizon; tt++ {
+		want := fresh.At(tt)
+		got := frozen.At(tt)
+		if !want.Equal(got) {
+			t.Fatalf("round %d: frozen %v != source %v", tt, got, want)
+		}
+	}
+	if frozen.Tasks() != 2 || frozen.Horizon() != horizon {
+		t.Fatalf("Tasks=%d Horizon=%d", frozen.Tasks(), frozen.Horizon())
+	}
+	if got := frozen.At(horizon + 500); !got.Equal(frozen.At(horizon)) {
+		t.Fatalf("beyond-horizon At = %v, want clamp to %v", got, frozen.At(horizon))
+	}
+	// Epochs are 7 rounds long: rounds within one epoch share backing.
+	if &frozen.At(8)[0] != &frozen.At(13)[0] {
+		t.Fatal("unchanged rounds must share one backing vector")
+	}
+}
+
+// TestFreezeConcurrentReads: a frozen schedule is safe to read from many
+// goroutines (run under -race in CI).
+func TestFreezeConcurrentReads(t *testing.T) {
+	sin, err := NewSinusoid(demand.Vector{100, 100, 100}, []float64{0.3, 0.3, 0.3}, 50, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := Freeze(sin, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sum := 0
+			for tt := uint64(0); tt <= 500; tt++ {
+				sum += frozen.At(tt).Sum()
+			}
+			if sum == 0 {
+				t.Error("empty demand sums")
+			}
+		}(g)
+	}
+	wg.Wait()
+}

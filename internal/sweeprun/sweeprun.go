@@ -1,0 +1,224 @@
+// Package sweeprun is the multi-simulation batch runner: it executes an
+// ensemble of fully-resolved simulation configurations — a parameter
+// sweep's (value × seed × scenario) grid — concurrently on a bounded
+// worker group whose engines share one persistent shard worker pool
+// across engine lifetimes, and streams per-job reports through a
+// deterministic, order-independent collector.
+//
+// Determinism contract: each job's trajectory is a function of its
+// (Config.Seed, Config.Shards) only, and results are emitted in job
+// order regardless of which worker finishes when — so any output built
+// from the emission stream is byte-identical for every worker count,
+// including 1. The package tests and cmd/sweep's tests enforce this.
+//
+// Schedules: jobs may share one demand.Schedule only if it is safe for
+// concurrent readers. The generative families in internal/scenario
+// memoize their sample paths and are NOT safe to share — freeze them
+// first (scenario.Freeze) and hand every job the frozen snapshot.
+package sweeprun
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"taskalloc"
+	"taskalloc/internal/stats"
+)
+
+// Job is one fully-resolved simulation: the configuration to run, the
+// horizon, and caller-defined row metadata (e.g. the swept parameter
+// name and value) carried through to the Result untouched.
+type Job struct {
+	// Meta is opaque caller metadata echoed on the Result.
+	Meta []string
+	// Config is the complete simulation configuration. If Config.Pool is
+	// nil the runner injects its shared worker pool.
+	Config taskalloc.Config
+	// Rounds is the simulation horizon.
+	Rounds int
+}
+
+// Result is one job's outcome, emitted in job order.
+type Result struct {
+	// Index is the job's position in the input slice.
+	Index int
+	// Job echoes the input job (Meta, Config, Rounds).
+	Job Job
+	// Report holds the simulation's metrics; zero when Err != nil.
+	Report taskalloc.Report
+	// Err is the configuration/validation error, if the job could not
+	// run. Failed jobs still occupy their emission slot.
+	Err error
+}
+
+// Options tunes a run.
+type Options struct {
+	// Workers bounds the number of simulations in flight; <= 0 means
+	// GOMAXPROCS. Workers = 1 runs the ensemble serially (the baseline
+	// the byte-identity contract is stated against).
+	Workers int
+	// Pool, if non-nil, is the shared shard worker reservoir injected
+	// into every job whose Config.Pool is nil. When nil, the runner
+	// creates one for the duration of the call and closes it on return.
+	Pool *taskalloc.WorkerPool
+}
+
+// Ordered runs fn(0..n-1) on at most workers goroutines and invokes
+// emit(i) in strict index order: emit(i) fires only once fn(0..i) have
+// all returned, from under a lock, so emitters may write shared output
+// (a CSV writer, os.Stdout) without further synchronization. It is the
+// deterministic collector the typed runners are built on, exported for
+// callers that orchestrate non-simulation work (cmd/experiments).
+func Ordered(n, workers int, fn func(i int), emit func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+			if emit != nil {
+				emit(i)
+			}
+		}
+		return
+	}
+	var (
+		next   atomic.Int64
+		mu     sync.Mutex
+		done   = make([]bool, n)
+		cursor int
+		wg     sync.WaitGroup
+	)
+	next.Store(-1)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n {
+					return
+				}
+				fn(i)
+				mu.Lock()
+				done[i] = true
+				for cursor < n && done[cursor] {
+					if emit != nil {
+						emit(cursor)
+					}
+					cursor++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Stream executes the jobs and calls emit once per job, in job order, as
+// completed prefixes become available. It returns the full result slice
+// (indexed like jobs). emit may be nil.
+func Stream(jobs []Job, opts Options, emit func(Result)) []Result {
+	results := make([]Result, len(jobs))
+	pool := opts.Pool
+	if pool == nil {
+		pool = taskalloc.NewWorkerPool()
+		defer pool.Close()
+	}
+	Ordered(len(jobs), opts.Workers, func(i int) {
+		results[i] = runJob(i, jobs[i], pool)
+	}, func(i int) {
+		if emit != nil {
+			emit(results[i])
+		}
+	})
+	return results
+}
+
+// Run executes the jobs and returns the results in job order.
+func Run(jobs []Job, opts Options) []Result { return Stream(jobs, opts, nil) }
+
+// runJob executes one simulation end to end, returning the engine's
+// worker set to the shared pool via Close.
+func runJob(i int, job Job, pool *taskalloc.WorkerPool) Result {
+	res := Result{Index: i, Job: job}
+	cfg := job.Config
+	if cfg.Pool == nil {
+		cfg.Pool = pool
+	}
+	sim, err := taskalloc.New(cfg)
+	if err != nil {
+		res.Err = err
+		return res
+	}
+	defer sim.Close()
+	sim.Run(job.Rounds, nil)
+	res.Report = sim.Report()
+	return res
+}
+
+// Stat summarizes one metric over an ensemble.
+type Stat struct {
+	Mean, Std, Min, Max float64
+	P25, P50, P75, P90  float64
+}
+
+// NewStat computes a Stat over xs (NaNs propagate; empty gives NaNs).
+func NewStat(xs []float64) Stat {
+	var s stats.Summary
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return Stat{
+		Mean: s.Mean(), Std: s.Std(), Min: s.Min(), Max: s.Max(),
+		P25: stats.Quantile(xs, 0.25), P50: stats.Quantile(xs, 0.50),
+		P75: stats.Quantile(xs, 0.75), P90: stats.Quantile(xs, 0.90),
+	}
+}
+
+// Summary is the ensemble aggregate over a result set: the paper's
+// headline quantities as regret bands rather than single trajectories.
+type Summary struct {
+	// Jobs counts the results aggregated; Failed the ones skipped for a
+	// non-nil Err.
+	Jobs, Failed int
+	// AvgRegret, Closeness, and SwitchesPerRound summarize the per-job
+	// Report fields of the same names (Switches normalized by Rounds).
+	AvgRegret        Stat
+	Closeness        Stat
+	SwitchesPerRound Stat
+}
+
+// Summarize aggregates results (in index order, so the output is
+// deterministic). Failed jobs are counted and excluded.
+func Summarize(results []Result) Summary {
+	var sum Summary
+	regret := make([]float64, 0, len(results))
+	closeness := make([]float64, 0, len(results))
+	switches := make([]float64, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			sum.Failed++
+			continue
+		}
+		sum.Jobs++
+		regret = append(regret, r.Report.AvgRegret)
+		closeness = append(closeness, r.Report.Closeness)
+		rounds := float64(r.Job.Rounds)
+		if rounds <= 0 {
+			rounds = 1
+		}
+		switches = append(switches, float64(r.Report.Switches)/rounds)
+	}
+	sum.AvgRegret = NewStat(regret)
+	sum.Closeness = NewStat(closeness)
+	sum.SwitchesPerRound = NewStat(switches)
+	return sum
+}

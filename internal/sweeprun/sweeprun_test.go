@@ -1,0 +1,161 @@
+package sweeprun
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"taskalloc"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/scenario"
+)
+
+// grid builds a values × seeds job grid over a shared (frozen) schedule.
+func grid(t *testing.T, values []float64, seeds int, rounds int) []Job {
+	t.Helper()
+	sin, err := scenario.NewSinusoid(demand.Vector{80, 120}, []float64{0.3, 0.3}, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen, err := scenario.Freeze(sin, uint64(rounds)+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var jobs []Job
+	for _, v := range values {
+		for s := 1; s <= seeds; s++ {
+			jobs = append(jobs, Job{
+				Meta: []string{"gamma", fmt.Sprint(v), fmt.Sprint(s)},
+				Config: taskalloc.Config{
+					Ants:   800,
+					Demand: frozen,
+					Gamma:  v,
+					Noise:  taskalloc.SigmoidNoise(v / 2),
+					Seed:   uint64(s),
+					Shards: 2,
+					BurnIn: uint64(rounds) / 2,
+				},
+				Rounds: rounds,
+			})
+		}
+	}
+	return jobs
+}
+
+// render serializes an emission stream the way cmd/sweep does, so the
+// byte-identity contract is tested end to end.
+func render(results []Result) []byte {
+	var buf bytes.Buffer
+	for _, r := range results {
+		fmt.Fprintf(&buf, "%v,%d,%.17g,%.17g,%d,%d,%v\n",
+			r.Job.Meta, r.Index, r.Report.AvgRegret, r.Report.Closeness,
+			r.Report.PeakRegret, r.Report.Switches, r.Err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamByteIdenticalAcrossWorkers is the tentpole's determinism
+// contract: the emission stream (order AND content) must be identical
+// for 1, 2, 3, and 8 workers, generative scenario included.
+func TestStreamByteIdenticalAcrossWorkers(t *testing.T) {
+	jobs := grid(t, []float64{0.02, 0.04, 0.0625}, 3, 240)
+
+	var baseline []byte
+	for _, workers := range []int{1, 2, 3, 8} {
+		var emitted []Result
+		results := Stream(jobs, Options{Workers: workers}, func(r Result) {
+			emitted = append(emitted, r)
+		})
+		if len(emitted) != len(jobs) || len(results) != len(jobs) {
+			t.Fatalf("workers=%d: emitted %d results for %d jobs", workers, len(emitted), len(jobs))
+		}
+		for i, r := range emitted {
+			if r.Index != i {
+				t.Fatalf("workers=%d: emission %d carries index %d", workers, i, r.Index)
+			}
+		}
+		got := render(emitted)
+		if workers == 1 {
+			baseline = got
+			continue
+		}
+		if !bytes.Equal(got, baseline) {
+			t.Fatalf("workers=%d: emission stream differs from serial baseline", workers)
+		}
+	}
+}
+
+// TestOrderedEmitsPrefixesInOrder: emit(i) must fire exactly once per
+// index, in index order, even under maximal worker counts.
+func TestOrderedEmitsPrefixesInOrder(t *testing.T) {
+	const n = 100
+	ran := make([]bool, n)
+	var order []int
+	Ordered(n, 16, func(i int) { ran[i] = true }, func(i int) {
+		if !ran[i] {
+			t.Errorf("emit(%d) before fn(%d)", i, i)
+		}
+		order = append(order, i)
+	})
+	if len(order) != n {
+		t.Fatalf("emitted %d of %d", len(order), n)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("emission %d was index %d", i, got)
+		}
+	}
+	// Degenerate inputs must not hang or panic.
+	Ordered(0, 4, func(int) {}, nil)
+	Ordered(3, 0, func(int) {}, nil)
+}
+
+// TestRunSharedPoolAndErrors: invalid jobs surface as per-job errors in
+// their emission slot without disturbing their neighbors, and a caller
+// pool is honored.
+func TestRunSharedPoolAndErrors(t *testing.T) {
+	pool := taskalloc.NewWorkerPool()
+	defer pool.Close()
+	jobs := grid(t, []float64{0.05}, 2, 120)
+	bad := Job{Config: taskalloc.Config{Ants: -1}, Rounds: 10}
+	jobs = append(jobs[:1], append([]Job{bad}, jobs[1:]...)...)
+
+	results := Run(jobs, Options{Workers: 4, Pool: pool})
+	if results[1].Err == nil {
+		t.Fatal("invalid job must carry its error")
+	}
+	for i, r := range results {
+		if i == 1 {
+			continue
+		}
+		if r.Err != nil {
+			t.Fatalf("job %d failed: %v", i, r.Err)
+		}
+		if r.Report.Rounds != 120 {
+			t.Fatalf("job %d ran %d rounds", i, r.Report.Rounds)
+		}
+	}
+
+	sum := Summarize(results)
+	if sum.Jobs != 2 || sum.Failed != 1 {
+		t.Fatalf("Summarize counted %d ok / %d failed", sum.Jobs, sum.Failed)
+	}
+	if math.IsNaN(sum.AvgRegret.Mean) || sum.AvgRegret.Min > sum.AvgRegret.Max {
+		t.Fatalf("implausible aggregate %+v", sum.AvgRegret)
+	}
+	if sum.AvgRegret.P25 > sum.AvgRegret.P50 || sum.AvgRegret.P50 > sum.AvgRegret.P90 {
+		t.Fatalf("quantiles out of order: %+v", sum.AvgRegret)
+	}
+}
+
+// TestSummarizeDeterministic: aggregates are a pure function of the
+// result slice (fixed iteration order), so two runs agree exactly.
+func TestSummarizeDeterministic(t *testing.T) {
+	jobs := grid(t, []float64{0.03, 0.06}, 2, 120)
+	a := Summarize(Run(jobs, Options{Workers: 8}))
+	b := Summarize(Run(jobs, Options{Workers: 1}))
+	if a != b {
+		t.Fatalf("aggregate diverged across worker counts:\n%+v\n%+v", a, b)
+	}
+}

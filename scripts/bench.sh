@@ -15,7 +15,7 @@ TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkEngineStep$|BenchmarkEngineStepInterface$|BenchmarkEngineParallel$' \
+  -bench 'BenchmarkEngineStep$|BenchmarkEngineStepInterface$|BenchmarkEngineParallel$|BenchmarkSweepRunner$' \
   -benchtime "$BENCHTIME" -count 1 . | tee "$TMP"
 
 {

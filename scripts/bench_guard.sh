@@ -25,6 +25,14 @@ trap 'rm -f "$TMP"' EXIT
 
 [ -f "$BASE" ] || { echo "bench_guard: missing baseline $BASE" >&2; exit 2; }
 
+# Sweep-runner smoke: one iteration of both worker counts. No baseline
+# comparison (grid wall-clock is hardware-bound); this exists so the
+# multi-simulation batch runner and its shared-pool path can never
+# silently stop compiling or start erroring.
+echo "bench_guard: sweep-runner smoke (-benchtime 1x)"
+go test -run '^$' -bench 'BenchmarkSweepRunner$' -benchtime 1x -count 1 . \
+  || { echo "bench_guard: BenchmarkSweepRunner smoke failed" >&2; exit 1; }
+
 go test -run '^$' -bench 'BenchmarkEngineParallel$' -benchtime "$BENCHTIME" -count 1 . | tee "$TMP"
 
 awk -v base="$BASE" -v tol="$TOLERANCE" '

@@ -29,6 +29,11 @@
 // of the paper lives in cmd/experiments; see DESIGN.md and EXPERIMENTS.md.
 package taskalloc
 
+// The golden scenario regression corpus (testdata/golden/*.csv, replayed
+// and byte-compared by golden_test.go) is regenerated here. Only rerun
+// this when a trajectory change is intended — see cmd/goldengen.
+//go:generate go run ./cmd/goldengen
+
 import (
 	"errors"
 	"fmt"
@@ -194,8 +199,9 @@ type Config struct {
 	Demand demand.Schedule
 	// SizeChanges optionally schedules colony resizes (ants dying and
 	// hatching, Section 6), applied by Run at their rounds. Entries must
-	// have strictly increasing At >= 1 and To in [1, Ants]. Not supported
-	// with MeanField.
+	// have strictly increasing At >= 1 and To in [1, Ants]. The
+	// mean-field engine applies each change at the next phase boundary
+	// (at most one round late); the agent engines apply it exactly.
 	SizeChanges []SizeChange
 	// NoiseChanges optionally schedules feedback-regime switches,
 	// resolved against the demand in force at the switch round. Entries
@@ -214,12 +220,31 @@ type Config struct {
 	// Shards is the parallel fan-out of the synchronous engine
 	// (0 = GOMAXPROCS). Trajectories are reproducible per (Seed, Shards).
 	Shards int
+	// Pool, if non-nil, makes the synchronous engine check its persistent
+	// shard workers out of a shared reservoir (and return them on Close)
+	// instead of owning them, so many short-lived simulations — a sweep —
+	// reuse one set of parked goroutines. See NewWorkerPool. Ignored when
+	// the engine runs single-sharded, Sequential, or MeanField.
+	// Trajectories are unaffected.
+	Pool *WorkerPool
 	// BurnIn excludes this many initial rounds from Report averages.
 	BurnIn uint64
 	// CheckAssumptions, if true, rejects configs violating the paper's
 	// Assumptions 2.1 (d(j) = Ω(log n), Σd ≤ n/2).
 	CheckAssumptions bool
 }
+
+// WorkerPool is a shared reservoir of persistent shard workers (see
+// Config.Pool): simulations built over one pool check their worker set
+// out at New and return it on Close, so a sweep of many short-lived
+// simulations reuses one set of parked goroutines instead of spawning
+// per run. Safe for concurrent use by simulations running in parallel.
+// Close the pool when the sweep is done; sets still checked out are
+// reaped as their simulations close.
+type WorkerPool = colony.Pool
+
+// NewWorkerPool returns an empty shared worker reservoir.
+func NewWorkerPool() *WorkerPool { return colony.NewPool() }
 
 // Observer receives the state after every round. Slices are owned by the
 // simulation and must not be retained.
@@ -382,6 +407,7 @@ func New(cfg Config) (*Simulation, error) {
 		Init:     init,
 		Seed:     cfg.Seed,
 		Shards:   cfg.Shards,
+		Pool:     cfg.Pool,
 	}
 	s := &Simulation{
 		cfg:      cfg,
@@ -400,9 +426,6 @@ func New(cfg Config) (*Simulation, error) {
 		}
 		if cfg.Init != InitIdle && cfg.Init != InitExact {
 			return nil, errors.New("taskalloc: MeanField supports InitIdle or InitExact")
-		}
-		if len(cfg.SizeChanges) > 0 {
-			return nil, errors.New("taskalloc: MeanField does not support SizeChanges")
 		}
 		var initLoads []int
 		if cfg.Init == InitExact {
@@ -530,11 +553,10 @@ func (s *Simulation) runChunk(rounds int, inner func(uint64, []int, demand.Vecto
 // round onward: shrinking kills ants (they stop being stepped and their
 // tasks are released immediately), growing hatches them back idle with
 // cleared memory — the Section 6 perturbation the paper's algorithms
-// self-stabilize against. Not supported by the mean-field engine.
+// self-stabilize against. The mean-field engine kills a uniform random
+// subset of its cohorts and realizes the change at the next phase
+// boundary (at most one round later).
 func (s *Simulation) Resize(m int) error {
-	if s.mfEngine != nil {
-		return errors.New("taskalloc: Resize is not supported with MeanField")
-	}
 	if m < 1 || m > s.cfg.Ants {
 		return fmt.Errorf("taskalloc: Resize to %d outside [1, %d]", m, s.cfg.Ants)
 	}
@@ -543,9 +565,12 @@ func (s *Simulation) Resize(m int) error {
 }
 
 func (s *Simulation) applyResize(m int) {
-	if s.seqEngine != nil {
+	switch {
+	case s.mfEngine != nil:
+		s.mfEngine.Resize(m)
+	case s.seqEngine != nil:
 		s.seqEngine.Resize(m)
-	} else {
+	default:
 		s.engine.Resize(m)
 	}
 }
@@ -564,7 +589,7 @@ func (s *Simulation) Close() {
 func (s *Simulation) Active() int {
 	switch {
 	case s.mfEngine != nil:
-		return s.cfg.Ants
+		return s.mfEngine.Active()
 	case s.seqEngine != nil:
 		return s.seqEngine.Active()
 	default:
@@ -601,11 +626,12 @@ func (s *Simulation) Loads() []int {
 }
 
 // Switches returns the cumulative number of task/idle changes. The
-// mean-field engine does not track individual ants and reports 0.
+// mean-field engine aggregates them cohort-wise (exact distribution,
+// no individual ants).
 func (s *Simulation) Switches() uint64 {
 	switch {
 	case s.mfEngine != nil:
-		return 0
+		return s.mfEngine.Switches()
 	case s.seqEngine != nil:
 		return s.seqEngine.Switches()
 	default:
