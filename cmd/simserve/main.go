@@ -1,0 +1,89 @@
+// Command simserve runs the simulation service: an HTTP front end that
+// accepts wire-format job grids (POST /v1/sweeps), fans them out on the
+// multi-simulation batch runner over one shared colony worker pool, and
+// streams per-cell results back in byte-stable job order. See
+// internal/simserver for the API and internal/wire for the format.
+//
+//	simserve -addr :8080 -workers 8
+//
+// The bound address is printed on stdout as "listening on <addr>" once
+// the listener is up (with -addr :0 this is how callers learn the
+// port). SIGINT/SIGTERM trigger a graceful drain: in-flight sweeps
+// finish, new submissions get 503, and the worker pool is shut down
+// before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"taskalloc/internal/simserver"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address (host:port; :0 picks a free port)")
+		workers  = flag.Int("workers", 0, "per-sweep simulations in flight (0 = GOMAXPROCS)")
+		maxConc  = flag.Int("max-concurrent", 0, "simulations in flight across all requests (0 = GOMAXPROCS)")
+		cacheCap = flag.Int("cache-entries", 128, "completed sweeps kept for cached replay")
+		cacheB   = flag.Int64("cache-bytes", 256<<20, "retained-bytes budget of the result cache (trajectories dominate)")
+		maxBody  = flag.Int64("max-body-bytes", 64<<20, "largest accepted submission document")
+		maxJobs  = flag.Int("max-jobs", 10000, "largest accepted grid (jobs per sweep)")
+		maxRnds  = flag.Int("max-cell-rounds", 10_000_000, "largest accepted per-cell horizon")
+		maxAnts  = flag.Int("max-cell-ants", 10_000_000, "largest accepted per-cell colony size")
+		drainFor = flag.Duration("drain-timeout", time.Minute,
+			"grace for in-flight HTTP handlers on shutdown (sweeps still drain fully after it; a second signal force-kills)")
+	)
+	flag.Parse()
+
+	srv := simserver.New(simserver.Options{
+		Workers:       *workers,
+		MaxConcurrent: *maxConc,
+		CacheEntries:  *cacheCap,
+		CacheBytes:    *cacheB,
+		MaxBodyBytes:  *maxBody,
+		MaxJobs:       *maxJobs,
+		MaxCellRounds: *maxRnds,
+		MaxCellAnts:   *maxAnts,
+	})
+	hs := &http.Server{Handler: srv}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("simserve: %v", err)
+	}
+	fmt.Printf("listening on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		log.Fatalf("simserve: %v", err)
+	case <-ctx.Done():
+	}
+	// Restore default signal disposition immediately: the drain below
+	// waits for in-flight sweeps, and a second SIGINT/SIGTERM must
+	// force-kill rather than be swallowed by NotifyContext.
+	stop()
+	log.Printf("simserve: draining (in-flight sweeps finish, new submissions get 503; signal again to force-kill)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *drainFor)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("simserve: shutdown: %v", err)
+	}
+	srv.Close() // drain + return every checked-out shard worker
+	log.Printf("simserve: drained, exiting")
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"taskalloc/internal/goldencases"
+	"taskalloc/internal/simserver/client"
+	"taskalloc/internal/wire"
+)
+
+// TestE2ESmoke is the end-to-end smoke CI runs: build and boot the
+// real simserve binary, POST the whole golden-corpus sweep through the
+// typed client with trajectories on, byte-compare every streamed
+// trajectory against testdata/golden, verify the cache replay, and
+// shut the process down gracefully.
+func TestE2ESmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots the service binary")
+	}
+	bin := filepath.Join(t.TempDir(), "simserve")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "4")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	}()
+
+	// The first stdout line announces the bound address.
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no listen line from simserve: %v", sc.Err())
+	}
+	line := sc.Text()
+	addr, ok := strings.CutPrefix(line, "listening on ")
+	if !ok {
+		t.Fatalf("unexpected startup line %q", line)
+	}
+	c := client.New("http://"+addr, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := c.Healthz(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+
+	// The golden corpus as one wire sweep, trajectories requested.
+	cases := goldencases.All()
+	sweep := wire.Sweep{Version: wire.V1}
+	for _, gc := range cases {
+		cfg, err := gc.Config()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wcfg, err := wire.FromConfig(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep.Jobs = append(sweep.Jobs, wire.Job{
+			Meta:       []string{gc.Name},
+			Rounds:     gc.Rounds,
+			Trajectory: true,
+			Config:     wcfg,
+		})
+	}
+	sub, err := c.SubmitSweep(ctx, sweep, client.SubmitOptions{Workers: 4}, nil)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	if sub.Cached {
+		t.Fatal("first submission reported a cache hit")
+	}
+	for i, res := range sub.Results {
+		name := cases[i].Name
+		if res.Err != "" {
+			t.Fatalf("%s: %s", name, res.Err)
+		}
+		want, err := os.ReadFile(filepath.Join("..", "..", "testdata", "golden", name+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal([]byte(res.Trajectory), want) {
+			t.Errorf("%s: trajectory streamed over HTTP differs from testdata/golden", name)
+		}
+	}
+
+	// Identical re-submission is served from cache with identical cells.
+	again, err := c.SubmitSweep(ctx, sweep, client.SubmitOptions{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatal("re-submission missed the cache")
+	}
+	for i := range sub.Results {
+		if again.Results[i].Trajectory != sub.Results[i].Trajectory {
+			t.Fatalf("%s: cached trajectory differs", cases[i].Name)
+		}
+	}
+	if _, err := c.GetSweep(ctx, sub.Header.ID); err != nil {
+		t.Fatalf("get sweep: %v", err)
+	}
+
+	// Graceful drain: SIGTERM → clean exit.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("simserve exited uncleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("simserve did not drain within 30s of SIGTERM")
+	}
+}

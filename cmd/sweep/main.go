@@ -15,6 +15,13 @@
 // self-stabilization under change rather than steady state. -aggregate
 // appends per-value ensemble statistics (mean/std/quantiles over seeds).
 //
+// The grid is exchangeable with the simulation service through the
+// versioned wire format (internal/wire): -dump-jobs serializes the
+// exact grid the flags resolve to, and -jobs replays a serialized grid
+// through the same codec and CSV renderer, so a grid run locally,
+// replayed from a file, or POSTed to cmd/simserve produces identical
+// bytes.
+//
 // Examples:
 //
 //	sweep -param gamma -values 0.01,0.02,0.04 -n 5000 -demands 800,800
@@ -23,10 +30,11 @@
 //	sweep -scenario sinusoid -sin-period 3000 -sin-amp 0.4
 //	sweep -scenario burst -burst-every 4000 -burst-len 600 -burst-scale 2
 //	sweep -scenario markov -markov-dwell 2500 -resize 6000:2500,9000:5000
+//	sweep -param gamma -values 0.02,0.04 -dump-jobs grid.json
+//	sweep -jobs grid.json -parallel 8
 package main
 
 import (
-	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
@@ -39,6 +47,7 @@ import (
 	"taskalloc/internal/demand"
 	"taskalloc/internal/scenario"
 	"taskalloc/internal/sweeprun"
+	"taskalloc/internal/wire"
 )
 
 func main() {
@@ -57,6 +66,8 @@ func main() {
 		resizeArg  = flag.String("resize", "", "colony-size schedule \"at:to,at:to\" (ants dying/hatching)")
 		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "simulations in flight (1 = serial; output is identical either way)")
 		aggregate  = flag.Bool("aggregate", false, "append per-value ensemble statistics over the seeds")
+		jobsFile   = flag.String("jobs", "", "replay a serialized job grid (wire JSON) instead of building one from flags")
+		dumpJobs   = flag.String("dump-jobs", "", "serialize the grid the flags resolve to (wire JSON) and exit without running")
 	)
 	var sc scenarioOpts
 	flag.StringVar(&sc.family, "scenario", "static",
@@ -78,6 +89,16 @@ func main() {
 		"markov: regimes \"d1,d2;d1,d2;...\" (default: base and its reverse)")
 	flag.StringVar(&sc.traceFile, "trace-file", "", "trace: CSV of \"round,d1,d2,...\" lines")
 	flag.Parse()
+
+	if *jobsFile != "" {
+		if *aggregate {
+			fatal("-aggregate needs the flag-built grid's seed grouping; it cannot combine with -jobs")
+		}
+		if err := replayJobs(os.Stdout, *jobsFile, *parallel); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
 
 	if *rounds < 1 {
 		fatal("bad -rounds: need >= 1, got %d", *rounds)
@@ -113,6 +134,12 @@ func main() {
 		rounds: *rounds, repeat: *repeat, seed: *seed,
 		resizes: resizes, sched: sched, family: sc.family,
 	}
+	if *dumpJobs != "" {
+		if err := writeJobsFile(*dumpJobs, strings.Split(*valuesArg, ","), p); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
 	if err := runSweep(os.Stdout, strings.Split(*valuesArg, ","), p, *parallel, *aggregate); err != nil {
 		fatal("%v", err)
 	}
@@ -126,38 +153,51 @@ func runSweep(out io.Writer, values []string, p jobParams, parallel int, aggrega
 	if err != nil {
 		return err
 	}
+	return sweeprun.WriteCSV(out, jobs, sweeprun.Options{Workers: parallel},
+		sweeprun.CSVOptions{Aggregate: aggregate, Repeat: p.repeat})
+}
 
-	w := csv.NewWriter(out)
-	defer w.Flush()
-	_ = w.Write([]string{"param", "value", "scenario", "seed", "avg_regret", "std_regret",
-		"closeness", "gamma_star", "peak_regret", "switches_per_round"})
-
-	var jobErr error
-	results := sweeprun.Stream(jobs, sweeprun.Options{Workers: parallel}, func(r sweeprun.Result) {
-		if r.Err != nil {
-			if jobErr == nil {
-				jobErr = fmt.Errorf("config for %s=%s: %v", p.param, r.Job.Meta[1], r.Err)
-			}
-			return
+// writeJobsFile serializes the grid the flags resolve to as a wire
+// sweep document ("-" = stdout). The file replays through -jobs, POST
+// /v1/sweeps, or any other consumer of the versioned wire format.
+func writeJobsFile(path string, values []string, p jobParams) error {
+	jobs, err := buildJobs(values, p)
+	if err != nil {
+		return err
+	}
+	sweep, err := wire.FromJobs(jobs)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
 		}
-		rep := r.Report
-		_ = w.Write(append(r.Job.Meta,
-			fmt.Sprintf("%.6g", rep.AvgRegret),
-			fmt.Sprintf("%.6g", rep.StdRegret),
-			fmt.Sprintf("%.6g", rep.Closeness),
-			fmt.Sprintf("%.6g", rep.GammaStar),
-			fmt.Sprint(rep.PeakRegret),
-			fmt.Sprintf("%.6g", float64(rep.Switches)/float64(p.rounds)),
-		))
-	})
-	if jobErr != nil {
-		return jobErr
+		defer f.Close()
+		out = f
 	}
+	return wire.EncodeSweep(out, sweep)
+}
 
-	if aggregate {
-		writeAggregates(w, results, p.param, p.family, p.repeat)
+// replayJobs decodes a serialized grid and runs it through the exact
+// same codec and CSV renderer as a flag-built sweep.
+func replayJobs(out io.Writer, path string, parallel int) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
 	}
-	return nil
+	defer f.Close()
+	sweep, err := wire.DecodeSweep(f)
+	if err != nil {
+		return err
+	}
+	jobs, err := wire.ToJobs(sweep)
+	if err != nil {
+		return err
+	}
+	return sweeprun.WriteCSV(out, jobs, sweeprun.Options{Workers: parallel}, sweeprun.CSVOptions{})
 }
 
 // jobParams carries the resolved base configuration of a sweep grid.
@@ -255,33 +295,6 @@ func buildJobs(values []string, p jobParams) ([]sweeprun.Job, error) {
 		}
 	}
 	return jobs, nil
-}
-
-// writeAggregates appends one ensemble-statistics block: a second header
-// and one row per swept value, aggregating that value's seeds.
-func writeAggregates(w *csv.Writer, results []sweeprun.Result, param, family string, repeat int) {
-	_ = w.Write([]string{"param", "value", "scenario", "seeds",
-		"avg_regret_mean", "avg_regret_std", "avg_regret_p50", "avg_regret_p90",
-		"closeness_mean", "closeness_std", "switches_per_round_mean", "switches_per_round_std"})
-	for lo := 0; lo < len(results); lo += repeat {
-		hi := lo + repeat
-		if hi > len(results) {
-			hi = len(results)
-		}
-		group := results[lo:hi]
-		sum := sweeprun.Summarize(group)
-		_ = w.Write([]string{
-			param, group[0].Job.Meta[1], family, fmt.Sprint(sum.Jobs),
-			fmt.Sprintf("%.6g", sum.AvgRegret.Mean),
-			fmt.Sprintf("%.6g", sum.AvgRegret.Std),
-			fmt.Sprintf("%.6g", sum.AvgRegret.P50),
-			fmt.Sprintf("%.6g", sum.AvgRegret.P90),
-			fmt.Sprintf("%.6g", sum.Closeness.Mean),
-			fmt.Sprintf("%.6g", sum.Closeness.Std),
-			fmt.Sprintf("%.6g", sum.SwitchesPerRound.Mean),
-			fmt.Sprintf("%.6g", sum.SwitchesPerRound.Std),
-		})
-	}
 }
 
 func parseInts(s string) ([]int, error) {

@@ -11,6 +11,7 @@ import (
 
 	"taskalloc"
 	"taskalloc/internal/scenario"
+	"taskalloc/internal/wire"
 )
 
 // TestScenarioFamiliesEndToEnd runs every scenario family through the
@@ -154,6 +155,77 @@ func TestParallelSweepByteIdentical(t *testing.T) {
 	// Bad grid values surface as errors, not partial output corruption.
 	if err := runSweep(io.Discard, []string{"zz"}, p, 4, false); err == nil {
 		t.Fatal("bad value must error")
+	}
+}
+
+// TestJobsFileRoundTrip is the wire-format acceptance contract for the
+// CLI: serializing the grid (-dump-jobs) and replaying it (-jobs)
+// through the codec produces a CSV byte-identical to running the flags
+// directly, at several -parallel worker counts.
+func TestJobsFileRoundTrip(t *testing.T) {
+	base := []int{150, 200}
+	sched, err := buildSchedule(base, scenarioOpts{
+		family: "markov", markovDwell: 60, markovStay: 0.6, seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 240
+	frozen, err := scenario.Freeze(sched, uint64(rounds)+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resizes, err := parseResizes("80:600,160:1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := jobParams{
+		param: "gamma", n: 1000, demands: base, algorithm: "ant",
+		gamma: 1.0 / 16, epsilon: 0.5, gammaStar: 0.02,
+		rounds: rounds, repeat: 2, seed: 1,
+		resizes: resizes, sched: frozen, family: "markov",
+	}
+	values := []string{"0.02", "0.0625"}
+
+	var direct bytes.Buffer
+	if err := runSweep(&direct, values, p, 1, false); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "grid.json")
+	if err := writeJobsFile(path, values, p); err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		var replayed bytes.Buffer
+		if err := replayJobs(&replayed, path, workers); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(direct.Bytes(), replayed.Bytes()) {
+			t.Fatalf("-jobs replay at -parallel %d differs from the direct run:\n--- direct\n%s--- replay\n%s",
+				workers, direct.String(), replayed.String())
+		}
+	}
+
+	// The file is a valid wire document with the full grid.
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	sweep, err := wire.DecodeSweep(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Jobs) != len(values)*p.repeat {
+		t.Fatalf("dumped %d jobs, want %d", len(sweep.Jobs), len(values)*p.repeat)
+	}
+	if sweep.Jobs[0].Config.Schedule == nil || sweep.Jobs[0].Config.Schedule.Kind != "frozen" {
+		t.Fatalf("frozen schedule not serialized: %+v", sweep.Jobs[0].Config.Schedule)
+	}
+
+	if err := replayJobs(io.Discard, filepath.Join(t.TempDir(), "missing.json"), 1); err == nil {
+		t.Fatal("missing -jobs file must error")
 	}
 }
 

@@ -9,12 +9,12 @@
 package goldencases
 
 import (
-	"bytes"
 	"fmt"
 
 	"taskalloc"
 	"taskalloc/internal/demand"
 	"taskalloc/internal/scenario"
+	"taskalloc/internal/wire"
 )
 
 // Corpus parameters: small enough that the full grid replays in well
@@ -120,7 +120,10 @@ func All() []Case {
 
 // CSV replays one case and serializes its trajectory: one row per round
 // with the loads, the demands in force, the active colony size, and the
-// cumulative switch count (the tightest cheap RNG-stream pin).
+// cumulative switch count (the tightest cheap RNG-stream pin). The
+// serialization is wire.TrajectoryRecorder — the same writer the
+// simulation service streams trajectories through, so service responses
+// byte-compare against these fixtures.
 func CSV(c Case) ([]byte, error) {
 	cfg, err := c.Config()
 	if err != nil {
@@ -132,26 +135,7 @@ func CSV(c Case) ([]byte, error) {
 	}
 	defer sim.Close()
 
-	k := len(sim.Demands())
-	var buf bytes.Buffer
-	buf.WriteString("round")
-	for j := 0; j < k; j++ {
-		fmt.Fprintf(&buf, ",load_%d", j)
-	}
-	for j := 0; j < k; j++ {
-		fmt.Fprintf(&buf, ",demand_%d", j)
-	}
-	buf.WriteString(",active,switches\n")
-
-	sim.Run(c.Rounds, func(round uint64, loads []int, demands []int) {
-		fmt.Fprintf(&buf, "%d", round)
-		for _, w := range loads {
-			fmt.Fprintf(&buf, ",%d", w)
-		}
-		for _, d := range demands {
-			fmt.Fprintf(&buf, ",%d", d)
-		}
-		fmt.Fprintf(&buf, ",%d,%d\n", sim.Active(), sim.Switches())
-	})
-	return buf.Bytes(), nil
+	rec := wire.NewTrajectoryRecorder(len(sim.Demands()))
+	sim.Run(c.Rounds, rec.Observer(sim))
+	return rec.Bytes(), nil
 }

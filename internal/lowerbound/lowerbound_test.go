@@ -55,16 +55,21 @@ func TestPairLegalityProperty(t *testing.T) {
 			return false
 		}
 		// Brute force: the rule "Lack iff W <= Theta" must be correct
-		// outside the grey zones of BOTH demand vectors.
+		// outside the grey zones of BOTH demand vectors. The boundary
+		// |Δ| = γad·v is inside the (closed) grey zone, and γad·v can
+		// round just below its exact integer value in floats (e.g.
+		// 0.29·100 = 28.999…996), so compare with the same 1e-9
+		// tolerance Verify uses — otherwise a mathematically legal
+		// boundary load flakes the property.
 		for _, v := range []int{p.D[0], p.DPrime[0]} {
 			bound := gammaAd * float64(v)
 			for w := 0; w <= 3*d; w++ {
 				deficit := float64(v - w)
 				lack := w <= p.Theta[0]
-				if deficit > bound && !lack {
+				if deficit > bound+1e-9 && !lack {
 					return false
 				}
-				if deficit < -bound && lack {
+				if deficit < -bound-1e-9 && lack {
 					return false
 				}
 			}

@@ -56,3 +56,22 @@ func (f *Frozen) Tasks() int { return len(f.vecs[0]) }
 
 // Horizon returns the last pre-sampled round.
 func (f *Frozen) Horizon() uint64 { return f.horizon }
+
+// Points returns the snapshot's change points: the rounds (the first is
+// always 0) at which the demand vector differs from the previous round,
+// with the vector in force from each. Together with Horizon they
+// reconstruct the snapshot exactly — the wire codec's encoding of a
+// Frozen schedule — because the path is piecewise constant by
+// construction.
+func (f *Frozen) Points() ([]uint64, []demand.Vector) {
+	var when []uint64
+	var vecs []demand.Vector
+	for t := uint64(0); t <= f.horizon; t++ {
+		if t > 0 && f.vecs[t].Equal(f.vecs[t-1]) {
+			continue
+		}
+		when = append(when, t)
+		vecs = append(vecs, f.vecs[t].Clone())
+	}
+	return when, vecs
+}

@@ -405,3 +405,15 @@ func (tr *Trace) Tasks() int { return len(tr.vecs[0]) }
 
 // Len returns the number of change points.
 func (tr *Trace) Len() int { return len(tr.when) }
+
+// Points returns copies of the change rounds and vectors — exactly the
+// arguments NewTrace rebuilds the schedule from (the wire codec's
+// encoding of a Trace).
+func (tr *Trace) Points() ([]uint64, []demand.Vector) {
+	when := append([]uint64(nil), tr.when...)
+	vecs := make([]demand.Vector, len(tr.vecs))
+	for i, v := range tr.vecs {
+		vecs[i] = v.Clone()
+	}
+	return when, vecs
+}

@@ -1,0 +1,102 @@
+package simserver_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+
+	"taskalloc"
+	"taskalloc/internal/simserver"
+	"taskalloc/internal/simserver/client"
+	"taskalloc/internal/sweeprun"
+	"taskalloc/internal/wire"
+)
+
+// BenchmarkServerSweep measures one full service round trip: POST a
+// (γ × seed) grid as wire JSON, fan it out on the shared pool, and
+// consume the NDJSON stream. Each iteration mutates the base seed so
+// the result cache never short-circuits the work being measured; see
+// BenchmarkServerSweepCached for the cache path.
+func BenchmarkServerSweep(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			srv := simserver.New(simserver.Options{Workers: workers, MaxConcurrent: workers})
+			hs := httptest.NewServer(srv)
+			defer func() {
+				hs.Close()
+				srv.Close()
+			}()
+			c := client.New(hs.URL, hs.Client())
+			ctx := context.Background()
+
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sweep := benchSweep(b, uint64(i)*100+1)
+				sub, err := c.SubmitSweep(ctx, sweep, client.SubmitOptions{Workers: workers}, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sub.Cached || len(sub.Results) != len(sweep.Jobs) {
+					b.Fatalf("unexpected response: cached=%v results=%d", sub.Cached, len(sub.Results))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkServerSweepCached measures the cache replay path: the same
+// grid re-submitted every iteration, served without simulating.
+func BenchmarkServerSweepCached(b *testing.B) {
+	srv := simserver.New(simserver.Options{})
+	hs := httptest.NewServer(srv)
+	defer func() {
+		hs.Close()
+		srv.Close()
+	}()
+	c := client.New(hs.URL, hs.Client())
+	ctx := context.Background()
+
+	sweep := benchSweep(b, 1)
+	if _, err := c.SubmitSweep(ctx, sweep, client.SubmitOptions{}, nil); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub, err := c.SubmitSweep(ctx, sweep, client.SubmitOptions{}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !sub.Cached {
+			b.Fatal("cache miss on identical re-submission")
+		}
+	}
+}
+
+// benchSweep builds an 8-cell grid (2 γ × 4 seeds) of 2-shard engines,
+// 400 rounds each — small enough for CI smoke, large enough that the
+// serving overhead is amortized over real simulation work.
+func benchSweep(b *testing.B, baseSeed uint64) wire.Sweep {
+	b.Helper()
+	var jobs []sweeprun.Job
+	for _, gamma := range []float64{0.03, 0.0625} {
+		for s := uint64(0); s < 4; s++ {
+			jobs = append(jobs, sweeprun.Job{
+				Meta: []string{"gamma", fmt.Sprint(gamma), "static", fmt.Sprint(baseSeed + s)},
+				Config: taskalloc.Config{
+					Ants: 2000, Demands: []int{300, 500}, Gamma: gamma,
+					Noise: taskalloc.SigmoidNoise(0.02),
+					Seed:  baseSeed + s, Shards: 2, BurnIn: 100,
+				},
+				Rounds: 400,
+			})
+		}
+	}
+	sweep, err := wire.FromJobs(jobs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sweep
+}

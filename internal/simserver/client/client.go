@@ -1,0 +1,238 @@
+// Package client is the typed Go client of the simulation service
+// (internal/simserver): it submits wire-format job grids, consumes the
+// NDJSON result stream, and fetches completed summaries. The e2e tests
+// and the CI smoke drive the service exclusively through it.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"taskalloc/internal/wire"
+)
+
+// Client talks to one simulation service instance.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// New builds a client for the service at base (e.g.
+// "http://127.0.0.1:8080"). httpClient may be nil for
+// http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// SubmitOptions tunes one submission.
+type SubmitOptions struct {
+	// Workers overrides the server's per-sweep fan-out bound (0 = server
+	// default). Never changes the response bytes.
+	Workers int
+}
+
+// Submission reports how a submission was served.
+type Submission struct {
+	// Header is the stream's leading line (sweep ID, grid size).
+	Header wire.StreamHeader
+	// Cached is true when the response was replayed from the server's
+	// result cache (X-Sweep-Cache: hit).
+	Cached bool
+	// Results are the per-cell outcomes in job order.
+	Results []wire.Result
+}
+
+// readLine reads one newline-terminated line of any length, without
+// the trailing newline. io.EOF may accompany a final unterminated line.
+func readLine(r *bufio.Reader) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := r.ReadSlice('\n')
+		line = append(line, chunk...)
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		line = bytes.TrimSuffix(line, []byte("\n"))
+		return line, err
+	}
+}
+
+// apiError decorates non-2xx responses with the server's message.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("client: %s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+func (c *Client) sweepsURL(format string, opts SubmitOptions) string {
+	q := url.Values{}
+	if format != "" {
+		q.Set("format", format)
+	}
+	if opts.Workers > 0 {
+		q.Set("workers", strconv.Itoa(opts.Workers))
+	}
+	u := c.base + "/v1/sweeps"
+	if enc := q.Encode(); enc != "" {
+		u += "?" + enc
+	}
+	return u
+}
+
+// SubmitSweep POSTs the grid and consumes the NDJSON stream. onResult,
+// if non-nil, observes each cell as its line arrives (in job order);
+// the full result set is returned either way.
+func (c *Client) SubmitSweep(ctx context.Context, sweep wire.Sweep, opts SubmitOptions,
+	onResult func(wire.Result)) (*Submission, error) {
+	body, err := wire.MarshalSweep(sweep)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.sweepsURL("ndjson", opts), bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+
+	sub := &Submission{Cached: resp.Header.Get("X-Sweep-Cache") == "hit"}
+	// Lines are read through a growing reader, not a capped scanner:
+	// an inline trajectory for a multi-million-round job is one NDJSON
+	// line of arbitrary (memory-bounded) length.
+	lines := bufio.NewReaderSize(resp.Body, 64*1024)
+	header, err := readLine(lines)
+	if err != nil {
+		return nil, fmt.Errorf("client: read stream header: %w", err)
+	}
+	if err := json.Unmarshal(header, &sub.Header); err != nil {
+		return nil, fmt.Errorf("client: decode stream header: %w", err)
+	}
+	for {
+		line, err := readLine(lines)
+		if err == io.EOF && len(line) == 0 {
+			break
+		}
+		if err != nil && err != io.EOF {
+			return nil, fmt.Errorf("client: read stream: %w", err)
+		}
+		var res wire.Result
+		if jsonErr := json.Unmarshal(line, &res); jsonErr != nil {
+			return nil, fmt.Errorf("client: decode result line %d: %w", len(sub.Results), jsonErr)
+		}
+		sub.Results = append(sub.Results, res)
+		if onResult != nil {
+			onResult(res)
+		}
+		if err == io.EOF {
+			break
+		}
+	}
+	if len(sub.Results) != sub.Header.Jobs {
+		return nil, fmt.Errorf("client: stream truncated: %d of %d results",
+			len(sub.Results), sub.Header.Jobs)
+	}
+	return sub, nil
+}
+
+// SubmitSweepCSV POSTs the grid with format=csv and returns the raw
+// response body — the bytes cmd/sweep would print for the same grid.
+func (c *Client) SubmitSweepCSV(ctx context.Context, sweep wire.Sweep, opts SubmitOptions) ([]byte, bool, error) {
+	body, err := wire.MarshalSweep(sweep)
+	if err != nil {
+		return nil, false, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.sweepsURL("csv", opts), bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, apiError(resp)
+	}
+	out, err := io.ReadAll(resp.Body)
+	return out, resp.Header.Get("X-Sweep-Cache") == "hit", err
+}
+
+// GetSweep fetches a sweep's status/summary by ID.
+func (c *Client) GetSweep(ctx context.Context, id string) (*wire.SweepStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/sweeps/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return nil, apiError(resp)
+	}
+	var status wire.SweepStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return nil, fmt.Errorf("client: decode sweep status: %w", err)
+	}
+	return &status, nil
+}
+
+// Healthz probes liveness.
+func (c *Client) Healthz(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return nil
+}
+
+// Version fetches the server's wire-format and runtime versions.
+func (c *Client) Version(ctx context.Context) (map[string]string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/version", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	out := map[string]string{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,555 @@
+// Package simserver is the simulation service: a net/http JSON front
+// end that turns the paper's task-allocation dynamics into an on-demand
+// backend. Clients POST a job grid in the versioned wire format
+// (internal/wire) and the server fans it out on the multi-simulation
+// batch runner (internal/sweeprun), streaming per-cell results back as
+// NDJSON — or as the exact CSV cmd/sweep renders — in byte-stable job
+// order at any worker count.
+//
+// Endpoints:
+//
+//	POST /v1/sweeps            submit a grid; streams results (NDJSON, or
+//	                           ?format=csv). ?workers=N bounds the fan-out.
+//	GET  /v1/sweeps/{id}       fetch a completed sweep's summary.
+//	GET  /v1/healthz           liveness.
+//	GET  /v1/version           wire-format + runtime versions.
+//
+// Caching: sweeps are keyed by their canonical hash (wire.SweepHash),
+// so re-submitting an identical grid — regardless of JSON key order,
+// whitespace, or worker count — is served from cache byte-identically
+// to the fresh response (the X-Sweep-Cache header says which happened).
+// Concurrent identical submissions coalesce onto one execution.
+//
+// All handlers share one colony worker pool and one cross-request
+// simulation gate sized to GOMAXPROCS; Close drains in-flight sweeps
+// and returns every checked-out shard worker (no goroutine leaks — the
+// package test asserts it under -race).
+package simserver
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+
+	"taskalloc"
+	"taskalloc/internal/sweeprun"
+	"taskalloc/internal/wire"
+)
+
+// Options tunes a Server.
+type Options struct {
+	// Workers bounds each sweep's simulations in flight; <= 0 means
+	// GOMAXPROCS. A request's ?workers=N overrides it per submission
+	// (never the response bytes — ordering is worker-count invariant).
+	Workers int
+	// MaxConcurrent bounds simulations in flight across ALL requests
+	// (the shared gate); <= 0 means GOMAXPROCS.
+	MaxConcurrent int
+	// CacheEntries caps the completed-sweep cache; <= 0 means 128.
+	// Eviction is FIFO over completed sweeps.
+	CacheEntries int
+	// MaxBodyBytes caps a submission document's size (the decoder
+	// materializes the whole grid); <= 0 means 64 MiB.
+	MaxBodyBytes int64
+	// MaxJobs caps a single sweep's grid size; <= 0 means 10000.
+	MaxJobs int
+	// MaxCellRounds caps one cell's horizon — the compute bound a
+	// well-formed document could otherwise dodge (a running sweep is
+	// deliberately not cancelled on client disconnect, so admission is
+	// where compute is bounded); <= 0 means 10,000,000.
+	MaxCellRounds int
+	// MaxCellAnts caps one cell's colony size (engine state is O(ants)
+	// and per-round work is O(ants·k)); <= 0 means 10,000,000.
+	MaxCellAnts int
+	// CacheBytes caps the cached cells' retained bytes (trajectory
+	// CSVs dominate); completed sweeps are evicted FIFO past it.
+	// <= 0 means 256 MiB.
+	CacheBytes int64
+}
+
+// maxWorkersPerRequest bounds the goroutines one submission's
+// ?workers=N can ask sweeprun to spawn (the gate already bounds how
+// many run; this bounds parked stacks).
+const maxWorkersPerRequest = 256
+
+// Server is the simulation service. Create with New, serve via
+// ServeHTTP (it is an http.Handler), and Close to drain.
+type Server struct {
+	opts Options
+	pool *taskalloc.WorkerPool
+	gate chan struct{}
+	mux  *http.ServeMux
+
+	mu        sync.Mutex
+	closed    bool
+	inflight  sync.WaitGroup
+	cache     map[string]*sweepEntry
+	order     []string // insertion order, for FIFO eviction
+	cacheSize int64    // retained bytes across completed entries
+}
+
+// sweepEntry is one sweep's lifecycle: created on first submission,
+// filled by the owning request, read by everyone after done closes.
+type sweepEntry struct {
+	id   string
+	jobs int
+	done chan struct{}
+	// Written only by the owning request before close(done):
+	cells   []cell
+	summary sweeprun.Summary
+	failed  int
+	size    int64 // approximate retained bytes (trajectories dominate)
+}
+
+// cell is one completed grid cell — everything any response format
+// renders from.
+type cell struct {
+	meta   []string
+	rounds int
+	report taskalloc.Report
+	err    string
+	traj   []byte
+}
+
+// New builds a Server with a fresh shared worker pool.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if opts.CacheEntries <= 0 {
+		opts.CacheEntries = 128
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 64 << 20
+	}
+	if opts.MaxJobs <= 0 {
+		opts.MaxJobs = 10000
+	}
+	if opts.MaxCellRounds <= 0 {
+		opts.MaxCellRounds = 10_000_000
+	}
+	if opts.MaxCellAnts <= 0 {
+		opts.MaxCellAnts = 10_000_000
+	}
+	if opts.CacheBytes <= 0 {
+		opts.CacheBytes = 256 << 20
+	}
+	s := &Server{
+		opts:  opts,
+		pool:  taskalloc.NewWorkerPool(),
+		gate:  make(chan struct{}, opts.MaxConcurrent),
+		cache: make(map[string]*sweepEntry),
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// begin registers an in-flight request; false once Close has started.
+func (s *Server) begin() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// Close drains the server: new submissions are rejected with 503,
+// in-flight sweeps run to completion, and only then is the shared
+// worker pool shut down — so every checked-out shard worker set has
+// been returned before its goroutines are told to exit. Idempotent.
+func (s *Server) Close() {
+	s.mu.Lock()
+	already := s.closed
+	s.closed = true
+	s.mu.Unlock()
+	s.inflight.Wait()
+	if !already {
+		s.pool.Close()
+	}
+}
+
+// lookupOrCreate returns the entry for id, creating it (and becoming
+// the owner, who must run the sweep and close done) when absent.
+func (s *Server) lookupOrCreate(id string, jobs int) (entry *sweepEntry, owner bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.cache[id]; ok {
+		return e, false
+	}
+	e := &sweepEntry{id: id, jobs: jobs, done: make(chan struct{})}
+	s.cache[id] = e
+	s.order = append(s.order, id)
+	s.evictLocked()
+	return e, true
+}
+
+// evictLocked drops the oldest completed entries while the cache is
+// over its entry-count or retained-bytes budget. In-flight entries are
+// never evicted (waiters hold their pointer, and the owner must be
+// able to publish); they count 0 bytes until published.
+func (s *Server) evictLocked() {
+	over := func() bool {
+		return len(s.cache) > s.opts.CacheEntries || s.cacheSize > s.opts.CacheBytes
+	}
+	for i := 0; over() && i < len(s.order); {
+		id := s.order[i]
+		e, ok := s.cache[id]
+		if !ok {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			continue
+		}
+		select {
+		case <-e.done:
+			delete(s.cache, id)
+			s.cacheSize -= e.size
+			s.order = append(s.order[:i], s.order[i+1:]...)
+		default:
+			i++
+		}
+	}
+}
+
+// drop removes a failed submission's placeholder (from the cache AND
+// the eviction order, so repeated failures don't grow order without
+// bound and a resubmitted id doesn't inherit a stale FIFO position) so
+// a corrected resubmission is not welded to the broken one.
+func (s *Server) drop(e *sweepEntry) {
+	s.mu.Lock()
+	delete(s.cache, e.id)
+	for i, id := range s.order {
+		if id == e.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	close(e.done)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), code)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.begin() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	format := r.URL.Query().Get("format")
+	if format == "" {
+		format = "ndjson"
+	}
+	if format != "ndjson" && format != "csv" {
+		httpError(w, http.StatusBadRequest, "unknown format %q (want ndjson or csv)", format)
+		return
+	}
+	workers := s.opts.Workers
+	if v := r.URL.Query().Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad workers %q", v)
+			return
+		}
+		// Clamp rather than reject: ordering (and therefore every
+		// response byte) is worker-count invariant, and the gate bounds
+		// running simulations anyway — the clamp only bounds parked
+		// goroutine stacks a huge request could otherwise spawn.
+		if n > maxWorkersPerRequest {
+			n = maxWorkersPerRequest
+		}
+		workers = n
+	}
+
+	sweep, err := wire.DecodeSweep(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	// Admission bounds: a well-formed document must not be able to buy
+	// unbounded compute (running sweeps are not cancelled on client
+	// disconnect, so this is where CPU is bounded).
+	if len(sweep.Jobs) > s.opts.MaxJobs {
+		httpError(w, http.StatusRequestEntityTooLarge,
+			"grid has %d jobs, limit %d", len(sweep.Jobs), s.opts.MaxJobs)
+		return
+	}
+	var frozenTotal uint64
+	frozenSeen := map[string]bool{}
+	for i, j := range sweep.Jobs {
+		if j.Rounds < 0 || j.Rounds > s.opts.MaxCellRounds {
+			httpError(w, http.StatusBadRequest,
+				"jobs[%d]: rounds %d outside [0, %d]", i, j.Rounds, s.opts.MaxCellRounds)
+			return
+		}
+		if j.Config.Ants > s.opts.MaxCellAnts {
+			httpError(w, http.StatusBadRequest,
+				"jobs[%d]: ants %d over limit %d", i, j.Config.Ants, s.opts.MaxCellAnts)
+			return
+		}
+		// Frozen snapshots materialize O(horizon) at decode; the wire
+		// codec caps each one, but the document-wide sum over DISTINCT
+		// snapshots must be capped too or a small body buys an
+		// unbounded buildRunnable. Identical encodings count once —
+		// buildRunnable materializes them once (frozen snapshots are
+		// safe to share across concurrent jobs; cmd/sweep grids
+		// duplicate one snapshot across every cell).
+		if sc := j.Config.Schedule; sc != nil && sc.Kind == "frozen" {
+			if key := wire.FrozenKey(sc); !frozenSeen[key] {
+				frozenSeen[key] = true
+				frozenTotal += sc.Horizon
+				if frozenTotal > wire.MaxFrozenHorizon {
+					httpError(w, http.StatusRequestEntityTooLarge,
+						"grid's distinct frozen horizons sum past %d (job %d)", wire.MaxFrozenHorizon, i)
+					return
+				}
+			}
+		}
+	}
+	id, err := wire.SweepHash(sweep)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	entry, owner := s.lookupOrCreate(id, len(sweep.Jobs))
+	if !owner {
+		// Identical grid already ran (or is running): coalesce onto its
+		// result and replay it byte-identically.
+		select {
+		case <-entry.done:
+		case <-r.Context().Done():
+			return
+		}
+		if entry.cells == nil {
+			// The owning submission failed validation after we joined.
+			httpError(w, http.StatusBadRequest, "sweep %s failed validation; resubmit", id)
+			return
+		}
+		s.setStreamHeaders(w, format, id, "hit")
+		s.renderCached(w, entry, format)
+		return
+	}
+
+	// We own the entry: decode to runnable jobs, stream while recording.
+	// Until published, any exit (validation error, panic) must drop the
+	// placeholder so coalesced waiters unblock and a corrected
+	// resubmission is not welded to the broken one.
+	published := false
+	defer func() {
+		if !published {
+			s.drop(entry)
+		}
+	}()
+	jobs, recs, err := buildRunnable(sweep)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.setStreamHeaders(w, format, id, "miss")
+
+	cells := make([]cell, len(jobs))
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	var stream streamRenderer
+	switch format {
+	case "csv":
+		stream = newCSVRenderer(w)
+	default:
+		stream = newNDJSONRenderer(w, wire.StreamHeader{Version: wire.V1, ID: id, Jobs: len(jobs)})
+	}
+
+	results := sweeprun.Stream(jobs, sweeprun.Options{
+		Workers: workers,
+		Pool:    s.pool,
+		Gate:    s.gate,
+	}, func(res sweeprun.Result) {
+		c := cell{
+			meta:   res.Job.Meta,
+			rounds: res.Job.Rounds,
+			report: res.Report,
+		}
+		if res.Err != nil {
+			c.err = res.Err.Error()
+		} else if rec := recs[res.Index]; rec != nil {
+			// Only successful cells carry a trajectory: a failed cell's
+			// recorder holds just the pre-written header, which would
+			// read as a legitimate zero-round run.
+			c.traj = rec.Bytes()
+		}
+		cells[res.Index] = c
+		stream.cell(res.Index, c)
+		flush()
+	})
+	stream.finish()
+
+	s.publish(entry, cells, sweeprun.Summarize(results))
+	published = true
+}
+
+// publish completes an entry: records its cells and summary, charges
+// its retained bytes against the cache budget (evicting older entries
+// as needed), and releases every waiter. The field writes
+// happen-before close(done), so waiters read them race-free.
+func (s *Server) publish(e *sweepEntry, cells []cell, sum sweeprun.Summary) {
+	var size int64
+	for _, c := range cells {
+		size += int64(len(c.traj)) + int64(len(c.err)) + 256 // report + struct overhead
+		for _, m := range c.meta {
+			size += int64(len(m))
+		}
+	}
+	s.mu.Lock()
+	e.cells = cells
+	e.summary = sum
+	e.failed = sum.Failed
+	e.size = size
+	if _, live := s.cache[e.id]; live {
+		s.cacheSize += size
+		s.evictLocked()
+	}
+	s.mu.Unlock()
+	close(e.done)
+}
+
+// setStreamHeaders stamps the response metadata shared by fresh and
+// cached replies. Bodies are byte-identical across the two; only these
+// headers differ (cache disposition).
+func (s *Server) setStreamHeaders(w http.ResponseWriter, format, id, disposition string) {
+	if format == "csv" {
+		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+	}
+	w.Header().Set("X-Sweep-Id", id)
+	w.Header().Set("X-Sweep-Cache", disposition)
+}
+
+// renderCached replays a completed sweep from its cells.
+func (s *Server) renderCached(w http.ResponseWriter, e *sweepEntry, format string) {
+	var stream streamRenderer
+	switch format {
+	case "csv":
+		stream = newCSVRenderer(w)
+	default:
+		stream = newNDJSONRenderer(w, wire.StreamHeader{Version: wire.V1, ID: e.id, Jobs: e.jobs})
+	}
+	for i, c := range e.cells {
+		stream.cell(i, c)
+	}
+	stream.finish()
+}
+
+// buildRunnable decodes the wire grid into sweeprun jobs (via
+// wire.ToJobs, which shares identical frozen snapshots across cells),
+// attaching a trajectory recorder to every job that asked for one.
+func buildRunnable(sweep wire.Sweep) ([]sweeprun.Job, []*wire.TrajectoryRecorder, error) {
+	jobs, err := wire.ToJobs(sweep)
+	if err != nil {
+		return nil, nil, err
+	}
+	recs := make([]*wire.TrajectoryRecorder, len(sweep.Jobs))
+	for i, wj := range sweep.Jobs {
+		if wj.Trajectory {
+			rec := wire.NewTrajectoryRecorder(wj.Config.Tasks())
+			recs[i] = rec
+			jobs[i].Observe = func(sim *taskalloc.Simulation) taskalloc.Observer {
+				return rec.Observer(sim)
+			}
+		}
+	}
+	return jobs, recs, nil
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if !s.begin() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	id := r.PathValue("id")
+	s.mu.Lock()
+	e := s.cache[id]
+	s.mu.Unlock()
+	if e == nil {
+		httpError(w, http.StatusNotFound, "unknown sweep %q", id)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	select {
+	case <-e.done:
+	default:
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(wire.SweepStatus{ID: e.id, Status: "running", Jobs: e.jobs})
+		return
+	}
+	if e.cells == nil {
+		httpError(w, http.StatusNotFound, "sweep %q failed validation", id)
+		return
+	}
+	status := wire.SweepStatus{
+		ID:      e.id,
+		Status:  "done",
+		Jobs:    e.jobs,
+		Failed:  e.failed,
+		Summary: &e.summary,
+	}
+	for i, c := range e.cells {
+		status.Results = append(status.Results, resultLine(i, c, false))
+	}
+	_ = json.NewEncoder(w).Encode(status)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]string{
+		"wire": wire.V1,
+		"go":   runtime.Version(),
+	})
+}
+
+// resultLine renders one cell as a wire.Result.
+func resultLine(i int, c cell, withTrajectory bool) wire.Result {
+	out := wire.Result{Index: i, Meta: c.meta, Err: c.err}
+	if c.err == "" {
+		rep := c.report
+		out.Report = &rep
+	}
+	if withTrajectory && len(c.traj) > 0 {
+		out.Trajectory = string(c.traj)
+	}
+	return out
+}

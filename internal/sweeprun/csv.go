@@ -1,0 +1,126 @@
+package sweeprun
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"taskalloc"
+)
+
+// This file is the canonical CSV rendering of a sweep grid. cmd/sweep
+// and the simulation service's format=csv responses both emit through
+// these helpers, so "a sweep over HTTP is byte-identical to cmd/sweep
+// on the same grid" is a property of shared code, not of two renderers
+// kept in sync by hand. Rows assume the cmd/sweep Meta convention
+// (param, value, scenario, seed).
+
+// CSVOptions tunes WriteCSV's output.
+type CSVOptions struct {
+	// Aggregate appends the per-value ensemble-statistics block,
+	// grouping consecutive rows in runs of Repeat seeds.
+	Aggregate bool
+	Repeat    int
+}
+
+// CSVHeader returns the per-row header.
+func CSVHeader() []string {
+	return []string{"param", "value", "scenario", "seed", "avg_regret", "std_regret",
+		"closeness", "gamma_star", "peak_regret", "switches_per_round"}
+}
+
+// CSVRow renders one successful cell: the job's Meta columns followed
+// by the report metrics (switches normalized by the job's rounds).
+func CSVRow(meta []string, rep taskalloc.Report, rounds int) []string {
+	return append(append([]string(nil), meta...),
+		fmt.Sprintf("%.6g", rep.AvgRegret),
+		fmt.Sprintf("%.6g", rep.StdRegret),
+		fmt.Sprintf("%.6g", rep.Closeness),
+		fmt.Sprintf("%.6g", rep.GammaStar),
+		fmt.Sprint(rep.PeakRegret),
+		fmt.Sprintf("%.6g", float64(rep.Switches)/float64(rounds)),
+	)
+}
+
+// WriteCSV executes the grid and streams its CSV to out: the header,
+// then one row per successful job in job order (failed jobs emit no
+// row), then the aggregate block if requested. It returns the first
+// job error, if any, after the stream completes — matching cmd/sweep's
+// long-standing behavior of finishing the healthy rows before failing.
+// The output is a pure function of (jobs, csvOpts): the worker count
+// never changes a byte.
+func WriteCSV(out io.Writer, jobs []Job, opts Options, csvOpts CSVOptions) error {
+	w := csv.NewWriter(out)
+	_ = w.Write(CSVHeader())
+
+	var jobErr error
+	results := Stream(jobs, opts, func(r Result) {
+		if r.Err != nil {
+			if jobErr == nil {
+				jobErr = fmt.Errorf("config for %s: %v", describeJob(r.Job), r.Err)
+			}
+			return
+		}
+		_ = w.Write(CSVRow(r.Job.Meta, r.Report, r.Job.Rounds))
+	})
+	if jobErr == nil && csvOpts.Aggregate {
+		WriteAggregates(w, results, csvOpts.Repeat)
+	}
+	w.Flush()
+	if jobErr != nil {
+		return jobErr
+	}
+	// Surface the csv.Writer's sticky I/O error (disk full, closed
+	// pipe): a truncated CSV must not look like a completed sweep.
+	return w.Error()
+}
+
+// describeJob names a job in error messages by its Meta convention.
+func describeJob(j Job) string {
+	if len(j.Meta) >= 2 {
+		return fmt.Sprintf("%s=%s", j.Meta[0], j.Meta[1])
+	}
+	return fmt.Sprintf("job %v", j.Meta)
+}
+
+// WriteAggregates appends one ensemble-statistics block: a second
+// header and one row per swept value, aggregating that value's run of
+// repeat consecutive seeds. Failed cells are counted out by Summarize.
+func WriteAggregates(w *csv.Writer, results []Result, repeat int) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	_ = w.Write([]string{"param", "value", "scenario", "seeds",
+		"avg_regret_mean", "avg_regret_std", "avg_regret_p50", "avg_regret_p90",
+		"closeness_mean", "closeness_std", "switches_per_round_mean", "switches_per_round_std"})
+	for lo := 0; lo < len(results); lo += repeat {
+		hi := lo + repeat
+		if hi > len(results) {
+			hi = len(results)
+		}
+		group := results[lo:hi]
+		sum := Summarize(group)
+		meta := group[0].Job.Meta
+		param, value, family := "", "", ""
+		if len(meta) > 0 {
+			param = meta[0]
+		}
+		if len(meta) > 1 {
+			value = meta[1]
+		}
+		if len(meta) > 2 {
+			family = meta[2]
+		}
+		_ = w.Write([]string{
+			param, value, family, fmt.Sprint(sum.Jobs),
+			fmt.Sprintf("%.6g", sum.AvgRegret.Mean),
+			fmt.Sprintf("%.6g", sum.AvgRegret.Std),
+			fmt.Sprintf("%.6g", sum.AvgRegret.P50),
+			fmt.Sprintf("%.6g", sum.AvgRegret.P90),
+			fmt.Sprintf("%.6g", sum.Closeness.Mean),
+			fmt.Sprintf("%.6g", sum.Closeness.Std),
+			fmt.Sprintf("%.6g", sum.SwitchesPerRound.Mean),
+			fmt.Sprintf("%.6g", sum.SwitchesPerRound.Std),
+		})
+	}
+}

@@ -1,0 +1,62 @@
+package sweeprun
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// Stat JSON: ensemble statistics legitimately contain NaN (the Std of
+// a single seed, quantiles of an empty set), which encoding/json
+// rejects outright. On the wire those become null, and null decodes
+// back to NaN, so the service's summaries round-trip instead of
+// aborting the whole response at the first degenerate stat.
+
+type statJSON struct {
+	Mean *float64 `json:"mean"`
+	Std  *float64 `json:"std"`
+	Min  *float64 `json:"min"`
+	Max  *float64 `json:"max"`
+	P25  *float64 `json:"p25"`
+	P50  *float64 `json:"p50"`
+	P75  *float64 `json:"p75"`
+	P90  *float64 `json:"p90"`
+}
+
+func finitePtr(x float64) *float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return nil
+	}
+	return &x
+}
+
+func ptrFloat(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+// MarshalJSON implements json.Marshaler.
+func (s Stat) MarshalJSON() ([]byte, error) {
+	return json.Marshal(statJSON{
+		Mean: finitePtr(s.Mean), Std: finitePtr(s.Std),
+		Min: finitePtr(s.Min), Max: finitePtr(s.Max),
+		P25: finitePtr(s.P25), P50: finitePtr(s.P50),
+		P75: finitePtr(s.P75), P90: finitePtr(s.P90),
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (s *Stat) UnmarshalJSON(data []byte) error {
+	var raw statJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	*s = Stat{
+		Mean: ptrFloat(raw.Mean), Std: ptrFloat(raw.Std),
+		Min: ptrFloat(raw.Min), Max: ptrFloat(raw.Max),
+		P25: ptrFloat(raw.P25), P50: ptrFloat(raw.P50),
+		P75: ptrFloat(raw.P75), P90: ptrFloat(raw.P90),
+	}
+	return nil
+}

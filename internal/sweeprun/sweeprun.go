@@ -37,6 +37,10 @@ type Job struct {
 	Config taskalloc.Config
 	// Rounds is the simulation horizon.
 	Rounds int
+	// Observe, if non-nil, supplies this job's per-round observer (e.g.
+	// a trajectory recorder); it receives the built simulation before
+	// the run starts. Runtime-only: the wire codec does not carry it.
+	Observe func(sim *taskalloc.Simulation) taskalloc.Observer
 }
 
 // Result is one job's outcome, emitted in job order.
@@ -62,6 +66,12 @@ type Options struct {
 	// into every job whose Config.Pool is nil. When nil, the runner
 	// creates one for the duration of the call and closes it on return.
 	Pool *taskalloc.WorkerPool
+	// Gate, if non-nil, is a counting semaphore acquired around every
+	// job's execution: at most cap(Gate) simulations run at once across
+	// every Stream/Run call sharing the channel. It is how the
+	// simulation service bounds total load across concurrent requests;
+	// emission order (and therefore output bytes) is unaffected.
+	Gate chan struct{}
 }
 
 // Ordered runs fn(0..n-1) on at most workers goroutines and invokes
@@ -133,6 +143,10 @@ func Stream(jobs []Job, opts Options, emit func(Result)) []Result {
 		defer pool.Close()
 	}
 	Ordered(len(jobs), opts.Workers, func(i int) {
+		if opts.Gate != nil {
+			opts.Gate <- struct{}{}
+			defer func() { <-opts.Gate }()
+		}
 		results[i] = runJob(i, jobs[i], pool)
 	}, func(i int) {
 		if emit != nil {
@@ -159,7 +173,11 @@ func runJob(i int, job Job, pool *taskalloc.WorkerPool) Result {
 		return res
 	}
 	defer sim.Close()
-	sim.Run(job.Rounds, nil)
+	var obs taskalloc.Observer
+	if job.Observe != nil {
+		obs = job.Observe(sim)
+	}
+	sim.Run(job.Rounds, obs)
 	res.Report = sim.Report()
 	return res
 }

@@ -1,0 +1,79 @@
+package wire_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"taskalloc/internal/wire"
+)
+
+type seedDoc struct {
+	name string
+	data []byte
+}
+
+// seedCorpus loads the decode fuzz seeds under testdata/wire/ — one
+// valid document per schedule family plus event-heavy and
+// engine-variant documents (the fuzzer mutates from these).
+func seedCorpus(tb testing.TB) []seedDoc {
+	tb.Helper()
+	dir := filepath.Join("..", "..", "testdata", "wire")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		tb.Fatalf("seed corpus missing: %v", err)
+	}
+	var out []seedDoc
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			tb.Fatal(err)
+		}
+		out = append(out, seedDoc{name: e.Name(), data: data})
+	}
+	if len(out) < 8 {
+		tb.Fatalf("seed corpus too small: %d documents", len(out))
+	}
+	return out
+}
+
+// FuzzDecodeSweep hardens the decoder: any input either errors cleanly
+// or yields a sweep whose re-encoding decodes again with a stable
+// canonical hash, and whose grid conversion never panics.
+func FuzzDecodeSweep(f *testing.F) {
+	for _, doc := range seedCorpus(f) {
+		f.Add(doc.data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := wire.DecodeSweep(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		h1, err := wire.SweepHash(s)
+		if err != nil {
+			t.Fatalf("decoded sweep does not hash: %v", err)
+		}
+		blob, err := wire.MarshalSweep(s)
+		if err != nil {
+			t.Fatalf("decoded sweep does not re-encode: %v", err)
+		}
+		s2, err := wire.DecodeSweep(bytes.NewReader(blob))
+		if err != nil {
+			t.Fatalf("re-encoded sweep does not decode: %v\n%s", err, blob)
+		}
+		h2, err := wire.SweepHash(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("canonical hash unstable: %s vs %s", h1, h2)
+		}
+		// Grid conversion must reject garbage with errors, not panics
+		// (the decode cap on frozen horizons bounds allocation).
+		_, _ = wire.ToJobs(s)
+	})
+}

@@ -1,0 +1,48 @@
+package wire
+
+import (
+	"taskalloc"
+	"taskalloc/internal/sweeprun"
+)
+
+// StreamHeader is the first NDJSON line of a POST /v1/sweeps response:
+// it names the sweep before any cell completes, so clients can poll
+// GET /v1/sweeps/{id} even if the stream is interrupted.
+type StreamHeader struct {
+	Version string `json:"version"`
+	// ID is the sweep's canonical hash (SweepHash).
+	ID string `json:"id"`
+	// Jobs is the grid size; the stream carries exactly this many
+	// Result lines after the header, in job order.
+	Jobs int `json:"jobs"`
+}
+
+// Result is one grid cell's outcome: an NDJSON line of the submit
+// stream and an entry of the GET summary. Exactly one of Report and Err
+// is set.
+type Result struct {
+	Index int      `json:"index"`
+	Meta  []string `json:"meta,omitempty"`
+	// Report holds the simulation metrics (taskalloc.Report, default
+	// JSON field names — part of the v1 wire surface).
+	Report *taskalloc.Report `json:"report,omitempty"`
+	// Err is the configuration/validation failure, if the cell could
+	// not run.
+	Err string `json:"err,omitempty"`
+	// Trajectory is the golden-format trajectory CSV, present only when
+	// the job requested it.
+	Trajectory string `json:"trajectory,omitempty"`
+}
+
+// SweepStatus is the GET /v1/sweeps/{id} body.
+type SweepStatus struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // "running" | "done"
+	Jobs   int    `json:"jobs"`
+	Failed int    `json:"failed,omitempty"`
+	// Summary aggregates the completed grid (sweeprun.Summarize).
+	Summary *sweeprun.Summary `json:"summary,omitempty"`
+	// Results are the per-cell outcomes, trajectories elided (fetch
+	// them from the submit stream).
+	Results []Result `json:"results,omitempty"`
+}

@@ -1,0 +1,59 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+
+	"taskalloc"
+)
+
+// SimView is the slice of a running simulation the trajectory recorder
+// reads beyond the per-round observer arguments.
+type SimView interface {
+	Active() int
+	Switches() uint64
+}
+
+// TrajectoryRecorder serializes a simulation's per-round trajectory in
+// the golden-corpus CSV format: a header for k tasks, then one row per
+// round with the loads, the demands in force, the active colony size,
+// and the cumulative switch count. cmd/goldengen, the golden regression
+// test, and the simulation service all emit through this one writer, so
+// a trajectory streamed over HTTP is byte-comparable against
+// testdata/golden.
+type TrajectoryRecorder struct {
+	buf bytes.Buffer
+}
+
+// NewTrajectoryRecorder starts a recording for k tasks (writes the
+// header).
+func NewTrajectoryRecorder(k int) *TrajectoryRecorder {
+	r := &TrajectoryRecorder{}
+	r.buf.WriteString("round")
+	for j := 0; j < k; j++ {
+		fmt.Fprintf(&r.buf, ",load_%d", j)
+	}
+	for j := 0; j < k; j++ {
+		fmt.Fprintf(&r.buf, ",demand_%d", j)
+	}
+	r.buf.WriteString(",active,switches\n")
+	return r
+}
+
+// Observer returns the per-round callback appending one row per round,
+// reading the active size and switch count from sim.
+func (r *TrajectoryRecorder) Observer(sim SimView) taskalloc.Observer {
+	return func(round uint64, loads []int, demands []int) {
+		fmt.Fprintf(&r.buf, "%d", round)
+		for _, w := range loads {
+			fmt.Fprintf(&r.buf, ",%d", w)
+		}
+		for _, d := range demands {
+			fmt.Fprintf(&r.buf, ",%d", d)
+		}
+		fmt.Fprintf(&r.buf, ",%d,%d\n", sim.Active(), sim.Switches())
+	}
+}
+
+// Bytes returns the recording so far (header + rows).
+func (r *TrajectoryRecorder) Bytes() []byte { return r.buf.Bytes() }

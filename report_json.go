@@ -1,0 +1,77 @@
+package taskalloc
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// Report JSON: the report's float metrics can legitimately be NaN (a
+// BurnIn at or past the horizon leaves no rounds to average), and
+// encoding/json rejects NaN outright — which would abort a whole
+// service response over one degenerate cell. On the wire those fields
+// are null, and null decodes back to NaN, so Report round-trips
+// losslessly through the simulation service's JSON.
+
+type reportJSON struct {
+	Rounds        uint64   `json:"Rounds"`
+	TotalRegret   int64    `json:"TotalRegret"`
+	AvgRegret     *float64 `json:"AvgRegret"`
+	StdRegret     *float64 `json:"StdRegret"`
+	PeakRegret    int      `json:"PeakRegret"`
+	Closeness     *float64 `json:"Closeness"`
+	GammaStar     *float64 `json:"GammaStar"`
+	MaxAbsDeficit []int    `json:"MaxAbsDeficit"`
+	ZeroCrossings []int64  `json:"ZeroCrossings"`
+	Switches      uint64   `json:"Switches"`
+}
+
+func finitePtr(x float64) *float64 {
+	if math.IsNaN(x) || math.IsInf(x, 0) {
+		return nil
+	}
+	return &x
+}
+
+func ptrFloat(p *float64) float64 {
+	if p == nil {
+		return math.NaN()
+	}
+	return *p
+}
+
+// MarshalJSON implements json.Marshaler.
+func (r Report) MarshalJSON() ([]byte, error) {
+	return json.Marshal(reportJSON{
+		Rounds:        r.Rounds,
+		TotalRegret:   r.TotalRegret,
+		AvgRegret:     finitePtr(r.AvgRegret),
+		StdRegret:     finitePtr(r.StdRegret),
+		PeakRegret:    r.PeakRegret,
+		Closeness:     finitePtr(r.Closeness),
+		GammaStar:     finitePtr(r.GammaStar),
+		MaxAbsDeficit: r.MaxAbsDeficit,
+		ZeroCrossings: r.ZeroCrossings,
+		Switches:      r.Switches,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (r *Report) UnmarshalJSON(data []byte) error {
+	var raw reportJSON
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	*r = Report{
+		Rounds:        raw.Rounds,
+		TotalRegret:   raw.TotalRegret,
+		AvgRegret:     ptrFloat(raw.AvgRegret),
+		StdRegret:     ptrFloat(raw.StdRegret),
+		PeakRegret:    raw.PeakRegret,
+		Closeness:     ptrFloat(raw.Closeness),
+		GammaStar:     ptrFloat(raw.GammaStar),
+		MaxAbsDeficit: raw.MaxAbsDeficit,
+		ZeroCrossings: raw.ZeroCrossings,
+		Switches:      raw.Switches,
+	}
+	return nil
+}

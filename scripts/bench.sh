@@ -15,8 +15,8 @@ TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkEngineStep$|BenchmarkEngineStepInterface$|BenchmarkEngineParallel$|BenchmarkSweepRunner$' \
-  -benchtime "$BENCHTIME" -count 1 . | tee "$TMP"
+  -bench 'BenchmarkEngineStep$|BenchmarkEngineStepInterface$|BenchmarkEngineParallel$|BenchmarkSweepRunner$|BenchmarkServerSweep$|BenchmarkServerSweepCached$' \
+  -benchtime "$BENCHTIME" -count 1 . ./internal/simserver | tee "$TMP"
 
 {
   echo '{'

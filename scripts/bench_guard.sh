@@ -33,6 +33,15 @@ echo "bench_guard: sweep-runner smoke (-benchtime 1x)"
 go test -run '^$' -bench 'BenchmarkSweepRunner$' -benchtime 1x -count 1 . \
   || { echo "bench_guard: BenchmarkSweepRunner smoke failed" >&2; exit 1; }
 
+# Simulation-service smoke: one fresh POST→stream round trip per worker
+# count plus one cache replay. No baseline comparison (wall-clock is
+# simulation-bound); this exists so the HTTP layer, wire codec, and
+# cache path can never silently stop compiling or start erroring.
+echo "bench_guard: simulation-service smoke (-benchtime 1x)"
+go test -run '^$' -bench 'BenchmarkServerSweep$|BenchmarkServerSweepCached$' \
+  -benchtime 1x -count 1 ./internal/simserver \
+  || { echo "bench_guard: BenchmarkServerSweep smoke failed" >&2; exit 1; }
+
 go test -run '^$' -bench 'BenchmarkEngineParallel$' -benchtime "$BENCHTIME" -count 1 . | tee "$TMP"
 
 awk -v base="$BASE" -v tol="$TOLERANCE" '
