@@ -40,4 +40,19 @@ func main() {
 		}
 		fmt.Println("wrote", path)
 	}
+
+	// The ensemble-quantile fixture: the same corpus re-run over an
+	// ensemble of seeds, pinned at the aggregate layer (regret bands,
+	// not single trajectories).
+	data, err := goldencases.EnsembleJSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	path := filepath.Join(*out, goldencases.EnsembleFile)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println("wrote", path)
 }

@@ -1,0 +1,147 @@
+// Command simgrid is the multi-host grid coordinator front end: it
+// shards a wire-format job grid across several simserve backends by
+// canonical job-hash range, merges the ordered result streams, and
+// writes output byte-identical to the same sweep POSTed to a single
+// backend. See internal/gridcoord for the partitioning, merge-order,
+// and failure-handling contracts.
+//
+//	simgrid -backends http://h1:8080,http://h2:8080,http://h3:8080 -jobs grid.json
+//	simgrid -backends ... -jobs grid.json -format csv
+//	simgrid -backends ... -bisect request.json
+//
+// -jobs/-bisect read "-" as stdin. The merged stream (or the bisect
+// response JSON) goes to stdout; progress and retry notices go to
+// stderr with -v. A job whose attempt budget is exhausted (or a
+// backend rejection) fails the whole run: partial output would
+// silently diverge from a single-host run.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"taskalloc/internal/gridcoord"
+	"taskalloc/internal/wire"
+)
+
+func main() {
+	var (
+		backendsArg = flag.String("backends", "", "comma-separated simserve base URLs (required)")
+		jobsFile    = flag.String("jobs", "", "wire-format sweep document to shard (\"-\" = stdin)")
+		bisectFile  = flag.String("bisect", "", "wire-format bisect request to forward (\"-\" = stdin)")
+		format      = flag.String("format", "ndjson", "merged output format: ndjson | csv")
+		workers     = flag.Int("workers", 0, "per-backend ?workers override (0 = backend default)")
+		attempts    = flag.Int("attempts", 3, "per-job attempt budget across backend failures")
+		verbose     = flag.Bool("v", false, "log progress, backend losses, and retries to stderr")
+	)
+	flag.Parse()
+
+	backends := splitNonEmpty(*backendsArg)
+	if len(backends) == 0 {
+		fatal("need -backends (comma-separated simserve base URLs)")
+	}
+	if (*jobsFile == "") == (*bisectFile == "") {
+		fatal("need exactly one of -jobs or -bisect")
+	}
+
+	opts := gridcoord.Options{
+		Backends: backends,
+		Workers:  *workers,
+		Attempts: *attempts,
+	}
+	if *verbose {
+		opts.Observe = logEvent
+	}
+	coord, err := gridcoord.New(opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	ctx := context.Background()
+
+	if *bisectFile != "" {
+		req, err := readBisect(*bisectFile)
+		if err != nil {
+			fatal("%v", err)
+		}
+		resp, err := coord.Bisect(ctx, req)
+		if err != nil {
+			fatal("%v", err)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+
+	sweep, err := readSweep(*jobsFile)
+	if err != nil {
+		fatal("%v", err)
+	}
+	stats, err := coord.Run(ctx, sweep, gridcoord.Format(*format), os.Stdout)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "simgrid: %d jobs over %d backends %v; %d retried, %d backends lost\n",
+			len(sweep.Jobs), len(backends), stats.JobsPerBackend, stats.Retried, stats.BackendsLost)
+	}
+}
+
+// splitNonEmpty splits a comma list, dropping empty entries.
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// open opens path, with "-" meaning stdin.
+func open(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+func readSweep(path string) (wire.Sweep, error) {
+	f, err := open(path)
+	if err != nil {
+		return wire.Sweep{}, err
+	}
+	defer f.Close()
+	return wire.DecodeSweep(f)
+}
+
+func readBisect(path string) (wire.BisectRequest, error) {
+	f, err := open(path)
+	if err != nil {
+		return wire.BisectRequest{}, err
+	}
+	defer f.Close()
+	return wire.DecodeBisectRequest(f)
+}
+
+func logEvent(ev gridcoord.Event) {
+	switch ev.Kind {
+	case gridcoord.EventBackendLost:
+		fmt.Fprintf(os.Stderr, "simgrid: backend %d lost with %d jobs undelivered: %v\n",
+			ev.Backend, ev.Jobs, ev.Err)
+	case gridcoord.EventRedispatch:
+		fmt.Fprintf(os.Stderr, "simgrid: re-dispatched %d jobs to backend %d\n", ev.Jobs, ev.Backend)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "simgrid: "+format+"\n", args...)
+	os.Exit(1)
+}

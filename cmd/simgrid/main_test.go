@@ -1,0 +1,246 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"taskalloc/internal/gridcoord"
+	"taskalloc/internal/wire"
+)
+
+// buildBinary compiles the package at dir into tmp and returns the path.
+func buildBinary(t *testing.T, tmp, name, dir string) string {
+	t.Helper()
+	bin := filepath.Join(tmp, name)
+	build := exec.Command("go", "build", "-o", bin, dir)
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build %s: %v", dir, err)
+	}
+	return bin
+}
+
+// serveProc is one booted simserve process.
+type serveProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+func startServe(t *testing.T, bin string, args ...string) *serveProc {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		t.Fatalf("no listen line from simserve: %v", sc.Err())
+	}
+	addr, ok := strings.CutPrefix(sc.Text(), "listening on ")
+	if !ok {
+		t.Fatalf("unexpected startup line %q", sc.Text())
+	}
+	// Keep draining stdout so the process never blocks on a full pipe.
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return &serveProc{cmd: cmd, addr: "http://" + addr}
+}
+
+// e2eSweep builds a grid heavy enough that killing a backend lands
+// mid-stream: 24 cells, each a few hundred milliseconds of simulation.
+func e2eSweep(seedBase uint64) wire.Sweep {
+	sweep := wire.Sweep{Version: wire.V1}
+	for i := 0; i < 24; i++ {
+		sweep.Jobs = append(sweep.Jobs, wire.Job{
+			Meta:       []string{"n", "8000", "static", fmt.Sprint(seedBase + uint64(i))},
+			Rounds:     2500,
+			Trajectory: i%12 == 0,
+			Config: wire.Config{
+				Ants:    8000,
+				Demands: []int{3000, 4000},
+				Gamma:   1.0 / 32,
+				Seed:    seedBase + uint64(i),
+				Shards:  1,
+				BurnIn:  1000,
+			},
+		})
+	}
+	return sweep
+}
+
+// rawPost POSTs the sweep to one backend and returns the raw body.
+func rawPost(t *testing.T, addr string, sweep wire.Sweep, format string) []byte {
+	t.Helper()
+	body, err := wire.MarshalSweep(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(addr+"/v1/sweeps?format="+format, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single-host POST: %s: %s", resp.Status, out)
+	}
+	return out
+}
+
+// TestE2EGridParity boots three real simserve backends plus a
+// single-host reference, shards a sweep through the simgrid binary,
+// and byte-compares the merged NDJSON and CSV streams against the
+// reference responses.
+func TestE2EGridParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots service binaries")
+	}
+	tmp := t.TempDir()
+	serveBin := buildBinary(t, tmp, "simserve", "../simserve")
+	gridBin := buildBinary(t, tmp, "simgrid", ".")
+
+	var backends []*serveProc
+	for i := 0; i < 3; i++ {
+		backends = append(backends, startServe(t, serveBin))
+	}
+	reference := startServe(t, serveBin)
+
+	sweep := e2eSweep(1)
+	wantNDJSON := rawPost(t, reference.addr, sweep, "ndjson")
+	wantCSV := rawPost(t, reference.addr, sweep, "csv")
+
+	jobsFile := filepath.Join(tmp, "grid.json")
+	doc, err := wire.MarshalSweep(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(jobsFile, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	backendList := strings.Join(
+		[]string{backends[0].addr, backends[1].addr, backends[2].addr}, ",")
+
+	for format, want := range map[string][]byte{"ndjson": wantNDJSON, "csv": wantCSV} {
+		cmd := exec.Command(gridBin, "-backends", backendList, "-jobs", jobsFile, "-format", format)
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = os.Stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("simgrid %s: %v", format, err)
+		}
+		if !bytes.Equal(out.Bytes(), want) {
+			t.Errorf("simgrid %s stream differs from the single-host response (%d vs %d bytes)",
+				format, out.Len(), len(want))
+		}
+	}
+}
+
+// TestE2EKillBackendMidSweep boots three real backends, SIGKILLs one
+// the moment it delivers its first result, and requires the merged
+// stream to remain byte-identical to the single-host reference — the
+// undelivered hash range is retried on the survivors.
+func TestE2EKillBackendMidSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots service binaries")
+	}
+	tmp := t.TempDir()
+	serveBin := buildBinary(t, tmp, "simserve", "../simserve")
+
+	var backends []*serveProc
+	for i := 0; i < 3; i++ {
+		backends = append(backends, startServe(t, serveBin))
+	}
+	reference := startServe(t, serveBin)
+
+	sweep := e2eSweep(101)
+	want := rawPost(t, reference.addr, sweep, "ndjson")
+
+	assign, err := gridcoord.Partition(sweep.Jobs, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := 0
+	for b, idxs := range assign {
+		if len(idxs) > len(assign[victim]) {
+			victim = b
+		}
+	}
+	if len(assign[victim]) < 2 {
+		t.Fatalf("victim backend %d owns %d jobs; need >= 2 to strand work", victim, len(assign[victim]))
+	}
+
+	var killOnce sync.Once
+	coord, err := gridcoord.New(gridcoord.Options{
+		Backends: []string{backends[0].addr, backends[1].addr, backends[2].addr},
+		// One simulation at a time per backend: the victim cannot have
+		// streamed its whole range before the kill lands.
+		Workers: 1,
+		Observe: func(ev gridcoord.Event) {
+			if ev.Kind == gridcoord.EventResult && ev.Backend == victim {
+				killOnce.Do(func() {
+					if err := backends[victim].cmd.Process.Kill(); err != nil {
+						t.Errorf("kill victim: %v", err)
+					}
+				})
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	var got bytes.Buffer
+	stats, err := coord.Run(ctx, sweep, gridcoord.FormatNDJSON, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BackendsLost == 0 || stats.Retried == 0 {
+		t.Fatalf("kill did not strand work: %+v", stats)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("merged stream after backend kill differs from single host (%d vs %d bytes)",
+			got.Len(), len(want))
+	}
+
+	// CSV with the victim gone for good: its whole hash range lands on
+	// the survivors, and the merged CSV still matches the single host.
+	wantCSV := rawPost(t, reference.addr, sweep, "csv")
+	var gotCSV bytes.Buffer
+	stats, err = coord.Run(ctx, sweep, gridcoord.FormatCSV, &gotCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BackendsLost != 1 {
+		t.Errorf("CSV run lost %d backends, want the killed one only", stats.BackendsLost)
+	}
+	if !bytes.Equal(gotCSV.Bytes(), wantCSV) {
+		t.Errorf("merged CSV with a killed backend differs from single host (%d vs %d bytes)",
+			gotCSV.Len(), len(wantCSV))
+	}
+}

@@ -40,20 +40,24 @@ func main() {
 		maxJobs  = flag.Int("max-jobs", 10000, "largest accepted grid (jobs per sweep)")
 		maxRnds  = flag.Int("max-cell-rounds", 10_000_000, "largest accepted per-cell horizon")
 		maxAnts  = flag.Int("max-cell-ants", 10_000_000, "largest accepted per-cell colony size")
+		maxBis   = flag.Int("max-bisect-evals", 128, "largest accepted bisect evaluation budget (POST /v1/bisect)")
+		jobCache = flag.Int("job-cache-entries", 4096, "bisect cell results kept for cached re-bisection")
 		drainFor = flag.Duration("drain-timeout", time.Minute,
 			"grace for in-flight HTTP handlers on shutdown (sweeps still drain fully after it; a second signal force-kills)")
 	)
 	flag.Parse()
 
 	srv := simserver.New(simserver.Options{
-		Workers:       *workers,
-		MaxConcurrent: *maxConc,
-		CacheEntries:  *cacheCap,
-		CacheBytes:    *cacheB,
-		MaxBodyBytes:  *maxBody,
-		MaxJobs:       *maxJobs,
-		MaxCellRounds: *maxRnds,
-		MaxCellAnts:   *maxAnts,
+		Workers:         *workers,
+		MaxConcurrent:   *maxConc,
+		CacheEntries:    *cacheCap,
+		CacheBytes:      *cacheB,
+		MaxBodyBytes:    *maxBody,
+		MaxJobs:         *maxJobs,
+		MaxCellRounds:   *maxRnds,
+		MaxCellAnts:     *maxAnts,
+		MaxBisectEvals:  *maxBis,
+		JobCacheEntries: *jobCache,
 	})
 	hs := &http.Server{Handler: srv}
 

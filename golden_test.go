@@ -43,7 +43,9 @@ func TestGoldenScenarioCorpus(t *testing.T) {
 		seen[c.Name+".csv"] = true
 	}
 
-	// No stale files: everything in testdata/golden must be a live case.
+	// No stale files: everything in testdata/golden must be a live case
+	// (or the ensemble fixture, asserted by its own test below).
+	seen[goldencases.EnsembleFile] = true
 	entries, err := os.ReadDir(filepath.Join("testdata", "golden"))
 	if err != nil {
 		t.Fatal(err)
@@ -52,6 +54,30 @@ func TestGoldenScenarioCorpus(t *testing.T) {
 		if !seen[e.Name()] {
 			t.Errorf("stale golden file %s (no matching case)", e.Name())
 		}
+	}
+}
+
+// TestGoldenEnsembleQuantiles byte-compares the S5-family ensemble
+// statistics — mean/std and the quantile band of AvgRegret, Closeness,
+// and SwitchesPerRound over the seed ensemble — against the pinned
+// fixture. It is the aggregate-layer counterpart of the trajectory
+// corpus: a change that preserves every single pinned trajectory but
+// shifts the ensemble (e.g. how per-seed configurations are derived)
+// still fails here.
+func TestGoldenEnsembleQuantiles(t *testing.T) {
+	path := filepath.Join("testdata", "golden", goldencases.EnsembleFile)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing ensemble fixture (run `go generate ./...`): %v", err)
+	}
+	got, err := goldencases.EnsembleJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("ensemble quantiles drifted from %s at line %d\n"+
+			"(intended? regenerate with `go generate ./...`)\n got: %s\nwant: %s",
+			path, firstDiffLine(got, want), firstDiff(got, want), firstDiff(want, got))
 	}
 }
 

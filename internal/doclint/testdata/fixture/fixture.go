@@ -1,0 +1,34 @@
+// Package fixture is the doclint test fixture: a package with known
+// documentation gaps the checker must find, and documented identifiers
+// it must not flag.
+package fixture
+
+// Documented has a doc comment.
+type Documented struct{}
+
+// HasDoc is documented.
+func (Documented) HasDoc() {}
+
+func (Documented) NoDoc() {}
+
+type Undocumented struct{}
+
+// DocumentedFunc is documented.
+func DocumentedFunc() {}
+
+func MissingDoc() {}
+
+// Grouped consts share the block comment.
+const (
+	GroupedA = 1
+	GroupedB = 2
+)
+
+const MissingConstDoc = 3
+
+// trailing comment style also counts.
+var TrailingDoc = 4 // TrailingDoc is documented inline.
+
+type unexported struct{}
+
+func (unexported) ExportedOnUnexported() {}

@@ -1,0 +1,528 @@
+// Package gridcoord is the multi-host grid coordinator: it shards one
+// wire-format sweep across several simulation-service backends
+// (cmd/simserve instances) by canonical job-hash range, streams each
+// backend's NDJSON response through the typed client, and merges the
+// per-backend streams into one output that is byte-identical to the
+// same sweep run on a single host — at any backend count, in both the
+// NDJSON and CSV formats.
+//
+// Partitioning is static: job i goes to the backend whose slice of the
+// 64-bit hash space contains the leading bits of wire.JobHash(job).
+// Static assignment keeps the placement deterministic and
+// cache-friendly — an identical re-submission sends every backend the
+// exact sub-sweep it has already hashed and cached, so the whole grid
+// replays from the backends' result caches.
+//
+// Failure handling: when a backend dies mid-sweep (transport error,
+// truncated stream), its undelivered jobs are re-submitted to the next
+// surviving backend, bounded by a per-job attempt budget. Results
+// already delivered are kept — each job runs at most once per attempt,
+// and the merged order never depends on timing, so output bytes are
+// identical whether or not a retry happened. Rejections (HTTP 4xx) are
+// not retried: a backend that rejects a sub-sweep would reject it
+// identically everywhere.
+//
+// Adaptive grids: Bisect forwards a γ-bisection request (POST
+// /v1/bisect) to the backend that owns the request's canonical hash,
+// failing over to the next surviving backend — so repeat bisections
+// land on the backend whose job-level cache is already warm.
+package gridcoord
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"taskalloc/internal/simserver/client"
+	"taskalloc/internal/sweeprun"
+	"taskalloc/internal/wire"
+)
+
+// Format selects the merged output rendering.
+type Format string
+
+// The two merged output formats. Both are byte-identical to the same
+// format served by a single backend for the whole sweep.
+const (
+	FormatNDJSON Format = "ndjson"
+	FormatCSV    Format = "csv"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Backends are the simulation-service base URLs (e.g.
+	// "http://127.0.0.1:8080"). Their order defines the hash-range
+	// assignment, so it must be identical across submissions for the
+	// backend caches to stay warm.
+	Backends []string
+	// HTTPClient is used for every backend call; nil means
+	// http.DefaultClient.
+	HTTPClient *http.Client
+	// Workers is the per-backend ?workers override (0 = backend
+	// default). Never changes the merged bytes.
+	Workers int
+	// Attempts is the per-job attempt budget across retries; <= 0
+	// means 3. A job that fails its last attempt fails the whole run
+	// (partial output would silently diverge from a single-host run).
+	Attempts int
+	// Observe, if non-nil, receives progress events (results delivered,
+	// backends lost, ranges re-dispatched). Called from coordinator
+	// goroutines; it must be safe for concurrent use.
+	Observe func(Event)
+}
+
+// EventKind discriminates Event.
+type EventKind int
+
+// The event kinds Observe receives.
+const (
+	// EventResult: one job's result was delivered by a backend (before
+	// merge emission).
+	EventResult EventKind = iota
+	// EventBackendLost: a backend failed; its undelivered jobs will be
+	// re-dispatched if the attempt budget allows.
+	EventBackendLost
+	// EventRedispatch: a failed range's remaining jobs were submitted
+	// to a surviving backend.
+	EventRedispatch
+)
+
+// Event is one coordinator progress notification.
+type Event struct {
+	// Kind says what happened.
+	Kind EventKind
+	// Backend is the backend index the event concerns.
+	Backend int
+	// Index is the delivered job's global index (EventResult only).
+	Index int
+	// Jobs counts the jobs involved (EventBackendLost: undelivered;
+	// EventRedispatch: re-submitted).
+	Jobs int
+	// Err is the backend failure (EventBackendLost only).
+	Err error
+}
+
+// Stats summarizes one Run.
+type Stats struct {
+	// JobsPerBackend is the initial hash-range assignment size per
+	// backend.
+	JobsPerBackend []int
+	// Retried counts job re-submissions after backend failures.
+	Retried int
+	// BackendsLost counts backends marked dead during the run.
+	BackendsLost int
+}
+
+// Coordinator shards sweeps across a fixed backend set. It is safe for
+// concurrent use; each Run tracks backend health independently.
+type Coordinator struct {
+	opts    Options
+	clients []*client.Client
+}
+
+// New builds a Coordinator. At least one backend is required.
+func New(opts Options) (*Coordinator, error) {
+	if len(opts.Backends) == 0 {
+		return nil, errors.New("gridcoord: need at least one backend")
+	}
+	if opts.Attempts <= 0 {
+		opts.Attempts = 3
+	}
+	c := &Coordinator{opts: opts}
+	for _, b := range opts.Backends {
+		c.clients = append(c.clients, client.New(b, opts.HTTPClient))
+	}
+	return c, nil
+}
+
+// Partition assigns each job to one of n backends by canonical
+// job-hash range: the 64-bit prefix of wire.JobHash(job) falls into one
+// of n equal slices of the hash space. The assignment is a pure
+// function of (job, n) — re-submitting the same grid to the same
+// backend count reproduces it exactly.
+func Partition(jobs []wire.Job, n int) ([][]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("gridcoord: partition needs n >= 1, got %d", n)
+	}
+	out := make([][]int, n)
+	for i, j := range jobs {
+		h, err := wire.JobHash(j)
+		if err != nil {
+			return nil, fmt.Errorf("gridcoord: jobs[%d]: %w", i, err)
+		}
+		b, err := rangeIndex(h, n)
+		if err != nil {
+			return nil, fmt.Errorf("gridcoord: jobs[%d]: %w", i, err)
+		}
+		out[b] = append(out[b], i)
+	}
+	return out, nil
+}
+
+// rangeIndex maps a canonical hash's 64-bit prefix to one of n equal
+// slices of the hash space.
+func rangeIndex(hash string, n int) (int, error) {
+	if n <= 1 {
+		return 0, nil
+	}
+	v, err := strconv.ParseUint(hash[:16], 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parse hash: %w", err)
+	}
+	return int(v / (math.MaxUint64/uint64(n) + 1)), nil
+}
+
+// observe fires the Observe hook, if any.
+func (c *Coordinator) observe(ev Event) {
+	if c.opts.Observe != nil {
+		c.opts.Observe(ev)
+	}
+}
+
+// Run shards sweep across the backends, merges the streams, and writes
+// the rendered output to w. The bytes written are identical to the
+// same sweep POSTed to one backend with the same format — the
+// coordinator recomputes the canonical sweep hash for the stream
+// header, re-indexes each backend's local results to their global
+// positions, and emits in strict job order.
+func (c *Coordinator) Run(ctx context.Context, sweep wire.Sweep, format Format, w io.Writer) (Stats, error) {
+	if format != FormatNDJSON && format != FormatCSV {
+		return Stats{}, fmt.Errorf("gridcoord: unknown format %q", format)
+	}
+	if sweep.Version == "" {
+		sweep.Version = wire.V1
+	}
+	id, err := wire.SweepHash(sweep)
+	if err != nil {
+		return Stats{}, err
+	}
+	assign, err := Partition(sweep.Jobs, len(c.clients))
+	if err != nil {
+		return Stats{}, err
+	}
+
+	var m *merger
+	switch format {
+	case FormatCSV:
+		m = newMerger(newCSVMerge(w, sweep.Jobs), len(sweep.Jobs))
+	default:
+		m = newMerger(newNDJSONMerge(w, wire.StreamHeader{
+			Version: wire.V1, ID: id, Jobs: len(sweep.Jobs),
+		}), len(sweep.Jobs))
+	}
+
+	// A fatal error (rejection, exhausted budget, no backends left)
+	// cancels every in-flight backend stream: the run's outcome is
+	// already decided, so finishing the merge would only delay the
+	// report by the slowest sub-sweep.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	st := &runState{
+		alive:    make([]bool, len(c.clients)),
+		attempts: make([]int, len(sweep.Jobs)),
+		cancel:   cancel,
+	}
+	stats := Stats{JobsPerBackend: make([]int, len(c.clients))}
+	for b, idxs := range assign {
+		st.alive[b] = true
+		stats.JobsPerBackend[b] = len(idxs)
+	}
+
+	var wg sync.WaitGroup
+	for b, idxs := range assign {
+		if len(idxs) == 0 {
+			continue
+		}
+		for _, i := range idxs {
+			st.attempts[i] = 1
+		}
+		c.launch(ctx, &wg, st, m, sweep, b, idxs)
+	}
+	wg.Wait()
+
+	st.mu.Lock()
+	stats.Retried = st.retried
+	stats.BackendsLost = st.lost
+	fatal := st.fatal
+	st.mu.Unlock()
+	if fatal != nil {
+		return stats, fatal
+	}
+	if err := m.finish(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
+
+// runState is one Run's shared failure-handling state.
+type runState struct {
+	mu       sync.Mutex
+	alive    []bool
+	attempts []int
+	retried  int
+	lost     int
+	fatal    error
+	cancel   context.CancelFunc // aborts in-flight streams on fatal
+}
+
+// fail records the run's fatal error (first one wins) and cancels the
+// in-flight backend streams. Caller holds st.mu.
+func (st *runState) fail(err error) {
+	if st.fatal == nil {
+		st.fatal = err
+		st.cancel()
+	}
+}
+
+// launch submits the jobs at global indices idxs to backend b on a new
+// goroutine, re-dispatching undelivered jobs on failure.
+func (c *Coordinator) launch(ctx context.Context, wg *sync.WaitGroup, st *runState,
+	m *merger, sweep wire.Sweep, b int, idxs []int) {
+	sub := wire.Sweep{Version: wire.V1, Jobs: make([]wire.Job, len(idxs))}
+	for k, i := range idxs {
+		sub.Jobs[k] = sweep.Jobs[i]
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		delivered := 0
+		var protoErr error
+		// DiscardResults: the merger owns buffering (released on
+		// emission), so the client must not retain a second full copy.
+		_, err := c.clients[b].SubmitSweep(ctx, sub,
+			client.SubmitOptions{Workers: c.opts.Workers, DiscardResults: true},
+			func(res wire.Result) {
+				// The service streams its sub-sweep strictly in order; a
+				// line off that contract (a non-simserve peer, a
+				// version-skewed binary, a mangling proxy) is a backend
+				// failure like any other — never an index panic, and
+				// never a result merged under the wrong job.
+				if protoErr != nil {
+					return
+				}
+				if res.Index != delivered {
+					protoErr = fmt.Errorf("gridcoord: backend %d broke stream order: result index %d, want %d",
+						b, res.Index, delivered)
+					return
+				}
+				if delivered >= len(idxs) {
+					protoErr = fmt.Errorf("gridcoord: backend %d streamed more results than its %d jobs",
+						b, len(idxs))
+					return
+				}
+				global := idxs[res.Index]
+				delivered++
+				c.observe(Event{Kind: EventResult, Backend: b, Index: global})
+				m.deliver(global, res)
+			})
+		if err == nil {
+			err = protoErr
+		}
+		if err == nil {
+			return
+		}
+		remaining := idxs[delivered:]
+		c.observe(Event{Kind: EventBackendLost, Backend: b, Jobs: len(remaining), Err: err})
+		c.redispatch(ctx, wg, st, m, sweep, b, remaining, err)
+	}()
+}
+
+// redispatch marks backend b dead and re-submits its undelivered jobs
+// to the next surviving backend, honoring the per-job attempt budget.
+// Rejections (HTTP 4xx) are fatal immediately: every backend shares the
+// admission rules, so a retry would be rejected identically.
+func (c *Coordinator) redispatch(ctx context.Context, wg *sync.WaitGroup, st *runState,
+	m *merger, sweep wire.Sweep, b int, remaining []int, cause error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.alive[b] {
+		st.alive[b] = false
+		st.lost++
+	}
+	if len(remaining) == 0 {
+		return
+	}
+	if st.fatal != nil {
+		return
+	}
+	var apiErr *client.APIError
+	if errors.As(cause, &apiErr) && apiErr.StatusCode >= 400 && apiErr.StatusCode < 500 {
+		st.fail(fmt.Errorf("gridcoord: backend %d rejected sub-sweep: %w", b, cause))
+		return
+	}
+	next := -1
+	for k := 1; k <= len(st.alive); k++ {
+		if cand := (b + k) % len(st.alive); st.alive[cand] {
+			next = cand
+			break
+		}
+	}
+	if next == -1 {
+		st.fail(fmt.Errorf("gridcoord: all backends failed (%d jobs undelivered; last: %w)",
+			len(remaining), cause))
+		return
+	}
+	for _, i := range remaining {
+		st.attempts[i]++
+		if st.attempts[i] > c.opts.Attempts {
+			st.fail(fmt.Errorf("gridcoord: job %d exhausted its %d attempts (last: %w)",
+				i, c.opts.Attempts, cause))
+			return
+		}
+	}
+	st.retried += len(remaining)
+	c.observe(Event{Kind: EventRedispatch, Backend: next, Jobs: len(remaining)})
+	c.launch(ctx, wg, st, m, sweep, next, remaining)
+}
+
+// Bisect forwards a γ-bisection request to the backend that owns the
+// request's canonical hash, failing over to the next backend on
+// transport or 5xx errors. Affinity is deterministic, so a repeat of
+// the same request reaches the same backend's warm job cache.
+func (c *Coordinator) Bisect(ctx context.Context, req wire.BisectRequest) (*wire.BisectResponse, error) {
+	h, err := wire.BisectHash(req)
+	if err != nil {
+		return nil, err
+	}
+	start, err := rangeIndex(h, len(c.clients))
+	if err != nil {
+		return nil, fmt.Errorf("gridcoord: %w", err)
+	}
+	var lastErr error
+	for k := 0; k < len(c.clients); k++ {
+		b := (start + k) % len(c.clients)
+		resp, err := c.clients[b].Bisect(ctx, req)
+		if err == nil {
+			return resp, nil
+		}
+		var apiErr *client.APIError
+		if errors.As(err, &apiErr) && apiErr.StatusCode >= 400 && apiErr.StatusCode < 500 {
+			return nil, err // rejection: identical everywhere
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("gridcoord: all backends failed bisect: %w", lastErr)
+}
+
+// --- merge: ordered collection + single-host-identical rendering ---
+
+// mergeRenderer renders one result; calls arrive in strict global job
+// order, serialized by the merger.
+type mergeRenderer interface {
+	result(global int, res wire.Result) error
+	finish() error
+}
+
+// merger buffers out-of-order deliveries and emits the completed
+// prefix in job order — sweeprun.Ordered's collection invariant,
+// re-created across hosts. Emitted results are released immediately
+// (trajectory-bearing results can be many MB each), so retained memory
+// is bounded by the out-of-order window, not the sweep size.
+type merger struct {
+	mu        sync.Mutex
+	results   []*wire.Result
+	delivered []bool
+	cursor    int
+	render    mergeRenderer
+	err       error
+}
+
+func newMerger(r mergeRenderer, n int) *merger {
+	return &merger{results: make([]*wire.Result, n), delivered: make([]bool, n), render: r}
+}
+
+// deliver records global job index i's result and flushes the newly
+// completed prefix. Duplicate deliveries (a retry racing a slow first
+// stream) keep the first result; both attempts ran the identical job,
+// so the bytes are the same either way.
+func (m *merger) deliver(i int, res wire.Result) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.delivered[i] {
+		return
+	}
+	m.delivered[i] = true
+	m.results[i] = &res
+	for m.cursor < len(m.delivered) && m.delivered[m.cursor] {
+		if m.err == nil {
+			m.err = m.render.result(m.cursor, *m.results[m.cursor])
+		}
+		m.results[m.cursor] = nil
+		m.cursor++
+	}
+}
+
+// finish flushes the renderer and reports the first render error.
+func (m *merger) finish() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.err != nil {
+		return m.err
+	}
+	return m.render.finish()
+}
+
+// ndjsonMerge re-emits the single-host NDJSON stream: the header line,
+// then each result re-indexed to its global position. Decoding a
+// backend's line and re-encoding it is byte-stable: Go's JSON encoder
+// emits the shortest float representation that round-trips, and
+// taskalloc.Report's NaN↔null mapping is symmetric.
+type ndjsonMerge struct {
+	enc *json.Encoder
+	err error
+}
+
+func newNDJSONMerge(w io.Writer, header wire.StreamHeader) *ndjsonMerge {
+	m := &ndjsonMerge{enc: json.NewEncoder(w)}
+	m.err = m.enc.Encode(header)
+	return m
+}
+
+func (m *ndjsonMerge) result(global int, res wire.Result) error {
+	if m.err != nil {
+		return m.err
+	}
+	res.Index = global
+	if err := m.enc.Encode(res); err != nil {
+		// Mirror the server renderer: a cell that cannot re-encode still
+		// gets its line, as an error, deterministically.
+		return m.enc.Encode(wire.Result{Index: global, Meta: res.Meta, Err: "encode: " + err.Error()})
+	}
+	return nil
+}
+
+func (m *ndjsonMerge) finish() error { return m.err }
+
+// csvMerge re-emits the single-host CSV: the shared sweeprun header,
+// then one row per successful cell in job order (failed cells skipped),
+// through the same CSVRow helper the server and cmd/sweep render with.
+type csvMerge struct {
+	w    *csv.Writer
+	jobs []wire.Job
+}
+
+func newCSVMerge(w io.Writer, jobs []wire.Job) *csvMerge {
+	m := &csvMerge{w: csv.NewWriter(w), jobs: jobs}
+	_ = m.w.Write(sweeprun.CSVHeader())
+	return m
+}
+
+func (m *csvMerge) result(global int, res wire.Result) error {
+	if res.Err != "" || res.Report == nil {
+		return m.w.Error()
+	}
+	_ = m.w.Write(sweeprun.CSVRow(res.Meta, *res.Report, m.jobs[global].Rounds))
+	return m.w.Error()
+}
+
+func (m *csvMerge) finish() error {
+	m.w.Flush()
+	return m.w.Error()
+}

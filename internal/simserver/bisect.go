@@ -1,0 +1,344 @@
+package simserver
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"taskalloc"
+	"taskalloc/internal/sweeprun"
+	"taskalloc/internal/wire"
+)
+
+// Adaptive γ-bisection (POST /v1/bisect): the server refines a γ
+// interval by repeated midpoint evaluation until every segment's regret
+// band — |ΔAvgRegret| across its endpoints — is at most the requested
+// target, or the evaluation budget runs out. Each evaluated cell is an
+// ordinary job (the request's template with Gamma overridden), keyed by
+// its canonical wire.JobHash in a job-level result cache separate from
+// the sweep cache, so a repeat bisection (or an overlapping one) is
+// served almost entirely from cache. Midpoints of all over-target
+// segments are evaluated as one sweeprun batch per refinement round,
+// through the same shared pool and admission gate as sweeps.
+
+// jobResult is one cached cell outcome. Reports are a few hundred
+// bytes, so the cache is bounded by entry count, not bytes.
+type jobResult struct {
+	report taskalloc.Report
+	err    string
+}
+
+// gammaWidthFloor stops refining a segment whose γ width cannot
+// meaningfully halve in float64 — without it, a regret band that never
+// narrows (a noise floor) would burn the whole budget on one segment.
+const gammaWidthFloor = 1e-9
+
+func (s *Server) handleBisect(w http.ResponseWriter, r *http.Request) {
+	if !s.begin() {
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	defer s.inflight.Done()
+
+	workers := s.opts.Workers
+	if v := r.URL.Query().Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			httpError(w, http.StatusBadRequest, "bad workers %q", v)
+			return
+		}
+		if n > maxWorkersPerRequest {
+			n = maxWorkersPerRequest
+		}
+		workers = n
+	}
+
+	req, err := wire.DecodeBisectRequest(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		code := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		httpError(w, code, "%v", err)
+		return
+	}
+	// Admission: the same per-cell bounds as POST /v1/sweeps, plus the
+	// evaluation budget (each evaluation is one cell of compute).
+	if req.Job.Rounds > s.opts.MaxCellRounds {
+		httpError(w, http.StatusBadRequest,
+			"job rounds %d over limit %d", req.Job.Rounds, s.opts.MaxCellRounds)
+		return
+	}
+	if req.Job.Config.Ants > s.opts.MaxCellAnts {
+		httpError(w, http.StatusBadRequest,
+			"job ants %d over limit %d", req.Job.Config.Ants, s.opts.MaxCellAnts)
+		return
+	}
+	if req.MaxEvals > s.opts.MaxBisectEvals {
+		httpError(w, http.StatusBadRequest,
+			"max_evals %d over limit %d", req.MaxEvals, s.opts.MaxBisectEvals)
+		return
+	}
+	// Hash the request AS SENT — before the server's MaxEvals default is
+	// applied — so the response ID equals wire.BisectHash of the
+	// submitted document (the coordinator's affinity hash) regardless of
+	// this server's -max-bisect-evals.
+	id, err := wire.BisectHash(req)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.MaxEvals == 0 {
+		req.MaxEvals = s.opts.MaxBisectEvals
+	}
+	req.Job.Trajectory = false // bisect cells never stream trajectories
+
+	resp, err := s.runBisectCoalesced(r, id, req, workers)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if resp == nil {
+		return // waiter whose request context ended first
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// bisectFlight is one in-flight bisect execution identical concurrent
+// requests coalesce onto (the sweep cache's coalescing, without the
+// long-term retention — the job cache already makes a repeat cheap).
+type bisectFlight struct {
+	done chan struct{}
+	resp wire.BisectResponse
+	err  error
+}
+
+// runBisectCoalesced executes the search, coalescing concurrent
+// identical requests (same canonical id) onto one execution — without
+// it, a dashboard double-refresh doubles admission-gated compute. The
+// returned response is nil (with nil error) only when a waiter's
+// request context ended before the owner finished. Completed flights
+// are not retained: a later repeat re-runs the (job-cache-warm) search.
+func (s *Server) runBisectCoalesced(r *http.Request, id string, req wire.BisectRequest, workers int) (*wire.BisectResponse, error) {
+	s.mu.Lock()
+	if f := s.bisectFlights[id]; f != nil {
+		s.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-r.Context().Done():
+			return nil, nil
+		}
+		if f.err != nil {
+			return nil, f.err
+		}
+		resp := f.resp
+		return &resp, nil
+	}
+	f := &bisectFlight{done: make(chan struct{})}
+	s.bisectFlights[id] = f
+	s.mu.Unlock()
+
+	f.resp, f.err = s.bisect(req, workers)
+	f.resp.Version = wire.V1
+	f.resp.ID = id
+	s.mu.Lock()
+	delete(s.bisectFlights, id)
+	s.mu.Unlock()
+	close(f.done)
+	if f.err != nil {
+		return nil, f.err
+	}
+	resp := f.resp
+	return &resp, nil
+}
+
+// segment is one live interval of the refinement loop, holding the
+// evaluated cell indices of its endpoints.
+type segment struct {
+	lo, hi int // indices into cells
+}
+
+// bisect runs the refinement loop. It is deterministic: segment order,
+// midpoint arithmetic, and batch evaluation order are all functions of
+// the request alone, so a repeat request evaluates the same γ points in
+// the same order (and therefore hits the job cache on every one).
+func (s *Server) bisect(req wire.BisectRequest, workers int) (wire.BisectResponse, error) {
+	var (
+		resp  wire.BisectResponse
+		cells []wire.BisectCell
+	)
+	regret := func(i int) float64 {
+		if cells[i].Err != "" || cells[i].Report == nil {
+			return math.NaN()
+		}
+		return cells[i].Report.AvgRegret
+	}
+	band := func(seg segment) float64 {
+		return math.Abs(regret(seg.hi) - regret(seg.lo))
+	}
+
+	// evaluate appends one cell per γ, serving repeats from the job
+	// cache and running the misses as one sweeprun batch.
+	evaluate := func(gammas []float64) error {
+		type pending struct {
+			cell int
+			job  sweeprun.Job
+		}
+		var misses []pending
+		for _, g := range gammas {
+			wj := req.Job
+			cfg := wj.Config // value copy; Gamma override stays local
+			cfg.Gamma = g
+			wj.Config = cfg
+			hash, err := wire.JobHash(wj)
+			if err != nil {
+				return err
+			}
+			cell := wire.BisectCell{Gamma: g, JobHash: hash}
+			s.mu.Lock()
+			hit, ok := s.jobCache[hash]
+			s.mu.Unlock()
+			if ok {
+				cell.Cached = true
+				if hit.err != "" {
+					cell.Err = hit.err
+				} else {
+					rep := hit.report
+					cell.Report = &rep
+				}
+				resp.CacheHits++
+			} else {
+				job, err := wj.ToJob()
+				if err != nil {
+					return err
+				}
+				misses = append(misses, pending{cell: len(cells), job: job})
+			}
+			resp.Evals++
+			cells = append(cells, cell)
+		}
+		if len(misses) == 0 {
+			return nil
+		}
+		jobs := make([]sweeprun.Job, len(misses))
+		for i, p := range misses {
+			jobs[i] = p.job
+		}
+		results := sweeprun.Run(jobs, sweeprun.Options{
+			Workers: workers,
+			Pool:    s.pool,
+			Gate:    s.gate,
+		})
+		s.mu.Lock()
+		for i, res := range results {
+			c := &cells[misses[i].cell]
+			var jr jobResult
+			if res.Err != nil {
+				c.Err = res.Err.Error()
+				jr.err = c.Err
+			} else {
+				rep := res.Report
+				c.Report = &rep
+				jr.report = res.Report
+			}
+			s.storeJobLocked(c.JobHash, jr)
+		}
+		s.mu.Unlock()
+		return nil
+	}
+
+	if err := evaluate([]float64{req.GammaLo, req.GammaHi}); err != nil {
+		return wire.BisectResponse{}, err
+	}
+	segments := []segment{{lo: 0, hi: 1}}
+
+	for {
+		// Collect the midpoints of every refinable over-target segment;
+		// segments stay sorted by γ, so the batch is deterministic.
+		type split struct {
+			seg int
+			mid float64
+		}
+		var splits []split
+		for i, seg := range segments {
+			if b := band(seg); math.IsNaN(b) || b <= req.TargetBand {
+				continue
+			}
+			lo, hi := cells[seg.lo].Gamma, cells[seg.hi].Gamma
+			if hi-lo < gammaWidthFloor {
+				continue
+			}
+			mid := (lo + hi) / 2
+			if mid <= lo || mid >= hi {
+				continue
+			}
+			splits = append(splits, split{seg: i, mid: mid})
+		}
+		if len(splits) == 0 {
+			break
+		}
+		if budget := req.MaxEvals - resp.Evals; len(splits) > budget {
+			// Budget exhausted mid-round: refine the leading segments
+			// (deterministic truncation) and stop after this batch.
+			if budget <= 0 {
+				break
+			}
+			splits = splits[:budget]
+		}
+		gammas := make([]float64, len(splits))
+		for i, sp := range splits {
+			gammas[i] = sp.mid
+		}
+		first := len(cells)
+		if err := evaluate(gammas); err != nil {
+			return wire.BisectResponse{}, err
+		}
+		// Rebuild the segmentation with each split segment halved, in γ
+		// order (splits are in ascending segment order already).
+		next := make([]segment, 0, len(segments)+len(splits))
+		si := 0
+		for i, seg := range segments {
+			if si < len(splits) && splits[si].seg == i {
+				mid := first + si
+				next = append(next, segment{lo: seg.lo, hi: mid}, segment{lo: mid, hi: seg.hi})
+				si++
+			} else {
+				next = append(next, seg)
+			}
+		}
+		segments = next
+	}
+
+	resp.Converged = true
+	for _, seg := range segments {
+		b := band(seg)
+		resp.Intervals = append(resp.Intervals, wire.BisectInterval{
+			Lo: cells[seg.lo].Gamma, Hi: cells[seg.hi].Gamma, Band: b,
+		})
+		if math.IsNaN(b) || b > req.TargetBand {
+			resp.Converged = false
+		}
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i].Gamma < cells[j].Gamma })
+	resp.Cells = cells
+	return resp, nil
+}
+
+// storeJobLocked inserts one job-cache entry, evicting FIFO past the
+// entry budget. Caller holds s.mu.
+func (s *Server) storeJobLocked(hash string, jr jobResult) {
+	if _, ok := s.jobCache[hash]; ok {
+		return
+	}
+	s.jobCache[hash] = jr
+	s.jobOrder = append(s.jobOrder, hash)
+	for len(s.jobOrder) > s.opts.JobCacheEntries {
+		delete(s.jobCache, s.jobOrder[0])
+		s.jobOrder = s.jobOrder[1:]
+	}
+}

@@ -40,6 +40,12 @@ type SubmitOptions struct {
 	// Workers overrides the server's per-sweep fan-out bound (0 = server
 	// default). Never changes the response bytes.
 	Workers int
+	// DiscardResults skips buffering the result set on the returned
+	// Submission: onResult observes each cell and Submission.Results
+	// stays nil. For streaming consumers (the grid coordinator) whose
+	// sweeps can carry multi-MB trajectory lines, this keeps client
+	// memory bounded by one line instead of the whole response.
+	DiscardResults bool
 }
 
 // Submission reports how a submission was served.
@@ -68,10 +74,33 @@ func readLine(r *bufio.Reader) ([]byte, error) {
 	}
 }
 
+// APIError is a non-2xx response from the service: the HTTP status
+// plus the server's (truncated) message body. Callers that retry —
+// e.g. the grid coordinator — use StatusCode to tell transport
+// failures (retryable, not an APIError at all) from request rejections
+// (4xx: a retry elsewhere would be rejected identically).
+type APIError struct {
+	// StatusCode is the HTTP status of the rejection.
+	StatusCode int
+	// Status is the HTTP status line (e.g. "400 Bad Request").
+	Status string
+	// Message is the server's error body, truncated to 4 KiB.
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: %s: %s", e.Status, e.Message)
+}
+
 // apiError decorates non-2xx responses with the server's message.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	return fmt.Errorf("client: %s: %s", resp.Status, bytes.TrimSpace(body))
+	return &APIError{
+		StatusCode: resp.StatusCode,
+		Status:     resp.Status,
+		Message:    string(bytes.TrimSpace(body)),
+	}
 }
 
 func (c *Client) sweepsURL(format string, opts SubmitOptions) string {
@@ -125,6 +154,7 @@ func (c *Client) SubmitSweep(ctx context.Context, sweep wire.Sweep, opts SubmitO
 	if err := json.Unmarshal(header, &sub.Header); err != nil {
 		return nil, fmt.Errorf("client: decode stream header: %w", err)
 	}
+	lineCount := 0
 	for {
 		line, err := readLine(lines)
 		if err == io.EOF && len(line) == 0 {
@@ -135,9 +165,12 @@ func (c *Client) SubmitSweep(ctx context.Context, sweep wire.Sweep, opts SubmitO
 		}
 		var res wire.Result
 		if jsonErr := json.Unmarshal(line, &res); jsonErr != nil {
-			return nil, fmt.Errorf("client: decode result line %d: %w", len(sub.Results), jsonErr)
+			return nil, fmt.Errorf("client: decode result line %d: %w", lineCount, jsonErr)
 		}
-		sub.Results = append(sub.Results, res)
+		lineCount++
+		if !opts.DiscardResults {
+			sub.Results = append(sub.Results, res)
+		}
 		if onResult != nil {
 			onResult(res)
 		}
@@ -145,9 +178,9 @@ func (c *Client) SubmitSweep(ctx context.Context, sweep wire.Sweep, opts SubmitO
 			break
 		}
 	}
-	if len(sub.Results) != sub.Header.Jobs {
+	if lineCount != sub.Header.Jobs {
 		return nil, fmt.Errorf("client: stream truncated: %d of %d results",
-			len(sub.Results), sub.Header.Jobs)
+			lineCount, sub.Header.Jobs)
 	}
 	return sub, nil
 }
@@ -175,6 +208,38 @@ func (c *Client) SubmitSweepCSV(ctx context.Context, sweep wire.Sweep, opts Subm
 	}
 	out, err := io.ReadAll(resp.Body)
 	return out, resp.Header.Get("X-Sweep-Cache") == "hit", err
+}
+
+// Bisect POSTs an adaptive γ-bisection request (POST /v1/bisect) and
+// returns the server's response: the evaluated γ cells, the final
+// interval partition, and the cache-hit accounting.
+func (c *Client) Bisect(ctx context.Context, req wire.BisectRequest) (*wire.BisectResponse, error) {
+	if req.Version == "" {
+		req.Version = wire.V1
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.base+"/v1/bisect", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	var out wire.BisectResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decode bisect response: %w", err)
+	}
+	return &out, nil
 }
 
 // GetSweep fetches a sweep's status/summary by ID.

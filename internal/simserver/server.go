@@ -10,6 +10,9 @@
 //
 //	POST /v1/sweeps            submit a grid; streams results (NDJSON, or
 //	                           ?format=csv). ?workers=N bounds the fan-out.
+//	POST /v1/bisect            adaptive γ-bisection: refine a γ interval
+//	                           until every segment's regret band meets the
+//	                           target (see bisect.go).
 //	GET  /v1/sweeps/{id}       fetch a completed sweep's summary.
 //	GET  /v1/healthz           liveness.
 //	GET  /v1/version           wire-format + runtime versions.
@@ -69,6 +72,14 @@ type Options struct {
 	// CSVs dominate); completed sweeps are evicted FIFO past it.
 	// <= 0 means 256 MiB.
 	CacheBytes int64
+	// MaxBisectEvals caps one bisect request's evaluated γ cells (and
+	// is the default when the request leaves max_evals 0); <= 0 means
+	// 128.
+	MaxBisectEvals int
+	// JobCacheEntries caps the job-level result cache the bisect
+	// endpoint reuses cells through (reports only — a few hundred bytes
+	// each); <= 0 means 4096. Eviction is FIFO.
+	JobCacheEntries int
 }
 
 // maxWorkersPerRequest bounds the goroutines one submission's
@@ -90,6 +101,13 @@ type Server struct {
 	cache     map[string]*sweepEntry
 	order     []string // insertion order, for FIFO eviction
 	cacheSize int64    // retained bytes across completed entries
+
+	// Job-level result cache (bisect cells), keyed by wire.JobHash, and
+	// the in-flight bisect executions concurrent identical requests
+	// coalesce onto.
+	jobCache      map[string]jobResult
+	jobOrder      []string // insertion order, for FIFO eviction
+	bisectFlights map[string]*bisectFlight
 }
 
 // sweepEntry is one sweep's lifecycle: created on first submission,
@@ -141,14 +159,23 @@ func New(opts Options) *Server {
 	if opts.CacheBytes <= 0 {
 		opts.CacheBytes = 256 << 20
 	}
+	if opts.MaxBisectEvals <= 0 {
+		opts.MaxBisectEvals = 128
+	}
+	if opts.JobCacheEntries <= 0 {
+		opts.JobCacheEntries = 4096
+	}
 	s := &Server{
-		opts:  opts,
-		pool:  taskalloc.NewWorkerPool(),
-		gate:  make(chan struct{}, opts.MaxConcurrent),
-		cache: make(map[string]*sweepEntry),
+		opts:          opts,
+		pool:          taskalloc.NewWorkerPool(),
+		gate:          make(chan struct{}, opts.MaxConcurrent),
+		cache:         make(map[string]*sweepEntry),
+		jobCache:      make(map[string]jobResult),
+		bisectFlights: make(map[string]*bisectFlight),
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/bisect", s.handleBisect)
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)

@@ -1,0 +1,125 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestAPIDocExamples is the API.md drift gate: every fenced ```json
+// block in the HTTP reference carries a tag naming its wire type, and
+// this test decodes each body through the codec (strictly — unknown
+// fields fail). An untagged ```json block fails too, so an example
+// cannot be added without being checked.
+func TestAPIDocExamples(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "API.md"))
+	if err != nil {
+		t.Fatalf("API.md missing: %v", err)
+	}
+	blocks := fencedBlocks(doc)
+	if len(blocks) == 0 {
+		t.Fatal("API.md has no fenced json examples")
+	}
+
+	decoders := map[string]func([]byte) error{
+		"sweep": func(b []byte) error {
+			_, err := DecodeSweep(bytes.NewReader(b))
+			return err
+		},
+		"bisect-request": func(b []byte) error {
+			_, err := DecodeBisectRequest(bytes.NewReader(b))
+			return err
+		},
+		"bisect-response": strict[BisectResponse],
+		"stream-header":   strict[StreamHeader],
+		"result-line":     strict[Result],
+		"sweep-status":    strict[SweepStatus],
+		// untyped: ad-hoc JSON (healthz/version) — validity only.
+		"untyped": func(b []byte) error {
+			if !json.Valid(b) {
+				return fmt.Errorf("invalid JSON")
+			}
+			return nil
+		},
+	}
+
+	tagged := 0
+	for _, bl := range blocks {
+		if bl.lang != "json" {
+			continue // shell snippets etc. are not wire documents
+		}
+		tagged++
+		dec, ok := decoders[bl.tag]
+		if !ok {
+			t.Errorf("API.md line %d: ```json block tagged %q — every json example "+
+				"needs a known tag (%v) so the gate can decode it", bl.line, bl.tag, keys(decoders))
+			continue
+		}
+		if err := dec(bl.body); err != nil {
+			t.Errorf("API.md line %d: %s example does not decode: %v", bl.line, bl.tag, err)
+		}
+	}
+	if tagged < 8 {
+		t.Errorf("only %d json examples found; the reference shrank?", tagged)
+	}
+}
+
+// strict decodes into T with unknown fields disallowed.
+func strict[T any](b []byte) error {
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var v T
+	return dec.Decode(&v)
+}
+
+func keys[V any](m map[string]V) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// block is one fenced code block of a markdown document.
+type block struct {
+	lang string // first word of the info string
+	tag  string // second word of the info string
+	line int    // 1-based line of the opening fence
+	body []byte
+}
+
+// fencedBlocks extracts every ``` fenced block.
+func fencedBlocks(doc []byte) []block {
+	var out []block
+	var cur *block
+	var body []string
+	for i, line := range strings.Split(string(doc), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if !strings.HasPrefix(trimmed, "```") {
+			if cur != nil {
+				body = append(body, line)
+			}
+			continue
+		}
+		if cur == nil {
+			info := strings.Fields(strings.TrimPrefix(trimmed, "```"))
+			cur = &block{line: i + 1}
+			if len(info) > 0 {
+				cur.lang = info[0]
+			}
+			if len(info) > 1 {
+				cur.tag = info[1]
+			}
+			body = body[:0]
+			continue
+		}
+		cur.body = []byte(strings.Join(body, "\n"))
+		out = append(out, *cur)
+		cur = nil
+	}
+	return out
+}
