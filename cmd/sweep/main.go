@@ -17,7 +17,8 @@
 //
 // The grid is exchangeable with the simulation service through the
 // versioned wire format (internal/wire): -dump-jobs serializes the
-// exact grid the flags resolve to, and -jobs replays a serialized grid
+// exact grid the flags resolve to (printing each job's syntactic and
+// semantic hash on stderr), and -jobs replays a serialized grid
 // through the same codec and CSV renderer, so a grid run locally,
 // replayed from a file, or POSTed to cmd/simserve produces identical
 // bytes.
@@ -46,6 +47,7 @@ import (
 	"taskalloc"
 	"taskalloc/internal/demand"
 	"taskalloc/internal/scenario"
+	"taskalloc/internal/simserver/client"
 	"taskalloc/internal/sweeprun"
 	"taskalloc/internal/wire"
 )
@@ -160,6 +162,12 @@ func runSweep(out io.Writer, values []string, p jobParams, parallel int, aggrega
 // writeJobsFile serializes the grid the flags resolve to as a wire
 // sweep document ("-" = stdout). The file replays through -jobs, POST
 // /v1/sweeps, or any other consumer of the versioned wire format.
+// Alongside the document (on stderr, so the document bytes stay pure)
+// it prints each job's two canonical identities — the syntactic hash
+// of the spelled document and the semantic hash of its behavioral
+// normal form — plus how many distinct behaviors the grid collapses to
+// under semantic hashing: the cache/partition key space a service or
+// grid coordinator would see for this grid.
 func writeJobsFile(path string, values []string, p jobParams) error {
 	jobs, err := buildJobs(values, p)
 	if err != nil {
@@ -178,7 +186,28 @@ func writeJobsFile(path string, values []string, p jobParams) error {
 		defer f.Close()
 		out = f
 	}
-	return wire.EncodeSweep(out, sweep)
+	if err := wire.EncodeSweep(out, sweep); err != nil {
+		return err
+	}
+	return writeJobHashes(os.Stderr, sweep.Jobs)
+}
+
+// writeJobHashes prints the per-job identity table -dump-jobs emits on
+// stderr: one line per job with both hashes, then the alias-collapse
+// summary (distinct semantic keys vs. job count).
+func writeJobHashes(w io.Writer, jobs []wire.Job) error {
+	distinct := make(map[string]bool)
+	for i, j := range jobs {
+		h, err := client.HashJob(j)
+		if err != nil {
+			return fmt.Errorf("jobs[%d]: %w", i, err)
+		}
+		distinct[h.Semantic] = true
+		fmt.Fprintf(w, "# job %d syntactic %s semantic %s\n", i, h.Syntactic, h.Semantic)
+	}
+	fmt.Fprintf(w, "# %d jobs, %d distinct behaviors under semantic hashing\n",
+		len(jobs), len(distinct))
+	return nil
 }
 
 // replayJobs decodes a serialized grid and runs it through the exact

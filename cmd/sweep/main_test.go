@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"math"
 	"os"
@@ -246,5 +247,58 @@ func TestParseResizes(t *testing.T) {
 		if _, err := parseResizes(bad); err == nil {
 			t.Fatalf("%q accepted", bad)
 		}
+	}
+}
+
+// TestWriteJobHashes: the -dump-jobs identity table carries both
+// canonical hashes per job, and its alias-collapse summary counts
+// distinct behaviors — a frozen snapshot and its generative spelling
+// collapse to one semantic key while keeping two syntactic ones.
+func TestWriteJobHashes(t *testing.T) {
+	step := &wire.Schedule{
+		Kind: "step", Base: []int{40, 60},
+		When: []uint64{30}, Vectors: [][]int{{70, 30}},
+	}
+	sched, err := step.ToSchedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fz, err := scenario.Freeze(sched, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fzEnc, err := wire.FromSchedule(fz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkJob := func(sc wire.Schedule) wire.Job {
+		return wire.Job{Rounds: 80, Config: wire.Config{
+			Ants: 100, Epsilon: 0.5, Gamma: 0.02, Seed: 3, Schedule: &sc,
+		}}
+	}
+	var buf bytes.Buffer
+	if err := writeJobHashes(&buf, []wire.Job{mkJob(*step), mkJob(fzEnc)}); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 2 jobs + summary:\n%s", len(lines), buf.String())
+	}
+	var syn, sem [2]string
+	for i := 0; i < 2; i++ {
+		var idx int
+		if _, err := fmt.Sscanf(lines[i], "# job %d syntactic %s semantic %s",
+			&idx, &syn[i], &sem[i]); err != nil || idx != i {
+			t.Fatalf("bad table line %q: %v", lines[i], err)
+		}
+	}
+	if syn[0] == syn[1] {
+		t.Fatal("alias pair shares a syntactic hash; test is vacuous")
+	}
+	if sem[0] != sem[1] {
+		t.Fatalf("alias pair split semantically: %s vs %s", sem[0], sem[1])
+	}
+	if want := "# 2 jobs, 1 distinct behaviors under semantic hashing"; lines[2] != want {
+		t.Fatalf("summary %q, want %q", lines[2], want)
 	}
 }

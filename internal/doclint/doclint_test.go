@@ -7,13 +7,16 @@ import (
 
 // TestExportedDocsComplete is the doc-completeness gate promised by the
 // serving-layer docs: every exported identifier of the wire format, the
-// service client, and the grid coordinator must carry a doc comment.
-// Extend gated with any new public-facing package.
+// service client, the grid coordinator, the scenario subsystem, and the
+// batch runner must carry a doc comment. Extend gated with any new
+// public-facing package.
 func TestExportedDocsComplete(t *testing.T) {
 	gated := []string{
 		"internal/wire",
 		"internal/simserver/client",
 		"internal/gridcoord",
+		"internal/scenario",
+		"internal/sweeprun",
 	}
 	root := filepath.Join("..", "..")
 	for _, dir := range gated {

@@ -70,6 +70,13 @@ func EnsembleJSON() ([]byte, error) {
 	ensembleAlgos := algorithms[:2] // ant, precise-sigmoid: the S5 pair
 	var jobs []sweeprun.Job
 	for _, fam := range families {
+		if fam.name == "algebra" {
+			// The S5 fixture pins the paper experiment's original
+			// families; the later-added algebra composition case is
+			// covered by its per-trajectory goldens, and keeping it out
+			// keeps the ensemble fixture's bytes frozen.
+			continue
+		}
 		for _, a := range ensembleAlgos {
 			for s := 0; s < EnsembleSeeds; s++ {
 				// Each job builds a fresh schedule instance: the

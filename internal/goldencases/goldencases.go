@@ -65,6 +65,37 @@ var families = []struct {
 		p := [][]float64{{0.6, 0.4}, {0.4, 0.6}}
 		return scenario.NewMarkovModulated([]demand.Vector{base, rev}, p, 25, 0, 5)
 	}},
+	// algebra nests every composition operator: a scaled burst spliced
+	// into a heavy-tail-perturbed superposition of a sinusoid and a
+	// static floor. The whole tree is wire-encodable, so the service
+	// replays this trajectory from a decoded document too.
+	{"algebra", func() (demand.Schedule, error) {
+		peak := base.Clone()
+		peak[0] *= 2
+		burst, err := scenario.NewBurst(base, peak, 20, 40, 15)
+		if err != nil {
+			return nil, err
+		}
+		scaled, err := scenario.NewModulate(burst, []float64{1.25, 0.8})
+		if err != nil {
+			return nil, err
+		}
+		sin, err := scenario.NewSinusoid(demand.Vector{30, 40},
+			[]float64{0.4, 0.4}, 50, []float64{0, 3.14159})
+		if err != nil {
+			return nil, err
+		}
+		sum, err := scenario.NewSuperpose([]demand.Schedule{
+			sin, demand.Static{V: demand.Vector{10, 20}}})
+		if err != nil {
+			return nil, err
+		}
+		noisy, err := scenario.NewStableNoise(sum, 1.5, 4, 15, 11)
+		if err != nil {
+			return nil, err
+		}
+		return scenario.NewCompose([]demand.Schedule{scaled, noisy}, []uint64{0, 80})
+	}},
 }
 
 var algorithms = []struct {

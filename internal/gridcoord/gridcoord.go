@@ -7,11 +7,14 @@
 // NDJSON and CSV formats.
 //
 // Partitioning is static: job i goes to the backend whose slice of the
-// 64-bit hash space contains the leading bits of wire.JobHash(job).
-// Static assignment keeps the placement deterministic and
-// cache-friendly — an identical re-submission sends every backend the
-// exact sub-sweep it has already hashed and cached, so the whole grid
-// replays from the backends' result caches.
+// 64-bit hash space contains the leading bits of wire.SemanticHash(job)
+// — the behavioral hash, under which equivalent spellings of one job
+// (a frozen snapshot and its generative schedule, say) collapse to the
+// same key. Static assignment keeps the placement deterministic and
+// cache-friendly — an identical OR behaviorally equivalent
+// re-submission sends every backend a sub-sweep it has already hashed
+// and cached, so the whole grid replays from the backends' result
+// caches even when the resubmitted document is spelled differently.
 //
 // Failure handling: when a backend dies mid-sweep (transport error,
 // truncated stream), its undelivered jobs are re-submitted to the next
@@ -23,9 +26,10 @@
 // identically everywhere.
 //
 // Adaptive grids: Bisect forwards a γ-bisection request (POST
-// /v1/bisect) to the backend that owns the request's canonical hash,
-// failing over to the next surviving backend — so repeat bisections
-// land on the backend whose job-level cache is already warm.
+// /v1/bisect) to the backend that owns the request's behavioral hash
+// (wire.SemanticBisectHash), failing over to the next surviving
+// backend — so repeat or behaviorally equivalent bisections land on
+// the backend whose job-level cache is already warm.
 package gridcoord
 
 import (
@@ -142,18 +146,20 @@ func New(opts Options) (*Coordinator, error) {
 	return c, nil
 }
 
-// Partition assigns each job to one of n backends by canonical
-// job-hash range: the 64-bit prefix of wire.JobHash(job) falls into one
-// of n equal slices of the hash space. The assignment is a pure
-// function of (job, n) — re-submitting the same grid to the same
-// backend count reproduces it exactly.
+// Partition assigns each job to one of n backends by behavioral
+// job-hash range: the 64-bit prefix of wire.SemanticHash(job) falls
+// into one of n equal slices of the hash space. The assignment is a
+// pure function of (job's behavior, n) — re-submitting the same grid,
+// or any behaviorally equivalent spelling of it, to the same backend
+// count reproduces it exactly, so equivalent jobs land on the backend
+// that already holds the result.
 func Partition(jobs []wire.Job, n int) ([][]int, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("gridcoord: partition needs n >= 1, got %d", n)
 	}
 	out := make([][]int, n)
 	for i, j := range jobs {
-		h, err := wire.JobHash(j)
+		h, err := wire.SemanticHash(j)
 		if err != nil {
 			return nil, fmt.Errorf("gridcoord: jobs[%d]: %w", i, err)
 		}
@@ -189,9 +195,9 @@ func (c *Coordinator) observe(ev Event) {
 // Run shards sweep across the backends, merges the streams, and writes
 // the rendered output to w. The bytes written are identical to the
 // same sweep POSTed to one backend with the same format — the
-// coordinator recomputes the canonical sweep hash for the stream
-// header, re-indexes each backend's local results to their global
-// positions, and emits in strict job order.
+// coordinator recomputes the semantic sweep hash (the service's public
+// sweep ID) for the stream header, re-indexes each backend's local
+// results to their global positions, and emits in strict job order.
 func (c *Coordinator) Run(ctx context.Context, sweep wire.Sweep, format Format, w io.Writer) (Stats, error) {
 	if format != FormatNDJSON && format != FormatCSV {
 		return Stats{}, fmt.Errorf("gridcoord: unknown format %q", format)
@@ -199,7 +205,7 @@ func (c *Coordinator) Run(ctx context.Context, sweep wire.Sweep, format Format, 
 	if sweep.Version == "" {
 		sweep.Version = wire.V1
 	}
-	id, err := wire.SweepHash(sweep)
+	id, err := wire.SemanticSweepHash(sweep)
 	if err != nil {
 		return Stats{}, err
 	}
@@ -383,11 +389,12 @@ func (c *Coordinator) redispatch(ctx context.Context, wg *sync.WaitGroup, st *ru
 }
 
 // Bisect forwards a γ-bisection request to the backend that owns the
-// request's canonical hash, failing over to the next backend on
-// transport or 5xx errors. Affinity is deterministic, so a repeat of
-// the same request reaches the same backend's warm job cache.
+// request's behavioral hash, failing over to the next backend on
+// transport or 5xx errors. Affinity is deterministic and semantic, so
+// a repeat — or an equivalently spelled variant — of the same request
+// reaches the same backend's warm job cache.
 func (c *Coordinator) Bisect(ctx context.Context, req wire.BisectRequest) (*wire.BisectResponse, error) {
-	h, err := wire.BisectHash(req)
+	h, err := wire.SemanticBisectHash(req)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,238 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"taskalloc/internal/demand"
+	"taskalloc/internal/rng"
+)
+
+// This file defines the scenario algebra: operators that build new
+// demand schedules out of existing ones — Compose (sequential splice),
+// Modulate (pointwise scale), Superpose (sum), and StableNoise (an
+// alpha-stable heavy-tailed noise regime). Every operator is defined
+// together with its normalization rule in canon.go, so composed
+// configurations still reduce to the behavioral normal form the
+// service's semantic caches key on.
+
+// maxStableDemand caps a StableNoise sample before the float → int
+// conversion: alpha-stable noise is heavy-tailed (infinite variance for
+// Alpha < 2), so a raw draw can exceed what int conversion defines.
+const maxStableDemand = 1 << 31
+
+// Compose splices schedules sequentially: part i is in force on rounds
+// [When[i], When[i+1]) — the last part forever — and is evaluated in
+// its own local time t − When[i], so each part behaves exactly as if
+// its segment started at round 0.
+type Compose struct {
+	Parts []demand.Schedule
+	When  []uint64 // When[0] == 0; strictly increasing
+}
+
+// NewCompose validates and builds a Compose. parts and when must have
+// equal non-zero length, when must start at 0 and be strictly
+// increasing, and every part must yield the same task count.
+func NewCompose(parts []demand.Schedule, when []uint64) (*Compose, error) {
+	if len(parts) == 0 || len(parts) != len(when) {
+		return nil, errors.New("scenario: Compose needs matching, non-empty parts/when")
+	}
+	if when[0] != 0 {
+		return nil, errors.New("scenario: Compose must start at round 0")
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("scenario: Compose part %d is nil", i)
+		}
+		if i > 0 && when[i] <= when[i-1] {
+			return nil, errors.New("scenario: Compose rounds must be strictly increasing")
+		}
+		if p.Tasks() != parts[0].Tasks() {
+			return nil, fmt.Errorf("scenario: Compose part %d has %d tasks, want %d",
+				i, p.Tasks(), parts[0].Tasks())
+		}
+	}
+	return &Compose{Parts: parts, When: when}, nil
+}
+
+// At implements demand.Schedule: the in-force part evaluated at its
+// local time.
+func (c *Compose) At(t uint64) demand.Vector {
+	i := sort.Search(len(c.When), func(i int) bool { return c.When[i] > t })
+	// i >= 1 always: When[0] == 0 <= t.
+	return c.Parts[i-1].At(t - c.When[i-1])
+}
+
+// Tasks implements demand.Schedule.
+func (c *Compose) Tasks() int { return c.Parts[0].Tasks() }
+
+// Modulate scales an inner schedule pointwise: task j's demand becomes
+// max(1, round(Scale[j] · inner_j(t))). It models proportional load
+// shifts (a colony serving double the brood) without re-deriving the
+// underlying process.
+type Modulate struct {
+	Inner demand.Schedule
+	Scale []float64 // per-task factor, positive and finite
+
+	m memo
+}
+
+// NewModulate validates and builds a Modulate. scale must have one
+// positive finite entry per task of inner.
+func NewModulate(inner demand.Schedule, scale []float64) (*Modulate, error) {
+	if inner == nil {
+		return nil, errors.New("scenario: Modulate needs an inner schedule")
+	}
+	if len(scale) != inner.Tasks() {
+		return nil, errors.New("scenario: Modulate Scale length mismatch")
+	}
+	for _, s := range scale {
+		if !(s > 0) || math.IsInf(s, 0) {
+			return nil, fmt.Errorf("scenario: Modulate scale %v not positive finite", s)
+		}
+	}
+	return &Modulate{Inner: inner, Scale: scale}, nil
+}
+
+// At implements demand.Schedule.
+func (m *Modulate) At(t uint64) demand.Vector {
+	if v, ok := m.m.get(t); ok {
+		return v
+	}
+	in := m.Inner.At(t)
+	v := make(demand.Vector, len(in))
+	for j, d := range in {
+		v[j] = clampPos(m.Scale[j] * float64(d))
+	}
+	return m.m.put(t, v)
+}
+
+// Tasks implements demand.Schedule.
+func (m *Modulate) Tasks() int { return m.Inner.Tasks() }
+
+// Superpose sums schedules pointwise: the demand of task j is the sum
+// of every part's demand for j. It models independent workload sources
+// (baseline foraging plus a seasonal overlay) sharing one task set.
+type Superpose struct {
+	Parts []demand.Schedule
+
+	m memo
+}
+
+// NewSuperpose validates and builds a Superpose. All parts must yield
+// the same task count.
+func NewSuperpose(parts []demand.Schedule) (*Superpose, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("scenario: Superpose needs >= 1 part")
+	}
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("scenario: Superpose part %d is nil", i)
+		}
+		if p.Tasks() != parts[0].Tasks() {
+			return nil, fmt.Errorf("scenario: Superpose part %d has %d tasks, want %d",
+				i, p.Tasks(), parts[0].Tasks())
+		}
+	}
+	return &Superpose{Parts: parts}, nil
+}
+
+// At implements demand.Schedule.
+func (s *Superpose) At(t uint64) demand.Vector {
+	if v, ok := s.m.get(t); ok {
+		return v
+	}
+	v := make(demand.Vector, s.Parts[0].Tasks())
+	for _, p := range s.Parts {
+		for j, d := range p.At(t) {
+			v[j] += d
+		}
+	}
+	return s.m.put(t, v)
+}
+
+// Tasks implements demand.Schedule.
+func (s *Superpose) Tasks() int { return s.Parts[0].Tasks() }
+
+// StableNoise perturbs an inner schedule with symmetric alpha-stable
+// noise: every Every rounds each task draws an independent S(Alpha)
+// variate X and the demand becomes max(1, round(inner_j(t) + Sigma·X)),
+// capped at maxStableDemand. Alpha = 2 is Gaussian-tailed; smaller
+// Alpha gives the heavy-tailed shocks of the Lévy-stable workload
+// models — rare, extreme demand spikes no finite-variance process
+// produces. Draws derive from a hash of (Seed, epoch), so the sample
+// path is reproducible and independent of call order.
+type StableNoise struct {
+	Inner demand.Schedule
+	Alpha float64 // stability exponent in (0, 2]
+	Sigma float64 // noise scale, >= 0
+	Every uint64  // epoch length in rounds, >= 1
+	Seed  uint64
+
+	m memo
+}
+
+// NewStableNoise validates and builds a StableNoise schedule.
+func NewStableNoise(inner demand.Schedule, alpha, sigma float64, every uint64, seed uint64) (*StableNoise, error) {
+	if inner == nil {
+		return nil, errors.New("scenario: StableNoise needs an inner schedule")
+	}
+	if !(alpha > 0) || alpha > 2 {
+		return nil, fmt.Errorf("scenario: StableNoise alpha %v outside (0, 2]", alpha)
+	}
+	if !(sigma >= 0) || math.IsInf(sigma, 0) {
+		return nil, fmt.Errorf("scenario: StableNoise sigma %v not finite and >= 0", sigma)
+	}
+	if every < 1 {
+		return nil, errors.New("scenario: StableNoise needs Every >= 1")
+	}
+	return &StableNoise{Inner: inner, Alpha: alpha, Sigma: sigma, Every: every, Seed: seed}, nil
+}
+
+// stableDraw samples a standard symmetric alpha-stable variate by the
+// Chambers–Mallows–Stuck construction: with U uniform on (−π/2, π/2)
+// and W exponential(1),
+//
+//	X = sin(αU)/cos(U)^{1/α} · (cos(U−αU)/W)^{(1−α)/α}   (α ≠ 1)
+//	X = tan(U)                                            (α = 1)
+func stableDraw(r *rng.Rng, alpha float64) float64 {
+	u := math.Pi * (r.Float64() - 0.5)
+	w := r.ExpFloat64()
+	if alpha == 1 {
+		return math.Tan(u)
+	}
+	x := math.Sin(alpha*u) / math.Pow(math.Cos(u), 1/alpha)
+	return x * math.Pow(math.Cos(u-alpha*u)/w, (1-alpha)/alpha)
+}
+
+// At implements demand.Schedule.
+func (s *StableNoise) At(t uint64) demand.Vector {
+	if v, ok := s.m.get(t); ok {
+		return v
+	}
+	in := s.Inner.At(t)
+	v := make(demand.Vector, len(in))
+	r := rng.New(epochSeed(s.Seed, t/s.Every))
+	for j, d := range in {
+		x := float64(d) + s.Sigma*stableDraw(r, s.Alpha)
+		switch {
+		case math.IsNaN(x) || x < 1:
+			v[j] = 1
+		case x > maxStableDemand:
+			v[j] = maxStableDemand
+		default:
+			v[j] = clampPos(x)
+		}
+	}
+	return s.m.put(t, v)
+}
+
+// Tasks implements demand.Schedule.
+func (s *StableNoise) Tasks() int { return s.Inner.Tasks() }
+
+var _ demand.Schedule = (*Compose)(nil)
+var _ demand.Schedule = (*Modulate)(nil)
+var _ demand.Schedule = (*Superpose)(nil)
+var _ demand.Schedule = (*StableNoise)(nil)

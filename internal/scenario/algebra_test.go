@@ -1,0 +1,180 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"taskalloc/internal/demand"
+)
+
+func TestComposeLocalTime(t *testing.T) {
+	step, err := demand.NewStep(demand.Vector{10, 20}, []uint64{5}, []demand.Vector{{30, 40}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCompose([]demand.Schedule{demand.Static{V: demand.Vector{1, 2}}, step}, []uint64{0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.At(99); !got.Equal(demand.Vector{1, 2}) {
+		t.Fatalf("At(99) = %v, want first part", got)
+	}
+	// Round 100 is the step's local round 0: before its change.
+	if got := c.At(100); !got.Equal(demand.Vector{10, 20}) {
+		t.Fatalf("At(100) = %v, want step initial", got)
+	}
+	// Round 105 is the step's local round 5: at its change.
+	if got := c.At(105); !got.Equal(demand.Vector{30, 40}) {
+		t.Fatalf("At(105) = %v, want step change", got)
+	}
+	if c.Tasks() != 2 {
+		t.Fatalf("Tasks() = %d", c.Tasks())
+	}
+}
+
+func TestComposeValidation(t *testing.T) {
+	stat := demand.Static{V: demand.Vector{5}}
+	cases := []struct {
+		name  string
+		parts []demand.Schedule
+		when  []uint64
+	}{
+		{"empty", nil, nil},
+		{"length mismatch", []demand.Schedule{stat}, []uint64{0, 10}},
+		{"nonzero start", []demand.Schedule{stat}, []uint64{3}},
+		{"not increasing", []demand.Schedule{stat, stat}, []uint64{0, 0}},
+		{"nil part", []demand.Schedule{stat, nil}, []uint64{0, 5}},
+		{"task mismatch", []demand.Schedule{stat, demand.Static{V: demand.Vector{1, 2}}}, []uint64{0, 5}},
+	}
+	for _, c := range cases {
+		if _, err := NewCompose(c.parts, c.when); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestModulateScalesAndClamps(t *testing.T) {
+	m, err := NewModulate(demand.Static{V: demand.Vector{10, 3}}, []float64{2.5, 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10·2.5 = 25; 3·0.1 = 0.3 rounds to 0, clamps to 1.
+	if got := m.At(7); !got.Equal(demand.Vector{25, 1}) {
+		t.Fatalf("At = %v, want [25 1]", got)
+	}
+	if _, err := NewModulate(nil, []float64{1}); err == nil {
+		t.Error("nil inner: want error")
+	}
+	if _, err := NewModulate(demand.Static{V: demand.Vector{1}}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch: want error")
+	}
+	for _, bad := range []float64{0, -1, math.NaN(), math.Inf(1)} {
+		if _, err := NewModulate(demand.Static{V: demand.Vector{1}}, []float64{bad}); err == nil {
+			t.Errorf("scale %v: want error", bad)
+		}
+	}
+}
+
+func TestSuperposeSums(t *testing.T) {
+	step, err := demand.NewStep(demand.Vector{5, 5}, []uint64{10}, []demand.Vector{{7, 9}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSuperpose([]demand.Schedule{demand.Static{V: demand.Vector{100, 200}}, step})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.At(0); !got.Equal(demand.Vector{105, 205}) {
+		t.Fatalf("At(0) = %v", got)
+	}
+	if got := s.At(10); !got.Equal(demand.Vector{107, 209}) {
+		t.Fatalf("At(10) = %v", got)
+	}
+	if _, err := NewSuperpose(nil); err == nil {
+		t.Error("empty: want error")
+	}
+	if _, err := NewSuperpose([]demand.Schedule{demand.Static{V: demand.Vector{1}}, nil}); err == nil {
+		t.Error("nil part: want error")
+	}
+	if _, err := NewSuperpose([]demand.Schedule{
+		demand.Static{V: demand.Vector{1}}, demand.Static{V: demand.Vector{1, 2}},
+	}); err == nil {
+		t.Error("task mismatch: want error")
+	}
+}
+
+func TestStableNoiseDeterministicAndOrderFree(t *testing.T) {
+	inner := demand.Static{V: demand.Vector{500, 800}}
+	build := func() *StableNoise {
+		s, err := NewStableNoise(inner, 1.4, 25, 10, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := build(), build()
+	// Forward sweep vs. reverse access must agree: draws key on the
+	// epoch hash, not call order.
+	var forward []demand.Vector
+	for tt := uint64(0); tt <= 100; tt++ {
+		forward = append(forward, a.At(tt).Clone())
+	}
+	for tt := int(100); tt >= 0; tt-- {
+		if got := b.At(uint64(tt)); !got.Equal(forward[tt]) {
+			t.Fatalf("At(%d) order-dependent: %v vs %v", tt, got, forward[tt])
+		}
+	}
+	// Same epoch shares one draw vector over a static inner.
+	if !a.At(10).Equal(a.At(19)) {
+		t.Fatalf("rounds 10 and 19 are one epoch: %v vs %v", a.At(10), a.At(19))
+	}
+	// Every value respects the demand floor and the tail cap.
+	for e := uint64(0); e < 11; e++ {
+		for _, d := range a.At(e * 10) {
+			if d < 1 || d > maxStableDemand {
+				t.Fatalf("epoch %d value outside [1, %d]", e, maxStableDemand)
+			}
+		}
+	}
+}
+
+func TestStableNoiseAlphaOne(t *testing.T) {
+	s, err := NewStableNoise(demand.Static{V: demand.Vector{100}}, 1, 10, 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tt := uint64(0); tt < 50; tt++ {
+		if d := s.At(tt)[0]; d < 1 || d > maxStableDemand {
+			t.Fatalf("At(%d) = %d outside bounds", tt, d)
+		}
+	}
+}
+
+func TestStableNoiseValidation(t *testing.T) {
+	inner := demand.Static{V: demand.Vector{10}}
+	cases := []struct {
+		name         string
+		alpha, sigma float64
+		every        uint64
+		bad          bool
+	}{
+		{"ok gaussian tail", 2, 1, 1, false},
+		{"ok cauchy", 1, 0.5, 5, false},
+		{"alpha zero", 0, 1, 1, true},
+		{"alpha over 2", 2.1, 1, 1, true},
+		{"alpha nan", math.NaN(), 1, 1, true},
+		{"sigma negative", 1.5, -1, 1, true},
+		{"sigma nan", 1.5, math.NaN(), 1, true},
+		{"sigma inf", 1.5, math.Inf(1), 1, true},
+		{"every zero", 1.5, 1, 0, true},
+	}
+	for _, c := range cases {
+		_, err := NewStableNoise(inner, c.alpha, c.sigma, c.every, 1)
+		if (err != nil) != c.bad {
+			t.Errorf("%s: err = %v, want error %v", c.name, err, c.bad)
+		}
+	}
+	if _, err := NewStableNoise(nil, 1.5, 1, 1, 1); err == nil {
+		t.Error("nil inner: want error")
+	}
+}

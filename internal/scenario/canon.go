@@ -1,0 +1,407 @@
+package scenario
+
+import (
+	"math"
+	"sort"
+
+	"taskalloc/internal/demand"
+)
+
+// Canon reduces a schedule to its behavioral normal form: the minimal
+// schedule family with the identical At(t) function for every round t.
+// The engines consume schedules only through pointwise At evaluation,
+// so two schedules with equal normal forms are behaviorally
+// indistinguishable at any seed — the property the wire layer's
+// SemanticHash and the service's semantic result caches rest on, and
+// the property every reduction rule is pinned against by a
+// reduced-vs-unreduced identical-trajectory test.
+//
+// Rules (each fires only when it is exactly behavior-preserving):
+//
+//   - Frozen and Trace point-lists collapse to the minimal
+//     piecewise-constant family: one distinct vector → Static, else →
+//     Step (a Frozen's horizon is behaviorally irrelevant — both clamp
+//     to the last vector).
+//   - Step folds a change at round 0 into the initial vector and drops
+//     consecutive equal vectors; no changes left → Static.
+//   - Sinusoid with all-zero amplitude → Static.
+//   - Burst with Peak == Base → Static; a single burst (Every == 0) →
+//     Step.
+//   - RandomWalk pinned by its bounds (Min == Max) → Static.
+//   - MarkovModulated whose reachable regimes are all equal → Static
+//     (covers one-regime and absorbing-start chains, and rank-1 chains
+//     over equal-valued regimes); a chain whose reachable rows are all
+//     point masses follows a deterministic path — if that path's value
+//     becomes constant, it collapses to Step/Static.
+//   - Compose/Modulate/Superpose of piecewise-constant parts evaluate
+//     to the equivalent Step/Static; a single-part Compose or Superpose
+//     and an all-ones Modulate reduce to their (normalized) operand.
+//   - StableNoise with Sigma == 0 → its (normalized) inner schedule.
+//
+// Schedules no rule applies to (generative families, algebra over
+// generative operands) are returned with normalized children but are
+// otherwise unchanged. Canon never mutates its argument.
+func Canon(s demand.Schedule) demand.Schedule {
+	return canon(s, maxCanonDepth)
+}
+
+// maxCanonDepth bounds the recursion over nested algebra operators, so
+// a pathologically deep (or cyclic, via aliased parts) composition
+// cannot overflow the stack; deeper levels are returned unnormalized.
+const maxCanonDepth = 64
+
+// pwcForm is a piecewise-constant view of a schedule: vecs[i] is in
+// force from round when[i] (inclusive) to when[i+1] (exclusive), the
+// last vector forever. when[0] is always 0.
+type pwcForm struct {
+	when []uint64
+	vecs []demand.Vector
+}
+
+// at evaluates the view — the reference semantics fromPieces preserves.
+func (p pwcForm) at(t uint64) demand.Vector {
+	i := len(p.when) - 1
+	for i > 0 && p.when[i] > t {
+		i--
+	}
+	return p.vecs[i]
+}
+
+func canon(s demand.Schedule, depth int) demand.Schedule {
+	if s == nil || depth <= 0 {
+		return s
+	}
+	switch v := s.(type) {
+	case *Compose:
+		parts := make([]demand.Schedule, len(v.Parts))
+		for i, p := range v.Parts {
+			parts[i] = canon(p, depth-1)
+		}
+		if len(parts) == 1 {
+			// When[0] == 0, so local time equals global time.
+			return parts[0]
+		}
+		if p, ok := composePieces(parts, v.When); ok {
+			return fromPieces(p, s)
+		}
+		out, err := NewCompose(parts, append([]uint64(nil), v.When...))
+		if err != nil {
+			return s
+		}
+		return out
+	case *Modulate:
+		inner := canon(v.Inner, depth-1)
+		ones := true
+		for _, f := range v.Scale {
+			if f != 1 {
+				ones = false
+				break
+			}
+		}
+		if ones {
+			// clampPos(1·d) == d for every valid demand d >= 1.
+			return inner
+		}
+		if p, ok := pieces(inner); ok {
+			for i, vec := range p.vecs {
+				scaled := make(demand.Vector, len(vec))
+				for j, d := range vec {
+					scaled[j] = clampPos(v.Scale[j] * float64(d))
+				}
+				p.vecs[i] = scaled
+			}
+			return fromPieces(p, s)
+		}
+		out, err := NewModulate(inner, append([]float64(nil), v.Scale...))
+		if err != nil {
+			return s
+		}
+		return out
+	case *Superpose:
+		parts := make([]demand.Schedule, len(v.Parts))
+		for i, p := range v.Parts {
+			parts[i] = canon(p, depth-1)
+		}
+		if len(parts) == 1 {
+			return parts[0]
+		}
+		if p, ok := superposePieces(parts); ok {
+			return fromPieces(p, s)
+		}
+		out, err := NewSuperpose(parts)
+		if err != nil {
+			return s
+		}
+		return out
+	case *StableNoise:
+		inner := canon(v.Inner, depth-1)
+		if v.Sigma == 0 {
+			// clampPos(d + 0) == d for every valid demand d >= 1.
+			return inner
+		}
+		out, err := NewStableNoise(inner, v.Alpha, v.Sigma, v.Every, v.Seed)
+		if err != nil {
+			return s
+		}
+		return out
+	}
+	if p, ok := pieces(s); ok {
+		return fromPieces(p, s)
+	}
+	return s
+}
+
+// pieces extracts the piecewise-constant view of a schedule, when it
+// has one with finitely many change points. The returned vectors are
+// fresh copies safe to mutate.
+func pieces(s demand.Schedule) (pwcForm, bool) {
+	switch v := s.(type) {
+	case demand.Static:
+		return pwcForm{when: []uint64{0}, vecs: []demand.Vector{v.V.Clone()}}, true
+	case *demand.Static:
+		return pwcForm{when: []uint64{0}, vecs: []demand.Vector{v.V.Clone()}}, true
+	case *demand.Step:
+		p := pwcForm{when: []uint64{0}, vecs: []demand.Vector{v.Initial.Clone()}}
+		for i, w := range v.When {
+			if w == 0 {
+				// A change at round 0 shadows the initial vector.
+				p.vecs[0] = v.Changes[i].Clone()
+				continue
+			}
+			p.when = append(p.when, w)
+			p.vecs = append(p.vecs, v.Changes[i].Clone())
+		}
+		return p, true
+	case *Trace:
+		when, vecs := v.Points()
+		// Rounds before the first stamp use the first vector, so the
+		// first stamp is behaviorally round 0.
+		when[0] = 0
+		return pwcForm{when: when, vecs: vecs}, true
+	case *Frozen:
+		// Points always starts at round 0; rounds past the horizon clamp
+		// to the last vector, exactly the pwcForm (and Step) semantics,
+		// so the horizon itself carries no behavioral content.
+		when, vecs := v.Points()
+		return pwcForm{when: when, vecs: vecs}, true
+	case *Sinusoid:
+		for _, a := range v.Amp {
+			if a != 0 {
+				return pwcForm{}, false
+			}
+		}
+		// Zero amplitude: clampPos(d·(1+0·sin)) == d at every round.
+		return pwcForm{when: []uint64{0}, vecs: []demand.Vector{v.Base.Clone()}}, true
+	case *Burst:
+		if v.Peak.Equal(v.Base) {
+			return pwcForm{when: []uint64{0}, vecs: []demand.Vector{v.Base.Clone()}}, true
+		}
+		if v.Every != 0 {
+			return pwcForm{}, false // recurring: infinitely many changes
+		}
+		if v.Start == 0 {
+			return pwcForm{
+				when: []uint64{0, v.Len},
+				vecs: []demand.Vector{v.Peak.Clone(), v.Base.Clone()},
+			}, true
+		}
+		return pwcForm{
+			when: []uint64{0, v.Start, v.Start + v.Len},
+			vecs: []demand.Vector{v.Base.Clone(), v.Peak.Clone(), v.Base.Clone()},
+		}, true
+	case *RandomWalk:
+		for j := range v.Min {
+			if v.Min[j] != v.Max[j] {
+				return pwcForm{}, false
+			}
+		}
+		// Min == Max brackets Base, so every epoch clamps back to Base.
+		return pwcForm{when: []uint64{0}, vecs: []demand.Vector{v.Base.Clone()}}, true
+	case *MarkovModulated:
+		return markovPieces(v)
+	}
+	return pwcForm{}, false
+}
+
+// markovPieces reduces degenerate Markov-modulated schedules. Two exact
+// (not merely almost-sure) reductions apply:
+//
+//   - Every regime reachable from Start through positive-probability
+//     transitions has the same vector: the sampled path can only ever
+//     visit equal-valued regimes, so the schedule is Static whatever
+//     the seed draws.
+//   - Every reachable row is a point mass (its first non-zero entry has
+//     probability >= 1): the sampled next state is independent of the
+//     uniform draw, so the path is deterministic. If the path's cycle
+//     holds one distinct vector, the schedule is an eventually-constant
+//     Step; a cycle over distinct vectors stays Markov.
+func markovPieces(m *MarkovModulated) (pwcForm, bool) {
+	n := len(m.Regimes)
+	reachable := make([]bool, n)
+	queue := []int{m.Start}
+	reachable[m.Start] = true
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		for j, q := range m.P[i] {
+			if q > 0 && !reachable[j] {
+				reachable[j] = true
+				queue = append(queue, j)
+			}
+		}
+	}
+	allEqual := true
+	for j := 0; j < n && allEqual; j++ {
+		if reachable[j] && !m.Regimes[j].Equal(m.Regimes[m.Start]) {
+			allEqual = false
+		}
+	}
+	if allEqual {
+		return pwcForm{when: []uint64{0}, vecs: []demand.Vector{m.Regimes[m.Start].Clone()}}, true
+	}
+
+	// Deterministic-path check: every reachable row must pick its next
+	// state regardless of the uniform draw u in [0, 1) — true exactly
+	// when all entries before the first non-zero one are 0 (trivially)
+	// and that entry is >= 1.
+	next := make([]int, n)
+	for i := 0; i < n; i++ {
+		if !reachable[i] {
+			next[i] = -1
+			continue
+		}
+		next[i] = -1
+		for j, q := range m.P[i] {
+			if q != 0 {
+				if q >= 1 {
+					next[i] = j
+				}
+				break
+			}
+		}
+		if next[i] == -1 {
+			return pwcForm{}, false
+		}
+	}
+	// Follow the deterministic path until a state repeats; at most n
+	// steps to the cycle.
+	seenAt := make([]int, n)
+	for i := range seenAt {
+		seenAt[i] = -1
+	}
+	var path []int
+	state := m.Start
+	for seenAt[state] == -1 {
+		seenAt[state] = len(path)
+		path = append(path, state)
+		state = next[state]
+	}
+	cycleStart := seenAt[state]
+	for i := cycleStart + 1; i < len(path); i++ {
+		if !m.Regimes[path[i]].Equal(m.Regimes[path[cycleStart]]) {
+			return pwcForm{}, false // genuine oscillation: stays Markov
+		}
+	}
+	// Eventually constant: emit the pre-cycle epochs, then the cycle's
+	// vector forever. Epoch e spans rounds [e·Dwell, (e+1)·Dwell).
+	p := pwcForm{}
+	for e := 0; e <= cycleStart; e++ {
+		p.when = append(p.when, uint64(e)*m.Dwell)
+		p.vecs = append(p.vecs, m.Regimes[path[e]].Clone())
+	}
+	return p, true
+}
+
+// composePieces splices piecewise-constant parts into one view: part
+// i's change points shift by its segment start and truncate at the next
+// segment boundary.
+func composePieces(parts []demand.Schedule, when []uint64) (pwcForm, bool) {
+	var out pwcForm
+	for i, part := range parts {
+		p, ok := pieces(part)
+		if !ok {
+			return pwcForm{}, false
+		}
+		start := when[i]
+		end := uint64(math.MaxUint64)
+		if i+1 < len(when) {
+			end = when[i+1]
+		}
+		// The part's value at segment entry is p.at(0) == p.vecs[0]
+		// (p.when[0] == 0), so the first emitted point is the segment
+		// start itself.
+		for k, w := range p.when {
+			if w >= end-start { // local change at or past the segment end
+				break
+			}
+			out.when = append(out.when, start+w)
+			out.vecs = append(out.vecs, p.vecs[k])
+		}
+	}
+	return out, true
+}
+
+// superposePieces sums piecewise-constant parts: the union of change
+// points, each valued at the sum of the in-force vectors.
+func superposePieces(parts []demand.Schedule) (pwcForm, bool) {
+	views := make([]pwcForm, len(parts))
+	times := map[uint64]bool{}
+	for i, part := range parts {
+		p, ok := pieces(part)
+		if !ok {
+			return pwcForm{}, false
+		}
+		views[i] = p
+		for _, w := range p.when {
+			times[w] = true
+		}
+	}
+	when := make([]uint64, 0, len(times))
+	for w := range times {
+		when = append(when, w)
+	}
+	sort.Slice(when, func(i, j int) bool { return when[i] < when[j] })
+	out := pwcForm{when: when}
+	k := len(views[0].vecs[0])
+	for _, w := range when {
+		sum := make(demand.Vector, k)
+		for _, p := range views {
+			for j, d := range p.at(w) {
+				sum[j] += d
+			}
+		}
+		out.vecs = append(out.vecs, sum)
+	}
+	return out, true
+}
+
+// fromPieces builds the minimal schedule for a piecewise-constant view:
+// consecutive equal vectors merge, a single distinct vector is Static,
+// anything else is a Step. orig is returned unchanged if the view is
+// malformed (a constructor rejects it) — normalization must never turn
+// a representable schedule into an error.
+func fromPieces(p pwcForm, orig demand.Schedule) demand.Schedule {
+	if len(p.when) == 0 || len(p.when) != len(p.vecs) {
+		return orig
+	}
+	when := []uint64{p.when[0]}
+	vecs := []demand.Vector{p.vecs[0]}
+	for i := 1; i < len(p.when); i++ {
+		if p.vecs[i].Equal(vecs[len(vecs)-1]) {
+			continue
+		}
+		when = append(when, p.when[i])
+		vecs = append(vecs, p.vecs[i])
+	}
+	if len(vecs) == 1 {
+		if vecs[0].Validate() != nil {
+			return orig
+		}
+		return demand.Static{V: vecs[0]}
+	}
+	step, err := demand.NewStep(vecs[0], when[1:], vecs[1:])
+	if err != nil {
+		return orig
+	}
+	return step
+}

@@ -1,0 +1,288 @@
+package scenario_test
+
+// Every Canon reduction rule is pinned here twice over: the reduced and
+// unreduced schedules must agree pointwise (At) over a long horizon,
+// and — the equivalence claim the semantic caches rest on — a full
+// engine run at fixed seed must produce identical per-round
+// trajectories for both. A rule fails either check, it may not fire.
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"taskalloc"
+	"taskalloc/internal/demand"
+	"taskalloc/internal/scenario"
+)
+
+var (
+	canonBase = demand.Vector{40, 60}
+	canonAlt  = demand.Vector{70, 30}
+)
+
+// mustSched panics on a builder error: rules are constructed from
+// literals, so a failure is a test-authoring bug, not a test outcome.
+func mustSched[S demand.Schedule](s S, err error) demand.Schedule {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// canonRules enumerates one case per normalization rule (plus the
+// stays-unchanged guards). build must return a fresh instance per call:
+// generative schedules memoize their sample paths and the tests run
+// original and normal form through separate engines.
+func canonRules() []struct {
+	name  string
+	build func(t *testing.T) demand.Schedule
+	want  string // fmt %T of the expected normal form
+} {
+	step := func(t *testing.T) demand.Schedule {
+		return mustSched(demand.NewStep(canonBase, []uint64{30, 90}, []demand.Vector{canonAlt, canonBase}))
+	}
+	sinusoid := func(t *testing.T) demand.Schedule {
+		return mustSched(scenario.NewSinusoid(canonBase, []float64{0.4, 0.2}, 50, nil))
+	}
+	return []struct {
+		name  string
+		build func(t *testing.T) demand.Schedule
+		want  string
+	}{
+		{"frozen_piecewise", func(t *testing.T) demand.Schedule {
+			f, err := scenario.Freeze(step(t), 200)
+			return mustSched(f, err)
+		}, "*demand.Step"},
+		{"frozen_constant", func(t *testing.T) demand.Schedule {
+			f, err := scenario.Freeze(demand.Static{V: canonBase}, 120)
+			return mustSched(f, err)
+		}, "demand.Static"},
+		{"trace_single_point", func(t *testing.T) demand.Schedule {
+			// Rounds before the first stamp replay the first vector, so a
+			// one-point trace is constant no matter where the stamp sits.
+			return mustSched(scenario.NewTrace([]uint64{17}, []demand.Vector{canonBase}))
+		}, "demand.Static"},
+		{"trace_piecewise", func(t *testing.T) demand.Schedule {
+			return mustSched(scenario.NewTrace([]uint64{5, 60}, []demand.Vector{canonBase, canonAlt}))
+		}, "*demand.Step"},
+		{"step_folds_round_zero_and_noops", func(t *testing.T) demand.Schedule {
+			// The change at round 0 shadows the initial vector; the equal
+			// consecutive change is a no-op.
+			return mustSched(demand.NewStep(canonAlt,
+				[]uint64{0, 40, 80}, []demand.Vector{canonBase, canonBase, canonAlt}))
+		}, "*demand.Step"},
+		{"step_constant", func(t *testing.T) demand.Schedule {
+			return mustSched(demand.NewStep(canonBase, []uint64{25}, []demand.Vector{canonBase}))
+		}, "demand.Static"},
+		{"sinusoid_zero_amplitude", func(t *testing.T) demand.Schedule {
+			return mustSched(scenario.NewSinusoid(canonBase, []float64{0, 0}, 40, []float64{1, 2}))
+		}, "demand.Static"},
+		{"sinusoid_live_unchanged", sinusoid, "*scenario.Sinusoid"},
+		{"burst_peak_equals_base", func(t *testing.T) demand.Schedule {
+			return mustSched(scenario.NewBurst(canonBase, canonBase.Clone(), 30, 50, 10))
+		}, "demand.Static"},
+		{"burst_single", func(t *testing.T) demand.Schedule {
+			return mustSched(scenario.NewBurst(canonBase, canonAlt, 40, 0, 25))
+		}, "*demand.Step"},
+		{"burst_single_from_round_zero", func(t *testing.T) demand.Schedule {
+			return mustSched(scenario.NewBurst(canonBase, canonAlt, 0, 0, 25))
+		}, "*demand.Step"},
+		{"burst_recurring_unchanged", func(t *testing.T) demand.Schedule {
+			return mustSched(scenario.NewBurst(canonBase, canonAlt, 40, 60, 20))
+		}, "*scenario.Burst"},
+		{"randomwalk_pinned_bounds", func(t *testing.T) demand.Schedule {
+			return mustSched(scenario.NewRandomWalk(canonBase, 4, 10,
+				canonBase.Clone(), canonBase.Clone(), 9))
+		}, "demand.Static"},
+		{"randomwalk_live_unchanged", func(t *testing.T) demand.Schedule {
+			return mustSched(scenario.NewRandomWalk(canonBase, 4, 10,
+				demand.Vector{20, 30}, demand.Vector{80, 120}, 9))
+		}, "*scenario.RandomWalk"},
+		{"markov_absorbing_start", func(t *testing.T) demand.Schedule {
+			return mustSched(scenario.NewMarkovModulated(
+				[]demand.Vector{canonBase, canonAlt},
+				[][]float64{{1, 0}, {0.5, 0.5}}, 20, 0, 9))
+		}, "demand.Static"},
+		{"markov_equal_reachable_regimes", func(t *testing.T) demand.Schedule {
+			return mustSched(scenario.NewMarkovModulated(
+				[]demand.Vector{canonBase, canonBase.Clone()},
+				[][]float64{{0.3, 0.7}, {0.6, 0.4}}, 15, 1, 9))
+		}, "demand.Static"},
+		{"markov_deterministic_chain", func(t *testing.T) demand.Schedule {
+			// Point-mass rows: 0 -> 1 -> 2 -> 2. The sampled path never
+			// consults the uniform draw, so the seed is irrelevant and the
+			// schedule is the eventually-constant step it traces.
+			return mustSched(scenario.NewMarkovModulated(
+				[]demand.Vector{canonBase, canonAlt, {55, 45}},
+				[][]float64{{0, 1, 0}, {0, 0, 1}, {0, 0, 1}}, 10, 0, 9))
+		}, "*demand.Step"},
+		{"markov_deterministic_cycle_unchanged", func(t *testing.T) demand.Schedule {
+			return mustSched(scenario.NewMarkovModulated(
+				[]demand.Vector{canonBase, canonAlt},
+				[][]float64{{0, 1}, {1, 0}}, 10, 0, 9))
+		}, "*scenario.MarkovModulated"},
+		{"markov_random_unchanged", func(t *testing.T) demand.Schedule {
+			return mustSched(scenario.NewMarkovModulated(
+				[]demand.Vector{canonBase, canonAlt},
+				[][]float64{{0.6, 0.4}, {0.4, 0.6}}, 25, 0, 5))
+		}, "*scenario.MarkovModulated"},
+		{"compose_single_part", func(t *testing.T) demand.Schedule {
+			c, err := scenario.NewCompose([]demand.Schedule{sinusoid(t)}, []uint64{0})
+			return mustSched(c, err)
+		}, "*scenario.Sinusoid"},
+		{"compose_piecewise_parts", func(t *testing.T) demand.Schedule {
+			c, err := scenario.NewCompose([]demand.Schedule{
+				demand.Static{V: canonAlt},
+				step(t),
+				mustSched(scenario.NewTrace([]uint64{10}, []demand.Vector{{44, 66}})),
+			}, []uint64{0, 50, 150})
+			return mustSched(c, err)
+		}, "*demand.Step"},
+		{"compose_generative_unchanged", func(t *testing.T) demand.Schedule {
+			c, err := scenario.NewCompose(
+				[]demand.Schedule{demand.Static{V: canonBase}, sinusoid(t)}, []uint64{0, 60})
+			return mustSched(c, err)
+		}, "*scenario.Compose"},
+		{"modulate_unit_scale", func(t *testing.T) demand.Schedule {
+			m, err := scenario.NewModulate(sinusoid(t), []float64{1, 1})
+			return mustSched(m, err)
+		}, "*scenario.Sinusoid"},
+		{"modulate_piecewise_inner", func(t *testing.T) demand.Schedule {
+			m, err := scenario.NewModulate(step(t), []float64{1.5, 0.5})
+			return mustSched(m, err)
+		}, "*demand.Step"},
+		{"modulate_generative_unchanged", func(t *testing.T) demand.Schedule {
+			m, err := scenario.NewModulate(sinusoid(t), []float64{1.5, 0.5})
+			return mustSched(m, err)
+		}, "*scenario.Modulate"},
+		{"superpose_single_part", func(t *testing.T) demand.Schedule {
+			sp, err := scenario.NewSuperpose([]demand.Schedule{step(t)})
+			return mustSched(sp, err)
+		}, "*demand.Step"},
+		{"superpose_piecewise_parts", func(t *testing.T) demand.Schedule {
+			sp, err := scenario.NewSuperpose([]demand.Schedule{
+				step(t),
+				mustSched(demand.NewStep(canonAlt, []uint64{45}, []demand.Vector{{20, 25}})),
+			})
+			return mustSched(sp, err)
+		}, "*demand.Step"},
+		{"superpose_generative_unchanged", func(t *testing.T) demand.Schedule {
+			sp, err := scenario.NewSuperpose([]demand.Schedule{demand.Static{V: canonBase}, sinusoid(t)})
+			return mustSched(sp, err)
+		}, "*scenario.Superpose"},
+		{"stablenoise_zero_sigma", func(t *testing.T) demand.Schedule {
+			sn, err := scenario.NewStableNoise(step(t), 1.5, 0, 10, 3)
+			return mustSched(sn, err)
+		}, "*demand.Step"},
+		{"stablenoise_live_unchanged", func(t *testing.T) demand.Schedule {
+			sn, err := scenario.NewStableNoise(step(t), 1.5, 2, 10, 3)
+			return mustSched(sn, err)
+		}, "*scenario.StableNoise"},
+	}
+}
+
+// TestCanonPointwise checks, for every rule, that the normal form has
+// the expected family and the identical At function over a long
+// horizon, and that Canon is idempotent.
+func TestCanonPointwise(t *testing.T) {
+	const horizon = 400
+	for _, rule := range canonRules() {
+		t.Run(rule.name, func(t *testing.T) {
+			orig := rule.build(t)
+			norm := scenario.Canon(rule.build(t))
+			if got := fmt.Sprintf("%T", norm); got != rule.want {
+				t.Fatalf("Canon yielded %s, want %s", got, rule.want)
+			}
+			for tt := uint64(0); tt <= horizon; tt++ {
+				if a, b := orig.At(tt), norm.At(tt); !a.Equal(b) {
+					t.Fatalf("At(%d): original %v, normal form %v", tt, a, b)
+				}
+			}
+			again := scenario.Canon(norm)
+			if got, want := fmt.Sprintf("%T", again), rule.want; got != want {
+				t.Fatalf("Canon not idempotent: second pass yielded %s, want %s", got, want)
+			}
+			for tt := uint64(0); tt <= horizon; tt += 7 {
+				if a, b := norm.At(tt), again.At(tt); !a.Equal(b) {
+					t.Fatalf("idempotence At(%d): %v vs %v", tt, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestCanonEngineTrajectories is the equivalence proof the semantic
+// caches require: for every reduction rule, the reduced and unreduced
+// schedule drive a full simulation at fixed seed to identical per-round
+// trajectories (loads, demands, and final report).
+func TestCanonEngineTrajectories(t *testing.T) {
+	run := func(sched demand.Schedule) ([]string, taskalloc.Report) {
+		sim, err := taskalloc.New(taskalloc.Config{
+			Ants:    240,
+			Demand:  sched,
+			Epsilon: 0.5,
+			Noise:   taskalloc.SigmoidNoise(0.04),
+			Seed:    7,
+			Shards:  2,
+			SizeChanges: []taskalloc.SizeChange{
+				{At: 60, To: 160},
+				{At: 110, To: 240},
+			},
+		})
+		if err != nil {
+			t.Fatalf("build simulation: %v", err)
+		}
+		defer sim.Close()
+		var rows []string
+		sim.Run(160, func(round uint64, loads []int, demands []int) {
+			rows = append(rows, fmt.Sprintf("%d %v %v", round, loads, demands))
+		})
+		return rows, sim.Report()
+	}
+	for _, rule := range canonRules() {
+		t.Run(rule.name, func(t *testing.T) {
+			origRows, origRep := run(rule.build(t))
+			normRows, normRep := run(scenario.Canon(rule.build(t)))
+			if len(origRows) != len(normRows) {
+				t.Fatalf("trajectory lengths differ: %d vs %d", len(origRows), len(normRows))
+			}
+			for i := range origRows {
+				if origRows[i] != normRows[i] {
+					t.Fatalf("trajectories diverge at row %d:\noriginal: %s\nnormal:   %s",
+						i, origRows[i], normRows[i])
+				}
+			}
+			if !reflect.DeepEqual(origRep, normRep) {
+				t.Fatalf("reports differ:\noriginal: %+v\nnormal:   %+v", origRep, normRep)
+			}
+		})
+	}
+}
+
+// TestCanonStepShape pins the minimal forms structurally, not just
+// behaviorally: the fold rules must actually shrink the representation.
+func TestCanonStepShape(t *testing.T) {
+	s := mustSched(demand.NewStep(canonAlt,
+		[]uint64{0, 40, 80}, []demand.Vector{canonBase, canonBase, canonAlt}))
+	norm, ok := scenario.Canon(s).(*demand.Step)
+	if !ok {
+		t.Fatalf("want *demand.Step, got %T", scenario.Canon(s))
+	}
+	if !norm.Initial.Equal(canonBase) || len(norm.When) != 1 || norm.When[0] != 80 ||
+		!norm.Changes[0].Equal(canonAlt) {
+		t.Fatalf("unexpected normal form: %+v", norm)
+	}
+
+	f, err := scenario.Freeze(norm, 300)
+	if err != nil {
+		t.Fatalf("freeze: %v", err)
+	}
+	back, ok := scenario.Canon(f).(*demand.Step)
+	if !ok {
+		t.Fatalf("frozen snapshot did not normalize to *demand.Step: %T", scenario.Canon(f))
+	}
+	if !back.Initial.Equal(norm.Initial) || len(back.When) != 1 || back.When[0] != 80 {
+		t.Fatalf("frozen normal form diverged: %+v", back)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"taskalloc"
+	"taskalloc/internal/scenario"
 	"taskalloc/internal/simserver"
 	"taskalloc/internal/simserver/client"
 	"taskalloc/internal/sweeprun"
@@ -99,4 +100,100 @@ func benchSweep(b *testing.B, baseSeed uint64) wire.Sweep {
 		b.Fatal(err)
 	}
 	return sweep
+}
+
+// aliasBenchPair builds the BENCH_6 sweep pair: a generative step
+// schedule and its frozen snapshot — behaviorally identical,
+// syntactically distinct — over 4 seeds at seedBase.
+func aliasBenchPair(b *testing.B, seedBase uint64) (generative, frozen wire.Sweep) {
+	b.Helper()
+	step := &wire.Schedule{
+		Kind: "step", Base: []int{300, 500},
+		When: []uint64{200}, Vectors: [][]int{{500, 300}},
+	}
+	sched, err := step.ToSchedule()
+	if err != nil {
+		b.Fatal(err)
+	}
+	fz, err := scenario.Freeze(sched, 401)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fzEnc, err := wire.FromSchedule(fz)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func(sc wire.Schedule) wire.Sweep {
+		var jobs []wire.Job
+		for s := uint64(0); s < 4; s++ {
+			cp := sc
+			jobs = append(jobs, wire.Job{
+				Meta:   []string{"alias", fmt.Sprint(seedBase + s)},
+				Rounds: 400,
+				Config: wire.Config{
+					Ants: 2000, Epsilon: 0.5, Gamma: 0.03, Seed: seedBase + s,
+					Shards: 2, BurnIn: 100, Schedule: &cp,
+				},
+			})
+		}
+		return wire.Sweep{Version: wire.V1, Jobs: jobs}
+	}
+	return mk(*step), mk(fzEnc)
+}
+
+// BenchmarkSemanticAlias is the BENCH_6 measurement: cold submits a
+// fresh generative sweep every iteration (cache miss, full
+// simulation); warm re-submits the frozen *spelling* of a sweep whose
+// generative spelling is already cached — every iteration is a
+// semantic-alias hit served without simulating, so warm/cold is the
+// alias layer's payoff on a frozen-vs-generative pair.
+func BenchmarkSemanticAlias(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		srv := simserver.New(simserver.Options{})
+		hs := httptest.NewServer(srv)
+		defer func() { hs.Close(); srv.Close() }()
+		c := client.New(hs.URL, hs.Client())
+		ctx := context.Background()
+
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			generative, _ := aliasBenchPair(b, uint64(i)*100+1)
+			sub, err := c.SubmitSweep(ctx, generative, client.SubmitOptions{}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sub.Disposition != "miss" {
+				b.Fatalf("cold submission disposition %q, want miss", sub.Disposition)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		srv := simserver.New(simserver.Options{})
+		hs := httptest.NewServer(srv)
+		defer func() { hs.Close(); srv.Close() }()
+		c := client.New(hs.URL, hs.Client())
+		ctx := context.Background()
+
+		generative, frozen := aliasBenchPair(b, 1)
+		if _, err := c.SubmitSweep(ctx, generative, client.SubmitOptions{}, nil); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sub, err := c.SubmitSweep(ctx, frozen, client.SubmitOptions{}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if sub.Disposition != "hit" {
+				b.Fatalf("alias submission disposition %q, want hit", sub.Disposition)
+			}
+		}
+		b.StopTimer()
+		st := srv.Stats()
+		if st.SemanticAliasHits < uint64(b.N) {
+			b.Fatalf("semantic alias hits %d < %d iterations", st.SemanticAliasHits, b.N)
+		}
+	})
 }

@@ -18,9 +18,12 @@ import (
 // band — |ΔAvgRegret| across its endpoints — is at most the requested
 // target, or the evaluation budget runs out. Each evaluated cell is an
 // ordinary job (the request's template with Gamma overridden), keyed by
-// its canonical wire.JobHash in a job-level result cache separate from
-// the sweep cache, so a repeat bisection (or an overlapping one) is
-// served almost entirely from cache. Midpoints of all over-target
+// its behavioral hash (wire.SemanticHash) in a job-level result cache
+// separate from the sweep cache, so a repeat bisection — or an
+// overlapping one, or one whose template spells the same behavior
+// differently — is served almost entirely from cache. The rendered
+// cell still carries the syntactic wire.JobHash, so response bytes are
+// unchanged by the cache's keying. Midpoints of all over-target
 // segments are evaluated as one sweeprun batch per refinement round,
 // through the same shared pool and admission gate as sweeps.
 
@@ -84,10 +87,11 @@ func (s *Server) handleBisect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Hash the request AS SENT — before the server's MaxEvals default is
-	// applied — so the response ID equals wire.BisectHash of the
+	// applied — so the response ID equals wire.SemanticBisectHash of the
 	// submitted document (the coordinator's affinity hash) regardless of
-	// this server's -max-bisect-evals.
-	id, err := wire.BisectHash(req)
+	// this server's -max-bisect-evals. The behavioral hash makes
+	// equivalent template spellings coalesce and share one response ID.
+	id, err := wire.SemanticBisectHash(req)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -97,7 +101,7 @@ func (s *Server) handleBisect(w http.ResponseWriter, r *http.Request) {
 	}
 	req.Job.Trajectory = false // bisect cells never stream trajectories
 
-	resp, err := s.runBisectCoalesced(r, id, req, workers)
+	resp, disposition, err := s.runBisectCoalesced(r, id, req, workers)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -105,7 +109,16 @@ func (s *Server) handleBisect(w http.ResponseWriter, r *http.Request) {
 	if resp == nil {
 		return // waiter whose request context ended first
 	}
+	if disposition == "" {
+		// We owned the execution: "hit" when every cell came from the
+		// job cache (the whole search replayed), else "miss".
+		disposition = "miss"
+		if resp.Evals > 0 && resp.CacheHits == resp.Evals {
+			disposition = "hit"
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", disposition)
 	_ = json.NewEncoder(w).Encode(resp)
 }
 
@@ -119,25 +132,29 @@ type bisectFlight struct {
 }
 
 // runBisectCoalesced executes the search, coalescing concurrent
-// identical requests (same canonical id) onto one execution — without
+// equivalent requests (same semantic id) onto one execution — without
 // it, a dashboard double-refresh doubles admission-gated compute. The
-// returned response is nil (with nil error) only when a waiter's
-// request context ended before the owner finished. Completed flights
-// are not retained: a later repeat re-runs the (job-cache-warm) search.
-func (s *Server) runBisectCoalesced(r *http.Request, id string, req wire.BisectRequest, workers int) (*wire.BisectResponse, error) {
+// returned disposition is "coalesced" for a waiter and "" for the
+// owner (the handler classifies the owner's run from its cache-hit
+// counts). The returned response is nil (with nil error) only when a
+// waiter's request context ended before the owner finished. Completed
+// flights are not retained: a later repeat re-runs the
+// (job-cache-warm) search.
+func (s *Server) runBisectCoalesced(r *http.Request, id string, req wire.BisectRequest, workers int) (*wire.BisectResponse, string, error) {
 	s.mu.Lock()
 	if f := s.bisectFlights[id]; f != nil {
+		s.stats.BisectCoalesced++
 		s.mu.Unlock()
 		select {
 		case <-f.done:
 		case <-r.Context().Done():
-			return nil, nil
+			return nil, "", nil
 		}
 		if f.err != nil {
-			return nil, f.err
+			return nil, "", f.err
 		}
 		resp := f.resp
-		return &resp, nil
+		return &resp, "coalesced", nil
 	}
 	f := &bisectFlight{done: make(chan struct{})}
 	s.bisectFlights[id] = f
@@ -151,10 +168,10 @@ func (s *Server) runBisectCoalesced(r *http.Request, id string, req wire.BisectR
 	s.mu.Unlock()
 	close(f.done)
 	if f.err != nil {
-		return nil, f.err
+		return nil, "", f.err
 	}
 	resp := f.resp
-	return &resp, nil
+	return &resp, "", nil
 }
 
 // segment is one live interval of the refinement loop, holding the
@@ -183,10 +200,13 @@ func (s *Server) bisect(req wire.BisectRequest, workers int) (wire.BisectRespons
 	}
 
 	// evaluate appends one cell per γ, serving repeats from the job
-	// cache and running the misses as one sweeprun batch.
+	// cache (keyed by the behavioral hash, so equivalent template
+	// spellings share entries) and running the misses as one sweeprun
+	// batch. The rendered cell carries the syntactic JobHash unchanged.
 	evaluate := func(gammas []float64) error {
 		type pending struct {
 			cell int
+			key  string
 			job  sweeprun.Job
 		}
 		var misses []pending
@@ -199,9 +219,18 @@ func (s *Server) bisect(req wire.BisectRequest, workers int) (wire.BisectRespons
 			if err != nil {
 				return err
 			}
+			key, err := wire.SemanticHash(wj)
+			if err != nil {
+				return err
+			}
 			cell := wire.BisectCell{Gamma: g, JobHash: hash}
 			s.mu.Lock()
-			hit, ok := s.jobCache[hash]
+			hit, ok := s.jobCache[key]
+			if ok {
+				s.stats.BisectJobHits++
+			} else {
+				s.stats.BisectJobMisses++
+			}
 			s.mu.Unlock()
 			if ok {
 				cell.Cached = true
@@ -217,7 +246,7 @@ func (s *Server) bisect(req wire.BisectRequest, workers int) (wire.BisectRespons
 				if err != nil {
 					return err
 				}
-				misses = append(misses, pending{cell: len(cells), job: job})
+				misses = append(misses, pending{cell: len(cells), key: key, job: job})
 			}
 			resp.Evals++
 			cells = append(cells, cell)
@@ -246,7 +275,7 @@ func (s *Server) bisect(req wire.BisectRequest, workers int) (wire.BisectRespons
 				c.Report = &rep
 				jr.report = res.Report
 			}
-			s.storeJobLocked(c.JobHash, jr)
+			s.storeJobLocked(misses[i].key, jr)
 		}
 		s.mu.Unlock()
 		return nil

@@ -145,10 +145,11 @@ func TestBisectConvergesOnGoldenScenario(t *testing.T) {
 	}
 }
 
-// TestBisectIDIsCanonicalHash: the response ID must be the canonical
+// TestBisectIDIsCanonicalHash: the response ID must be the behavioral
 // hash of the request AS SENT — max_evals 0 included — so coordinator
 // affinity and caller-side correlation hold across servers with
-// different -max-bisect-evals.
+// different -max-bisect-evals, and equivalent template spellings share
+// one ID.
 func TestBisectIDIsCanonicalHash(t *testing.T) {
 	srv := New(Options{Workers: 1})
 	defer srv.Close()
@@ -156,7 +157,7 @@ func TestBisectIDIsCanonicalHash(t *testing.T) {
 	defer ts.Close()
 
 	req := bisectGoldenRequest(t, 1e9, 0) // unreachable-loose band: endpoints only
-	want, err := wire.BisectHash(req)
+	want, err := wire.SemanticBisectHash(req)
 	if err != nil {
 		t.Fatal(err)
 	}

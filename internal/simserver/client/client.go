@@ -55,6 +55,12 @@ type Submission struct {
 	// Cached is true when the response was replayed from the server's
 	// result cache (X-Sweep-Cache: hit).
 	Cached bool
+	// Disposition is the server's X-Cache verdict: "miss" (this request
+	// ran the sweep), "hit" (replayed from the result cache — including
+	// via a behaviorally equivalent spelling of the sweep), or
+	// "coalesced" (joined an identical in-flight execution). Empty when
+	// the server predates the header.
+	Disposition string
 	// Results are the per-cell outcomes in job order.
 	Results []wire.Result
 }
@@ -142,7 +148,10 @@ func (c *Client) SubmitSweep(ctx context.Context, sweep wire.Sweep, opts SubmitO
 		return nil, apiError(resp)
 	}
 
-	sub := &Submission{Cached: resp.Header.Get("X-Sweep-Cache") == "hit"}
+	sub := &Submission{
+		Cached:      resp.Header.Get("X-Sweep-Cache") == "hit",
+		Disposition: resp.Header.Get("X-Cache"),
+	}
 	// Lines are read through a growing reader, not a capped scanner:
 	// an inline trajectory for a multi-million-round job is one NDJSON
 	// line of arbitrary (memory-bounded) length.
@@ -240,6 +249,35 @@ func (c *Client) Bisect(ctx context.Context, req wire.BisectRequest) (*wire.Bise
 		return nil, fmt.Errorf("client: decode bisect response: %w", err)
 	}
 	return &out, nil
+}
+
+// JobHashes is the pair of canonical identities one wire job carries:
+// the syntactic hash of its defaults-applied document and the semantic
+// hash of its behavioral normal form. Syntactically distinct spellings
+// of one behavior — a frozen snapshot and its generative schedule, a
+// demands field and its static-schedule equivalent — share Semantic
+// but not Syntactic; the service caches and the grid coordinator
+// partitions by Semantic.
+type JobHashes struct {
+	// Syntactic is wire.JobHash: identity of the document as spelled.
+	Syntactic string
+	// Semantic is wire.SemanticHash: identity of the behavior.
+	Semantic string
+}
+
+// HashJob computes both canonical identities of one wire job — the
+// pair cmd/sweep -dump-jobs prints, and the key space the server's
+// result cache and the coordinator's partitioning operate in.
+func HashJob(j wire.Job) (JobHashes, error) {
+	syn, err := wire.JobHash(j)
+	if err != nil {
+		return JobHashes{}, err
+	}
+	sem, err := wire.SemanticHash(j)
+	if err != nil {
+		return JobHashes{}, err
+	}
+	return JobHashes{Syntactic: syn, Semantic: sem}, nil
 }
 
 // GetSweep fetches a sweep's status/summary by ID.

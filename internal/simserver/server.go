@@ -17,11 +17,17 @@
 //	GET  /v1/healthz           liveness.
 //	GET  /v1/version           wire-format + runtime versions.
 //
-// Caching: sweeps are keyed by their canonical hash (wire.SweepHash),
-// so re-submitting an identical grid — regardless of JSON key order,
-// whitespace, or worker count — is served from cache byte-identically
-// to the fresh response (the X-Sweep-Cache header says which happened).
-// Concurrent identical submissions coalesce onto one execution.
+// Caching: sweeps are keyed by their behavioral hash
+// (wire.SemanticSweepHash), so re-submitting an equivalent grid —
+// regardless of JSON key order, whitespace, worker count, or which of
+// several behaviorally identical schedule spellings was used (a frozen
+// snapshot vs. the generative family it froze, Demands vs. a static
+// schedule, a degenerate Markov chain vs. its step) — is served from
+// cache byte-identically to the fresh response. The X-Sweep-Cache
+// header says hit or miss; the finer X-Cache header distinguishes
+// hit | miss | coalesced, and Stats/healthz count semantic-alias hits
+// (cache hits whose syntactic hash differs from the entry creator's).
+// Concurrent equivalent submissions coalesce onto one execution.
 //
 // All handlers share one colony worker pool and one cross-request
 // simulation gate sized to GOMAXPROCS; Close drains in-flight sweeps
@@ -102,20 +108,59 @@ type Server struct {
 	order     []string // insertion order, for FIFO eviction
 	cacheSize int64    // retained bytes across completed entries
 
-	// Job-level result cache (bisect cells), keyed by wire.JobHash, and
-	// the in-flight bisect executions concurrent identical requests
-	// coalesce onto.
+	// Job-level result cache (bisect cells), keyed by wire.SemanticHash,
+	// and the in-flight bisect executions concurrent equivalent requests
+	// coalesce onto (keyed by wire.SemanticBisectHash).
 	jobCache      map[string]jobResult
 	jobOrder      []string // insertion order, for FIFO eviction
 	bisectFlights map[string]*bisectFlight
+
+	stats Stats
+}
+
+// Stats counts cache dispositions since the server started. All
+// counters are monotone; Gauges (CacheEntries, CacheBytes) reflect the
+// moment of the Stats call.
+type Stats struct {
+	// SweepHits / SweepMisses / SweepCoalesced classify POST /v1/sweeps
+	// submissions: served from a completed cache entry, executed fresh,
+	// or joined onto a running execution.
+	SweepHits      uint64 `json:"sweep_hits"`
+	SweepMisses    uint64 `json:"sweep_misses"`
+	SweepCoalesced uint64 `json:"sweep_coalesced"`
+	// SemanticAliasHits counts the subset of SweepHits + SweepCoalesced
+	// whose syntactic hash (wire.SweepHash) differed from the hash of
+	// the submission that created the entry — the wins only the
+	// behavioral cache key can deliver.
+	SemanticAliasHits uint64 `json:"semantic_alias_hits"`
+	// BisectJobHits / BisectJobMisses classify per-γ cell evaluations
+	// against the job-level result cache; BisectCoalesced counts bisect
+	// requests that joined an in-flight equivalent execution.
+	BisectJobHits   uint64 `json:"bisect_job_hits"`
+	BisectJobMisses uint64 `json:"bisect_job_misses"`
+	BisectCoalesced uint64 `json:"bisect_coalesced"`
+	// CacheEntries / CacheBytes are the sweep cache's current size.
+	CacheEntries int   `json:"cache_entries"`
+	CacheBytes   int64 `json:"cache_bytes"`
+}
+
+// Stats snapshots the server's cache counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.stats
+	out.CacheEntries = len(s.cache)
+	out.CacheBytes = s.cacheSize
+	return out
 }
 
 // sweepEntry is one sweep's lifecycle: created on first submission,
 // filled by the owning request, read by everyone after done closes.
 type sweepEntry struct {
-	id   string
-	jobs int
-	done chan struct{}
+	id    string // semantic sweep hash: the cache key and public sweep ID
+	synID string // creator's syntactic hash, for semantic-alias accounting
+	jobs  int
+	done  chan struct{}
 	// Written only by the owning request before close(done):
 	cells   []cell
 	summary sweeprun.Summary
@@ -211,19 +256,35 @@ func (s *Server) Close() {
 	}
 }
 
-// lookupOrCreate returns the entry for id, creating it (and becoming
-// the owner, who must run the sweep and close done) when absent.
-func (s *Server) lookupOrCreate(id string, jobs int) (entry *sweepEntry, owner bool) {
+// lookupOrCreate returns the entry for the semantic id, creating it
+// (and becoming the owner, who must run the sweep and close done) when
+// absent. The disposition is "miss" for the owner, "hit" when the entry
+// was already complete, and "coalesced" when its execution is still in
+// flight; non-owners whose syntactic hash differs from the creator's
+// count as semantic-alias hits.
+func (s *Server) lookupOrCreate(id, synID string, jobs int) (entry *sweepEntry, disposition string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if e, ok := s.cache[id]; ok {
-		return e, false
+		disposition = "coalesced"
+		select {
+		case <-e.done:
+			disposition = "hit"
+			s.stats.SweepHits++
+		default:
+			s.stats.SweepCoalesced++
+		}
+		if e.synID != synID {
+			s.stats.SemanticAliasHits++
+		}
+		return e, disposition
 	}
-	e := &sweepEntry{id: id, jobs: jobs, done: make(chan struct{})}
+	s.stats.SweepMisses++
+	e := &sweepEntry{id: id, synID: synID, jobs: jobs, done: make(chan struct{})}
 	s.cache[id] = e
 	s.order = append(s.order, id)
 	s.evictLocked()
-	return e, true
+	return e, "miss"
 }
 
 // evictLocked drops the oldest completed entries while the cache is
@@ -343,28 +404,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// buildRunnable materializes them once (frozen snapshots are
 		// safe to share across concurrent jobs; cmd/sweep grids
 		// duplicate one snapshot across every cell).
-		if sc := j.Config.Schedule; sc != nil && sc.Kind == "frozen" {
-			if key := wire.FrozenKey(sc); !frozenSeen[key] {
-				frozenSeen[key] = true
-				frozenTotal += sc.Horizon
-				if frozenTotal > wire.MaxFrozenHorizon {
-					httpError(w, http.StatusRequestEntityTooLarge,
-						"grid's distinct frozen horizons sum past %d (job %d)", wire.MaxFrozenHorizon, i)
-					return
+		// Snapshots nested inside algebra operators count too: EachFrozen
+		// walks the whole schedule tree, so a compose cannot smuggle a
+		// snapshot past the budget.
+		if sc := j.Config.Schedule; sc != nil {
+			sc.EachFrozen(func(fz *wire.Schedule) {
+				if key := wire.FrozenKey(fz); !frozenSeen[key] {
+					frozenSeen[key] = true
+					frozenTotal += fz.Horizon
 				}
+			})
+			if frozenTotal > wire.MaxFrozenHorizon {
+				httpError(w, http.StatusRequestEntityTooLarge,
+					"grid's distinct frozen horizons sum past %d (job %d)", wire.MaxFrozenHorizon, i)
+				return
 			}
 		}
 	}
-	id, err := wire.SweepHash(sweep)
+	// The public sweep ID is the behavioral hash: equivalent spellings
+	// share one ID, one cache entry, and byte-identical bodies. The
+	// syntactic hash is kept per entry only to count alias hits.
+	synID, err := wire.SweepHash(sweep)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	id, err := wire.SemanticSweepHash(sweep)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 
-	entry, owner := s.lookupOrCreate(id, len(sweep.Jobs))
-	if !owner {
-		// Identical grid already ran (or is running): coalesce onto its
-		// result and replay it byte-identically.
+	entry, disposition := s.lookupOrCreate(id, synID, len(sweep.Jobs))
+	if disposition != "miss" {
+		// An equivalent grid already ran (or is running): coalesce onto
+		// its result and replay it byte-identically.
 		select {
 		case <-entry.done:
 		case <-r.Context().Done():
@@ -375,7 +449,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "sweep %s failed validation; resubmit", id)
 			return
 		}
-		s.setStreamHeaders(w, format, id, "hit")
+		s.setStreamHeaders(w, format, id, disposition)
 		s.renderCached(w, entry, format)
 		return
 	}
@@ -467,8 +541,10 @@ func (s *Server) publish(e *sweepEntry, cells []cell, sum sweeprun.Summary) {
 }
 
 // setStreamHeaders stamps the response metadata shared by fresh and
-// cached replies. Bodies are byte-identical across the two; only these
-// headers differ (cache disposition).
+// cached replies. Bodies are byte-identical across the dispositions;
+// only these headers differ. X-Cache carries the full disposition
+// (hit | miss | coalesced); X-Sweep-Cache keeps its original binary
+// contract (miss only for the executing owner) for existing clients.
 func (s *Server) setStreamHeaders(w http.ResponseWriter, format, id, disposition string) {
 	if format == "csv" {
 		w.Header().Set("Content-Type", "text/csv; charset=utf-8")
@@ -476,7 +552,12 @@ func (s *Server) setStreamHeaders(w http.ResponseWriter, format, id, disposition
 		w.Header().Set("Content-Type", "application/x-ndjson")
 	}
 	w.Header().Set("X-Sweep-Id", id)
-	w.Header().Set("X-Sweep-Cache", disposition)
+	w.Header().Set("X-Cache", disposition)
+	if disposition == "miss" {
+		w.Header().Set("X-Sweep-Cache", "miss")
+	} else {
+		w.Header().Set("X-Sweep-Cache", "hit")
+	}
 }
 
 // renderCached replays a completed sweep from its cells.
@@ -557,7 +638,10 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+	_ = json.NewEncoder(w).Encode(struct {
+		Status string `json:"status"`
+		Stats  Stats  `json:"stats"`
+	}{Status: "ok", Stats: s.Stats()})
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {

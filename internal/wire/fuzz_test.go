@@ -72,6 +72,21 @@ func FuzzDecodeSweep(f *testing.F) {
 		if h1 != h2 {
 			t.Fatalf("canonical hash unstable: %s vs %s", h1, h2)
 		}
+		// The semantic hash must be just as stable across a re-encode
+		// round trip, and must never fail on a decodable document (the
+		// normal form falls back to the syntactic encoding on any
+		// irreducible schedule).
+		s1, err := wire.SemanticSweepHash(s)
+		if err != nil {
+			t.Fatalf("decoded sweep has no semantic hash: %v", err)
+		}
+		s2h, err := wire.SemanticSweepHash(s2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1 != s2h {
+			t.Fatalf("semantic hash unstable: %s vs %s", s1, s2h)
+		}
 		// Grid conversion must reject garbage with errors, not panics
 		// (the decode cap on frozen horizons bounds allocation).
 		_, _ = wire.ToJobs(s)

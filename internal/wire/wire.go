@@ -158,7 +158,23 @@ type Schedule struct {
 	P           [][]float64 `json:"p,omitempty"`
 	Dwell       uint64      `json:"dwell,omitempty"`
 	StartRegime int         `json:"start_regime,omitempty"`
+	// Scenario algebra: Parts are the operands of compose (spliced at
+	// When, which is shared with step/trace) and superpose; Inner is the
+	// operand of modulate and stablenoise.
+	Parts []Schedule `json:"parts,omitempty"`
+	Inner *Schedule  `json:"inner,omitempty"`
+	// Scale is modulate's per-task factor vector.
+	Scale []float64 `json:"scale,omitempty"`
+	// Alpha and Sigma are stablenoise's stability exponent and noise
+	// scale (Every and Seed are shared with the other generative
+	// families).
+	Alpha float64 `json:"alpha,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
 }
+
+// MaxScheduleDepth bounds the nesting of algebra operators a decoder
+// will materialize, so a hostile document cannot recurse without bound.
+const MaxScheduleDepth = 16
 
 // EncodeSweep writes s as JSON. An empty Version is stamped V1.
 func EncodeSweep(w io.Writer, s Sweep) error {
@@ -454,14 +470,65 @@ func FromSchedule(s demand.Schedule) (Schedule, error) {
 			Vectors: fromVectors(vecs),
 			Horizon: v.Horizon(),
 		}, nil
+	case *scenario.Compose:
+		out := Schedule{Kind: "compose", When: append([]uint64(nil), v.When...)}
+		for i, p := range v.Parts {
+			enc, err := FromSchedule(p)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("wire: compose part %d: %w", i, err)
+			}
+			out.Parts = append(out.Parts, enc)
+		}
+		return out, nil
+	case *scenario.Superpose:
+		out := Schedule{Kind: "superpose"}
+		for i, p := range v.Parts {
+			enc, err := FromSchedule(p)
+			if err != nil {
+				return Schedule{}, fmt.Errorf("wire: superpose part %d: %w", i, err)
+			}
+			out.Parts = append(out.Parts, enc)
+		}
+		return out, nil
+	case *scenario.Modulate:
+		inner, err := FromSchedule(v.Inner)
+		if err != nil {
+			return Schedule{}, fmt.Errorf("wire: modulate inner: %w", err)
+		}
+		return Schedule{
+			Kind:  "modulate",
+			Inner: &inner,
+			Scale: append([]float64(nil), v.Scale...),
+		}, nil
+	case *scenario.StableNoise:
+		inner, err := FromSchedule(v.Inner)
+		if err != nil {
+			return Schedule{}, fmt.Errorf("wire: stablenoise inner: %w", err)
+		}
+		return Schedule{
+			Kind:  "stablenoise",
+			Inner: &inner,
+			Alpha: v.Alpha,
+			Sigma: v.Sigma,
+			Every: v.Every,
+			Seed:  v.Seed,
+		}, nil
 	default:
 		return Schedule{}, fmt.Errorf("wire: unsupported schedule type %T", s)
 	}
 }
 
 // ToSchedule decodes into a live demand.Schedule through the family's
-// validating constructor.
+// validating constructor. Algebra operators decode recursively, bounded
+// by MaxScheduleDepth.
 func (s Schedule) ToSchedule() (demand.Schedule, error) {
+	return s.toSchedule(0)
+}
+
+func (s Schedule) toSchedule(depth int) (demand.Schedule, error) {
+	if depth > MaxScheduleDepth {
+		return nil, fmt.Errorf("wire: schedule nesting exceeds depth %d", MaxScheduleDepth)
+	}
 	switch s.Kind {
 	case "static":
 		v := demand.Vector(append([]int(nil), s.Base...))
@@ -501,11 +568,57 @@ func (s Schedule) ToSchedule() (demand.Schedule, error) {
 		// Re-sampling the piecewise-constant trace reproduces the
 		// original snapshot exactly.
 		return scenario.Freeze(tr, s.Horizon)
+	case "compose":
+		parts, err := s.toParts(depth)
+		if err != nil {
+			return nil, fmt.Errorf("wire: compose: %w", err)
+		}
+		return scenario.NewCompose(parts, append([]uint64(nil), s.When...))
+	case "superpose":
+		parts, err := s.toParts(depth)
+		if err != nil {
+			return nil, fmt.Errorf("wire: superpose: %w", err)
+		}
+		return scenario.NewSuperpose(parts)
+	case "modulate":
+		inner, err := s.toInner(depth)
+		if err != nil {
+			return nil, fmt.Errorf("wire: modulate: %w", err)
+		}
+		return scenario.NewModulate(inner, append([]float64(nil), s.Scale...))
+	case "stablenoise":
+		inner, err := s.toInner(depth)
+		if err != nil {
+			return nil, fmt.Errorf("wire: stablenoise: %w", err)
+		}
+		return scenario.NewStableNoise(inner, s.Alpha, s.Sigma, s.Every, s.Seed)
 	case "":
 		return nil, errors.New("wire: schedule missing kind")
 	default:
 		return nil, fmt.Errorf("wire: unknown schedule kind %q", s.Kind)
 	}
+}
+
+func (s Schedule) toParts(depth int) ([]demand.Schedule, error) {
+	if len(s.Parts) == 0 {
+		return nil, errors.New("needs parts")
+	}
+	parts := make([]demand.Schedule, len(s.Parts))
+	for i, p := range s.Parts {
+		dec, err := p.toSchedule(depth + 1)
+		if err != nil {
+			return nil, fmt.Errorf("part %d: %w", i, err)
+		}
+		parts[i] = dec
+	}
+	return parts, nil
+}
+
+func (s Schedule) toInner(depth int) (demand.Schedule, error) {
+	if s.Inner == nil {
+		return nil, errors.New("needs inner")
+	}
+	return s.Inner.toSchedule(depth + 1)
 }
 
 func fromVectors(vs []demand.Vector) [][]int {
@@ -657,22 +770,61 @@ func FrozenKey(sc *Schedule) string {
 // trajectory recorder's column count).
 func (c Config) Tasks() int {
 	if c.Schedule != nil {
-		switch c.Schedule.Kind {
-		case "markov":
-			if len(c.Schedule.Regimes) > 0 {
-				return len(c.Schedule.Regimes[0])
-			}
-			return 0
-		case "trace", "frozen":
-			if len(c.Schedule.Vectors) > 0 {
-				return len(c.Schedule.Vectors[0])
-			}
-			return 0
-		default:
-			return len(c.Schedule.Base)
-		}
+		return c.Schedule.tasks(0)
 	}
 	return len(c.Demands)
+}
+
+func (s *Schedule) tasks(depth int) int {
+	if depth > MaxScheduleDepth {
+		return 0
+	}
+	switch s.Kind {
+	case "markov":
+		if len(s.Regimes) > 0 {
+			return len(s.Regimes[0])
+		}
+		return 0
+	case "trace", "frozen":
+		if len(s.Vectors) > 0 {
+			return len(s.Vectors[0])
+		}
+		return 0
+	case "compose", "superpose":
+		if len(s.Parts) > 0 {
+			return s.Parts[0].tasks(depth + 1)
+		}
+		return 0
+	case "modulate", "stablenoise":
+		if s.Inner != nil {
+			return s.Inner.tasks(depth + 1)
+		}
+		return 0
+	default:
+		return len(s.Base)
+	}
+}
+
+// EachFrozen calls fn for every frozen-kind node in the schedule tree,
+// including snapshots nested inside algebra operators. The service's
+// admission accounting walks it so a snapshot hidden inside a compose
+// is charged against the memory budget like a top-level one. Trees
+// deeper than MaxScheduleDepth are cut off — they never decode anyway.
+func (s *Schedule) EachFrozen(fn func(*Schedule)) { s.eachFrozen(fn, 0) }
+
+func (s *Schedule) eachFrozen(fn func(*Schedule), depth int) {
+	if depth > MaxScheduleDepth {
+		return
+	}
+	if s.Kind == "frozen" {
+		fn(s)
+	}
+	for i := range s.Parts {
+		s.Parts[i].eachFrozen(fn, depth+1)
+	}
+	if s.Inner != nil {
+		s.Inner.eachFrozen(fn, depth+1)
+	}
 }
 
 // --- Canonical hashing ---

@@ -49,15 +49,35 @@ func schedules(t *testing.T) map[string]demand.Schedule {
 	if err != nil {
 		t.Fatal(err)
 	}
+	compose, err := scenario.NewCompose([]demand.Schedule{demand.Static{V: base}, sin}, []uint64{0, 70})
+	if err != nil {
+		t.Fatal(err)
+	}
+	modulate, err := scenario.NewModulate(burst, []float64{1.5, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	superpose, err := scenario.NewSuperpose([]demand.Schedule{step, markov})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable, err := scenario.NewStableNoise(walk, 1.4, 6, 20, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return map[string]demand.Schedule{
-		"static":     demand.Static{V: base},
-		"step":       step,
-		"sinusoid":   sin,
-		"burst":      burst,
-		"randomwalk": walk,
-		"markov":     markov,
-		"trace":      tr,
-		"frozen":     frozen,
+		"static":      demand.Static{V: base},
+		"step":        step,
+		"sinusoid":    sin,
+		"burst":       burst,
+		"randomwalk":  walk,
+		"markov":      markov,
+		"trace":       tr,
+		"frozen":      frozen,
+		"compose":     compose,
+		"modulate":    modulate,
+		"superpose":   superpose,
+		"stablenoise": stable,
 	}
 }
 
@@ -526,11 +546,42 @@ func TestScheduleDecodeRejects(t *testing.T) {
 		{Kind: "trace", When: []uint64{5, 5}, Vectors: [][]int{{1}, {2}}},
 		{Kind: "frozen", When: []uint64{0}, Vectors: [][]int{{5}}, Horizon: wire.MaxFrozenHorizon + 1},
 		{Kind: "frozen", When: []uint64{0, 50}, Vectors: [][]int{{5}, {6}}, Horizon: 10},
+		{Kind: "compose"},
+		{Kind: "compose", When: []uint64{3}, Parts: []wire.Schedule{{Kind: "static", Base: []int{5}}}},
+		{Kind: "compose", When: []uint64{0}, Parts: []wire.Schedule{{Kind: "wat"}}},
+		{Kind: "superpose"},
+		{Kind: "superpose", Parts: []wire.Schedule{{Kind: "static", Base: []int{1}}, {Kind: "static", Base: []int{1, 2}}}},
+		{Kind: "modulate"},
+		{Kind: "modulate", Scale: []float64{0}, Inner: &wire.Schedule{Kind: "static", Base: []int{5}}},
+		{Kind: "stablenoise"},
+		{Kind: "stablenoise", Alpha: 3, Sigma: 1, Every: 1, Inner: &wire.Schedule{Kind: "static", Base: []int{5}}},
 	}
 	for i, s := range bad {
 		if _, err := s.ToSchedule(); err == nil {
 			t.Errorf("case %d (%q) accepted", i, s.Kind)
 		}
+	}
+}
+
+// TestScheduleDepthCap: nesting beyond MaxScheduleDepth is rejected
+// instead of recursed into (the fuzz seed for hostile documents).
+func TestScheduleDepthCap(t *testing.T) {
+	deep := wire.Schedule{Kind: "static", Base: []int{5}}
+	for i := 0; i < wire.MaxScheduleDepth+1; i++ {
+		inner := deep
+		deep = wire.Schedule{Kind: "modulate", Scale: []float64{1}, Inner: &inner}
+	}
+	if _, err := deep.ToSchedule(); err == nil {
+		t.Fatal("over-deep nesting accepted")
+	}
+	// One level under the cap still decodes.
+	ok := wire.Schedule{Kind: "static", Base: []int{5}}
+	for i := 0; i < wire.MaxScheduleDepth-1; i++ {
+		inner := ok
+		ok = wire.Schedule{Kind: "modulate", Scale: []float64{1}, Inner: &inner}
+	}
+	if _, err := ok.ToSchedule(); err != nil {
+		t.Fatalf("in-bounds nesting rejected: %v", err)
 	}
 }
 
