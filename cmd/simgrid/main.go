@@ -38,8 +38,12 @@ func main() {
 		workers     = flag.Int("workers", 0, "per-backend ?workers override (0 = backend default)")
 		attempts    = flag.Int("attempts", 3, "per-job attempt budget across backend failures")
 		verbose     = flag.Bool("v", false, "log progress, backend losses, and retries to stderr")
+		token       = flag.String("token", "", "tenant bearer token sent to every backend (empty for open backends; $SIMGRID_TOKEN overrides)")
 	)
 	flag.Parse()
+	if env := os.Getenv("SIMGRID_TOKEN"); env != "" {
+		*token = env
+	}
 
 	backends := splitNonEmpty(*backendsArg)
 	if len(backends) == 0 {
@@ -53,6 +57,7 @@ func main() {
 		Backends: backends,
 		Workers:  *workers,
 		Attempts: *attempts,
+		Token:    *token,
 	}
 	if *verbose {
 		opts.Observe = logEvent

@@ -6,6 +6,14 @@
 //
 //	simserve -addr :8080 -workers 8
 //
+// Durable mode (-data-dir) journals every sweep to disk: a restart on
+// the same directory replays completed sweeps from the journal, resumes
+// interrupted ones, and lets clients reconnect to a half-streamed
+// response via GET /v1/sweeps/{id}?cursor=N. The bisect job cache
+// spills to DATA_DIR/jobcache (or -cache-dir) and stays warm across
+// restarts. -tenants FILE enables bearer-token auth with per-tenant
+// quotas and rate limits (a JSON array of tenant objects; see API.md).
+//
 // The bound address is printed on stdout as "listening on <addr>" once
 // the listener is up (with -addr :0 this is how callers learn the
 // port). SIGINT/SIGTERM trigger a graceful drain: in-flight sweeps
@@ -15,6 +23,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -44,10 +53,26 @@ func main() {
 		jobCache = flag.Int("job-cache-entries", 4096, "bisect cell results kept for cached re-bisection")
 		drainFor = flag.Duration("drain-timeout", time.Minute,
 			"grace for in-flight HTTP handlers on shutdown (sweeps still drain fully after it; a second signal force-kills)")
+		dataDir  = flag.String("data-dir", "", "enable durability: journal sweeps under this directory (empty = memory-only)")
+		dataB    = flag.Int64("data-bytes", 4<<30, "disk budget for sweep journals (oldest complete journals evicted past it)")
+		cacheDir = flag.String("cache-dir", "", "disk job-result cache directory (empty = DATA_DIR/jobcache when -data-dir is set)")
+		cacheDB  = flag.Int64("cache-disk-bytes", 1<<30, "disk budget for the job-result cache")
+		syncWr   = flag.Bool("sync", false, "fsync every journal append (survives machine crash, not just process kill; slow)")
+		tenants  = flag.String("tenants", "", "JSON file of tenant configs enabling bearer-token auth (empty = open server)")
 	)
 	flag.Parse()
 
-	srv := simserver.New(simserver.Options{
+	var tenantCfgs []simserver.TenantConfig
+	if *tenants != "" {
+		raw, err := os.ReadFile(*tenants)
+		if err != nil {
+			log.Fatalf("simserve: read -tenants: %v", err)
+		}
+		if err := json.Unmarshal(raw, &tenantCfgs); err != nil {
+			log.Fatalf("simserve: parse -tenants: %v", err)
+		}
+	}
+	srv, err := simserver.Open(simserver.Options{
 		Workers:         *workers,
 		MaxConcurrent:   *maxConc,
 		CacheEntries:    *cacheCap,
@@ -58,7 +83,16 @@ func main() {
 		MaxCellAnts:     *maxAnts,
 		MaxBisectEvals:  *maxBis,
 		JobCacheEntries: *jobCache,
+		DataDir:         *dataDir,
+		DataBytes:       *dataB,
+		CacheDir:        *cacheDir,
+		CacheDiskBytes:  *cacheDB,
+		SyncWrites:      *syncWr,
+		Tenants:         tenantCfgs,
 	})
+	if err != nil {
+		log.Fatalf("simserve: %v", err)
+	}
 	hs := &http.Server{Handler: srv}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -17,6 +17,7 @@ func TestExportedDocsComplete(t *testing.T) {
 		"internal/gridcoord",
 		"internal/scenario",
 		"internal/sweeprun",
+		"internal/store",
 	}
 	root := filepath.Join("..", "..")
 	for _, dir := range gated {

@@ -80,6 +80,10 @@ type Options struct {
 	// backends lost, ranges re-dispatched). Called from coordinator
 	// goroutines; it must be safe for concurrent use.
 	Observe func(Event)
+	// Token is the tenant bearer token sent to every backend (each
+	// backend call authenticates as the coordinator's tenant). Empty
+	// for open backends.
+	Token string
 }
 
 // EventKind discriminates Event.
@@ -141,7 +145,11 @@ func New(opts Options) (*Coordinator, error) {
 	}
 	c := &Coordinator{opts: opts}
 	for _, b := range opts.Backends {
-		c.clients = append(c.clients, client.New(b, opts.HTTPClient))
+		cl := client.New(b, opts.HTTPClient)
+		if opts.Token != "" {
+			cl = cl.WithToken(opts.Token)
+		}
+		c.clients = append(c.clients, cl)
 	}
 	return c, nil
 }
@@ -359,7 +367,10 @@ func (c *Coordinator) redispatch(ctx context.Context, wg *sync.WaitGroup, st *ru
 		return
 	}
 	var apiErr *client.APIError
-	if errors.As(cause, &apiErr) && apiErr.StatusCode >= 400 && apiErr.StatusCode < 500 {
+	if errors.As(cause, &apiErr) && apiErr.StatusCode >= 400 && apiErr.StatusCode < 500 &&
+		apiErr.StatusCode != http.StatusTooManyRequests {
+		// 429 is the one transient 4xx (a tenant rate limit refills on
+		// its own); any other rejection is identical everywhere.
 		st.fail(fmt.Errorf("gridcoord: backend %d rejected sub-sweep: %w", b, cause))
 		return
 	}
@@ -410,8 +421,9 @@ func (c *Coordinator) Bisect(ctx context.Context, req wire.BisectRequest) (*wire
 			return resp, nil
 		}
 		var apiErr *client.APIError
-		if errors.As(err, &apiErr) && apiErr.StatusCode >= 400 && apiErr.StatusCode < 500 {
-			return nil, err // rejection: identical everywhere
+		if errors.As(err, &apiErr) && apiErr.StatusCode >= 400 && apiErr.StatusCode < 500 &&
+			apiErr.StatusCode != http.StatusTooManyRequests {
+			return nil, err // rejection: identical everywhere (429 is transient)
 		}
 		lastErr = err
 	}

@@ -226,6 +226,20 @@ func (s *Server) bisect(req wire.BisectRequest, workers int) (wire.BisectRespons
 			cell := wire.BisectCell{Gamma: g, JobHash: hash}
 			s.mu.Lock()
 			hit, ok := s.jobCache[key]
+			s.mu.Unlock()
+			if !ok {
+				// Memory miss: the disk job cache may still have it (a
+				// previous process lifetime, or another backend sharing
+				// the mount). A disk hit is promoted into memory.
+				if jr, dok := s.jobBlobGet(key); dok {
+					hit, ok = jr, true
+					s.mu.Lock()
+					s.storeJobLocked(key, jr)
+					s.stats.JobCacheDiskHits++
+					s.mu.Unlock()
+				}
+			}
+			s.mu.Lock()
 			if ok {
 				s.stats.BisectJobHits++
 			} else {
@@ -263,6 +277,7 @@ func (s *Server) bisect(req wire.BisectRequest, workers int) (wire.BisectRespons
 			Pool:    s.pool,
 			Gate:    s.gate,
 		})
+		computed := make([]jobResult, len(results))
 		s.mu.Lock()
 		for i, res := range results {
 			c := &cells[misses[i].cell]
@@ -276,8 +291,14 @@ func (s *Server) bisect(req wire.BisectRequest, workers int) (wire.BisectRespons
 				jr.report = res.Report
 			}
 			s.storeJobLocked(misses[i].key, jr)
+			computed[i] = jr
 		}
 		s.mu.Unlock()
+		// Spill fresh results to the disk cache outside the lock (Put
+		// does file IO); idempotent, so concurrent writers are safe.
+		for i, p := range misses {
+			s.jobBlobPut(p.key, computed[i])
+		}
 		return nil
 	}
 

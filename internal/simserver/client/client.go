@@ -15,14 +15,16 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"taskalloc/internal/wire"
 )
 
 // Client talks to one simulation service instance.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	token string
 }
 
 // New builds a client for the service at base (e.g.
@@ -33,6 +35,26 @@ func New(base string, httpClient *http.Client) *Client {
 		httpClient = http.DefaultClient
 	}
 	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient}
+}
+
+// WithToken returns a copy of the client that authenticates every
+// request with the tenant bearer token. An empty token clears it.
+func (c *Client) WithToken(token string) *Client {
+	out := *c
+	out.token = token
+	return &out
+}
+
+// newRequest builds a request with the client's auth applied.
+func (c *Client) newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if c.token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	return req, nil
 }
 
 // SubmitOptions tunes one submission.
@@ -99,14 +121,57 @@ func (e *APIError) Error() string {
 	return fmt.Sprintf("client: %s: %s", e.Status, e.Message)
 }
 
-// apiError decorates non-2xx responses with the server's message.
+// AuthError is a 401 rejection: the request carried no bearer token,
+// or one the server does not know. It unwraps to its *APIError, so
+// errors.As-on-APIError call sites keep working.
+type AuthError struct{ *APIError }
+
+// Unwrap exposes the underlying APIError.
+func (e *AuthError) Unwrap() error { return e.APIError }
+
+// QuotaError is a 403 rejection: the submission would exceed the
+// tenant's cumulative job quota.
+type QuotaError struct{ *APIError }
+
+// Unwrap exposes the underlying APIError.
+func (e *QuotaError) Unwrap() error { return e.APIError }
+
+// RateLimitError is a 429 rejection from the tenant's token bucket.
+// Unlike other 4xx rejections it is transient: retry after RetryAfter.
+type RateLimitError struct {
+	*APIError
+	// RetryAfter is how long until the bucket readmits the tenant.
+	RetryAfter time.Duration
+}
+
+// Unwrap exposes the underlying APIError.
+func (e *RateLimitError) Unwrap() error { return e.APIError }
+
+// apiError decorates non-2xx responses with the server's message. A
+// tenant rejection (wire.ErrorBody) becomes its typed error.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	return &APIError{
+	base := &APIError{
 		StatusCode: resp.StatusCode,
 		Status:     resp.Status,
 		Message:    string(bytes.TrimSpace(body)),
 	}
+	var eb wire.ErrorBody
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Kind != "" {
+		base.Message = eb.Error
+		switch eb.Kind {
+		case "unauthorized":
+			return &AuthError{base}
+		case "quota":
+			return &QuotaError{base}
+		case "rate_limited":
+			return &RateLimitError{
+				APIError:   base,
+				RetryAfter: time.Duration(eb.RetryAfterMS) * time.Millisecond,
+			}
+		}
+	}
+	return base
 }
 
 func (c *Client) sweepsURL(format string, opts SubmitOptions) string {
@@ -133,7 +198,7 @@ func (c *Client) SubmitSweep(ctx context.Context, sweep wire.Sweep, opts SubmitO
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+	req, err := c.newRequest(ctx, http.MethodPost,
 		c.sweepsURL("ndjson", opts), bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -147,7 +212,14 @@ func (c *Client) SubmitSweep(ctx context.Context, sweep wire.Sweep, opts SubmitO
 	if resp.StatusCode != http.StatusOK {
 		return nil, apiError(resp)
 	}
+	return consumeNDJSON(resp, 0, opts.DiscardResults, onResult)
+}
 
+// consumeNDJSON reads a sweep stream: the header line, then one
+// wire.Result line per cell. The stream is truncated unless exactly
+// Header.Jobs - cursor result lines arrive (a cursored stream carries
+// only the cells from the cursor on).
+func consumeNDJSON(resp *http.Response, cursor int, discard bool, onResult func(wire.Result)) (*Submission, error) {
 	sub := &Submission{
 		Cached:      resp.Header.Get("X-Sweep-Cache") == "hit",
 		Disposition: resp.Header.Get("X-Cache"),
@@ -177,7 +249,7 @@ func (c *Client) SubmitSweep(ctx context.Context, sweep wire.Sweep, opts SubmitO
 			return nil, fmt.Errorf("client: decode result line %d: %w", lineCount, jsonErr)
 		}
 		lineCount++
-		if !opts.DiscardResults {
+		if !discard {
 			sub.Results = append(sub.Results, res)
 		}
 		if onResult != nil {
@@ -187,11 +259,39 @@ func (c *Client) SubmitSweep(ctx context.Context, sweep wire.Sweep, opts SubmitO
 			break
 		}
 	}
-	if lineCount != sub.Header.Jobs {
+	if want := sub.Header.Jobs - cursor; lineCount != want {
 		return nil, fmt.Errorf("client: stream truncated: %d of %d results",
-			lineCount, sub.Header.Jobs)
+			lineCount, want)
 	}
 	return sub, nil
+}
+
+// ResumeSweep reconnects to a sweep's result stream at cursor
+// (GET /v1/sweeps/{id}?cursor=N): the response carries cells N on,
+// byte-identical to the tail of the uninterrupted POST response, so a
+// client that read N result lines before losing its connection — even
+// to a server restart, when the sweep was journaled under -data-dir —
+// stitches the two bodies into the full response. The returned
+// Submission holds only the resumed cells.
+func (c *Client) ResumeSweep(ctx context.Context, id string, cursor int, opts SubmitOptions,
+	onResult func(wire.Result)) (*Submission, error) {
+	if cursor < 0 {
+		return nil, fmt.Errorf("client: negative cursor %d", cursor)
+	}
+	u := c.base + "/v1/sweeps/" + url.PathEscape(id) + "?cursor=" + strconv.Itoa(cursor)
+	req, err := c.newRequest(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, apiError(resp)
+	}
+	return consumeNDJSON(resp, cursor, opts.DiscardResults, onResult)
 }
 
 // SubmitSweepCSV POSTs the grid with format=csv and returns the raw
@@ -201,7 +301,7 @@ func (c *Client) SubmitSweepCSV(ctx context.Context, sweep wire.Sweep, opts Subm
 	if err != nil {
 		return nil, false, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+	req, err := c.newRequest(ctx, http.MethodPost,
 		c.sweepsURL("csv", opts), bytes.NewReader(body))
 	if err != nil {
 		return nil, false, err
@@ -230,7 +330,7 @@ func (c *Client) Bisect(ctx context.Context, req wire.BisectRequest) (*wire.Bise
 	if err != nil {
 		return nil, err
 	}
-	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+	hreq, err := c.newRequest(ctx, http.MethodPost,
 		c.base+"/v1/bisect", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -282,7 +382,7 @@ func HashJob(j wire.Job) (JobHashes, error) {
 
 // GetSweep fetches a sweep's status/summary by ID.
 func (c *Client) GetSweep(ctx context.Context, id string) (*wire.SweepStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+	req, err := c.newRequest(ctx, http.MethodGet,
 		c.base+"/v1/sweeps/"+url.PathEscape(id), nil)
 	if err != nil {
 		return nil, err
@@ -304,7 +404,7 @@ func (c *Client) GetSweep(ctx context.Context, id string) (*wire.SweepStatus, er
 
 // Healthz probes liveness.
 func (c *Client) Healthz(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
 	if err != nil {
 		return err
 	}
@@ -321,7 +421,7 @@ func (c *Client) Healthz(ctx context.Context) error {
 
 // Version fetches the server's wire-format and runtime versions.
 func (c *Client) Version(ctx context.Context) (map[string]string, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/version", nil)
+	req, err := c.newRequest(ctx, http.MethodGet, c.base+"/v1/version", nil)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,464 @@
+package simserver
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"taskalloc"
+	"taskalloc/internal/store"
+	"taskalloc/internal/sweeprun"
+	"taskalloc/internal/wire"
+)
+
+// Durability glue: how sweeps checkpoint to the journal store and come
+// back. One journal per sweep, keyed by the semantic sweep hash:
+//
+//	header  = journalHeader (the canonical document + identity)
+//	records = one cellRecord per completed cell, in index order
+//	commit  = commitRecord (summary + failure count)
+//
+// Because sweeprun.Stream delivers results in strict index order, the
+// journal's record sequence IS the response's cell order: recovery of
+// k records means cells [0,k) are replayable byte-identically and
+// execution resumes at cell k — from the STORED document, so an alias
+// spelling that resumes someone else's sweep still renders the
+// creator's exact bytes.
+
+// journalHeader is a sweep journal's header payload.
+type journalHeader struct {
+	// ID is the semantic sweep hash (the journal id, restated so a
+	// journal is self-describing).
+	ID string `json:"id"`
+	// SynID is the creator's syntactic hash, for alias accounting.
+	SynID string `json:"syn_id"`
+	// Jobs is the grid size.
+	Jobs int `json:"jobs"`
+	// Doc is the canonical document (wire.MarshalSweep), re-decoded on
+	// resume so remaining cells run with the creator's exact spelling.
+	Doc json.RawMessage `json:"doc"`
+}
+
+// cellRecord is one checkpointed cell. Report round-trips through JSON
+// byte-stably (shortest-float encoding is its own fixed point, and
+// Report's NaN↔null mapping is symmetric), so a replayed cell renders
+// the same bytes the original stream sent.
+type cellRecord struct {
+	Index  int               `json:"index"`
+	Meta   []string          `json:"meta,omitempty"`
+	Rounds int               `json:"rounds"`
+	Report *taskalloc.Report `json:"report,omitempty"`
+	Err    string            `json:"err,omitempty"`
+	Traj   []byte            `json:"traj,omitempty"`
+}
+
+// commitRecord is the terminal journal payload.
+type commitRecord struct {
+	Summary sweeprun.Summary `json:"summary"`
+	Failed  int              `json:"failed"`
+}
+
+// persistedJob is the blob-cache encoding of one job-level result
+// (bisect cells), keyed by wire.SemanticHash.
+type persistedJob struct {
+	Report *taskalloc.Report `json:"report,omitempty"`
+	Err    string            `json:"err,omitempty"`
+}
+
+// diskSweep is the in-memory index entry for one on-disk journal.
+type diskSweep struct {
+	complete bool
+}
+
+// cellToRecord converts a completed cell to its journal payload.
+func cellToRecord(i int, c cell) cellRecord {
+	rec := cellRecord{Index: i, Meta: c.meta, Rounds: c.rounds, Err: c.err, Traj: c.traj}
+	if c.err == "" {
+		rep := c.report
+		rec.Report = &rep
+	}
+	return rec
+}
+
+// recordToCell converts a recovered journal payload back to a cell.
+func recordToCell(rec cellRecord) cell {
+	c := cell{meta: rec.Meta, rounds: rec.Rounds, err: rec.Err, traj: rec.Traj}
+	if rec.Report != nil {
+		c.report = *rec.Report
+	}
+	return c
+}
+
+// persistError counts a durability failure. Persistence is best-effort
+// around the in-memory serving path: a journal that cannot be written
+// degrades the sweep to memory-only, never fails the request.
+func (s *Server) persistError() {
+	s.mu.Lock()
+	s.stats.PersistErrors++
+	s.mu.Unlock()
+}
+
+// createJournal starts a sweep's journal; nil when durability is off
+// or the journal could not be created (counted, degraded to memory).
+func (s *Server) createJournal(id, synID string, sweep wire.Sweep) *store.Journal {
+	if s.store == nil {
+		return nil
+	}
+	doc, err := wire.MarshalSweep(sweep)
+	if err != nil {
+		s.persistError()
+		return nil
+	}
+	hdr, err := json.Marshal(journalHeader{ID: id, SynID: synID, Jobs: len(sweep.Jobs), Doc: doc})
+	if err != nil {
+		s.persistError()
+		return nil
+	}
+	j, err := s.store.Create(id, hdr)
+	if err != nil {
+		s.persistError()
+		return nil
+	}
+	s.mu.Lock()
+	s.diskIdx[id] = &diskSweep{}
+	s.mu.Unlock()
+	return j
+}
+
+// dropJournal discards a failed submission's journal with its index
+// entry (the owning request never ran, so nothing is worth resuming).
+func (s *Server) dropJournal(j *store.Journal) {
+	if j == nil {
+		return
+	}
+	_ = j.Close()
+	_ = s.store.Remove(j.ID())
+	s.mu.Lock()
+	delete(s.diskIdx, j.ID())
+	s.mu.Unlock()
+}
+
+// hasJournal reports whether id has an on-disk journal.
+func (s *Server) hasJournal(id string) (exists, complete bool) {
+	if s.store == nil {
+		return false, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, ok := s.diskIdx[id]
+	if !ok {
+		return false, false
+	}
+	return true, d.complete
+}
+
+// recovered is a journal decoded back to serving state.
+type recovered struct {
+	header  journalHeader
+	cells   []cell // the checkpointed prefix
+	summary sweeprun.Summary
+	failed  int
+	// journal is the append handle for an incomplete journal (nil when
+	// the journal was complete).
+	journal *store.Journal
+}
+
+// loadJournal recovers a sweep journal: read-only for a complete one,
+// truncate-and-append for an incomplete one (becoming the journal's
+// owner). A journal that cannot be decoded is removed and reported as
+// an error — the caller executes fresh, as if it never existed.
+func (s *Server) loadJournal(id string, wantAppend bool) (*recovered, error) {
+	var (
+		rec *store.Recovered
+		j   *store.Journal
+		err error
+	)
+	if wantAppend {
+		j, rec, err = s.store.OpenAppend(id)
+	} else {
+		rec, err = s.store.Load(id)
+	}
+	if err != nil {
+		s.mu.Lock()
+		delete(s.diskIdx, id)
+		s.mu.Unlock()
+		if !errors.Is(err, store.ErrNotExist) {
+			_ = s.store.Remove(id)
+			s.persistError()
+		}
+		return nil, err
+	}
+	out := &recovered{journal: j}
+	if err := json.Unmarshal(rec.Header, &out.header); err != nil {
+		s.discardRecovered(id, j)
+		return nil, fmt.Errorf("journal %s: bad header: %w", id, err)
+	}
+	if out.header.Jobs < 0 || len(rec.Records) > out.header.Jobs {
+		s.discardRecovered(id, j)
+		return nil, fmt.Errorf("journal %s: %d records for %d jobs", id, len(rec.Records), out.header.Jobs)
+	}
+	for i, raw := range rec.Records {
+		var cr cellRecord
+		if err := json.Unmarshal(raw, &cr); err != nil || cr.Index != i {
+			s.discardRecovered(id, j)
+			return nil, fmt.Errorf("journal %s: bad record %d", id, i)
+		}
+		out.cells = append(out.cells, recordToCell(cr))
+	}
+	if rec.Complete {
+		var com commitRecord
+		if err := json.Unmarshal(rec.Final, &com); err != nil || len(out.cells) != out.header.Jobs {
+			s.discardRecovered(id, j)
+			return nil, fmt.Errorf("journal %s: bad commit", id)
+		}
+		out.summary = com.Summary
+		out.failed = com.Failed
+	}
+	return out, nil
+}
+
+// discardRecovered removes an undecodable journal so the sweep can be
+// re-executed fresh.
+func (s *Server) discardRecovered(id string, j *store.Journal) {
+	if j != nil {
+		_ = j.Close()
+	}
+	_ = s.store.Remove(id)
+	s.mu.Lock()
+	delete(s.diskIdx, id)
+	s.mu.Unlock()
+	s.persistError()
+}
+
+// executeOwned runs an owned sweep to completion and publishes it:
+// prefix cells (recovered from a journal, len(prefix) <= len(jobs))
+// are emitted as-is, the remaining jobs execute through the shared
+// pool, each cell checkpointed to j (when non-nil) BEFORE it is
+// emitted — the record is on disk before its bytes can reach a
+// client, so a crash never leaves a client holding bytes the journal
+// cannot replay. Emit receives every cell in strict index order.
+func (s *Server) executeOwned(entry *sweepEntry, jobs []sweeprun.Job, recs []*wire.TrajectoryRecorder, prefix []cell, j *store.Journal, workers int, emit func(i int, c cell)) {
+	cells := make([]cell, len(jobs))
+	copy(cells, prefix)
+	results := make([]sweeprun.Result, len(jobs))
+	for i, c := range prefix {
+		results[i] = sweeprun.Result{Index: i, Job: jobs[i], Report: c.report}
+		if c.err != "" {
+			results[i].Err = errors.New(c.err)
+		}
+		emit(i, c)
+	}
+
+	off := len(prefix)
+	journal := j
+	rest := sweeprun.Stream(jobs[off:], sweeprun.Options{
+		Workers: workers,
+		Pool:    s.pool,
+		Gate:    s.gate,
+	}, func(res sweeprun.Result) {
+		i := off + res.Index
+		c := cell{meta: res.Job.Meta, rounds: res.Job.Rounds, report: res.Report}
+		if res.Err != nil {
+			c.err = res.Err.Error()
+		} else if rec := recs[i]; rec != nil {
+			// Only successful cells carry a trajectory: a failed cell's
+			// recorder holds just the pre-written header, which would
+			// read as a legitimate zero-round run.
+			c.traj = rec.Bytes()
+		}
+		if journal != nil {
+			payload, err := json.Marshal(cellToRecord(i, c))
+			if err == nil {
+				err = journal.Append(payload)
+			}
+			if err != nil {
+				// Degrade to memory-only; the journal keeps its valid
+				// prefix for a later resume.
+				_ = journal.Close()
+				journal = nil
+				s.persistError()
+			}
+		}
+		cells[i] = c
+		emit(i, c)
+	})
+	for i, res := range rest {
+		res.Index = off + i
+		results[off+i] = res
+	}
+
+	sum := sweeprun.Summarize(results)
+	if journal != nil {
+		payload, err := json.Marshal(commitRecord{Summary: sum, Failed: sum.Failed})
+		if err == nil {
+			err = journal.Commit(payload)
+		}
+		if err != nil {
+			_ = journal.Close()
+			s.persistError()
+		} else {
+			s.mu.Lock()
+			if d, ok := s.diskIdx[entry.id]; ok {
+				d.complete = true
+			}
+			s.mu.Unlock()
+		}
+	}
+	s.publish(entry, cells, sum)
+}
+
+// serveFromDisk tries to satisfy an owned entry from its journal.
+// It returns the disposition it served ("hit" for a complete journal,
+// "resume" after finishing an incomplete one) and whether it handled
+// the response; ("", false) means no usable journal — execute fresh.
+// synID is the submitting document's syntactic hash ("" for GETs), for
+// alias accounting against the stored creator's.
+func (s *Server) serveFromDisk(w http.ResponseWriter, r *http.Request, entry *sweepEntry, synID, format string, cursor, workers int) (string, bool) {
+	exists, complete := s.hasJournal(entry.id)
+	if !exists {
+		return "", false
+	}
+	rec, err := s.loadJournal(entry.id, !complete)
+	if err != nil {
+		return "", false
+	}
+	s.mu.Lock()
+	entry.jobs = rec.header.Jobs
+	entry.synID = rec.header.SynID // the creator whose bytes we replay
+	if synID != "" && rec.header.SynID != synID {
+		s.stats.SemanticAliasHits++
+	}
+	s.mu.Unlock()
+
+	if rec.journal == nil {
+		// Complete: publish the recovered cells and replay from cursor.
+		// A POST so served never executed — reclassify its
+		// lookupOrCreate miss as a hit.
+		s.mu.Lock()
+		s.stats.DiskSweepHits++
+		if synID != "" {
+			s.stats.SweepMisses--
+			s.stats.SweepHits++
+		}
+		s.mu.Unlock()
+		s.publish(entry, rec.cells, rec.summary)
+		if cursor > len(rec.cells) {
+			httpError(w, http.StatusBadRequest,
+				"cursor %d past end of sweep (%d jobs)", cursor, len(rec.cells))
+			return "hit", true
+		}
+		s.setStreamHeaders(w, format, entry.id, "hit")
+		s.renderFrom(w, entry, format, cursor)
+		return "hit", true
+	}
+
+	// Incomplete: resume the remaining jobs from the STORED document,
+	// so an alias spelling that adopts the journal still renders the
+	// creator's exact bytes.
+	sweep, err := wire.DecodeSweep(bytes.NewReader(rec.header.Doc))
+	var (
+		jobs []sweeprun.Job
+		recs []*wire.TrajectoryRecorder
+	)
+	if err == nil {
+		jobs, recs, err = buildRunnable(sweep)
+	}
+	if err != nil || len(rec.cells) > len(jobs) || len(jobs) != rec.header.Jobs {
+		s.discardRecovered(entry.id, rec.journal)
+		return "", false
+	}
+	if cursor > rec.header.Jobs {
+		_ = rec.journal.Close()
+		httpError(w, http.StatusBadRequest,
+			"cursor %d past end of sweep (%d jobs)", cursor, rec.header.Jobs)
+		// The entry was never published; drop it so a retry can resume.
+		s.drop(entry)
+		return "resume", true
+	}
+	s.mu.Lock()
+	s.stats.DiskResumes++
+	s.mu.Unlock()
+	s.setStreamHeaders(w, format, entry.id, "resume")
+	stream, flush := s.newStream(w, format, entry.id, rec.header.Jobs, cursor)
+	s.executeOwned(entry, jobs, recs, rec.cells, rec.journal, workers, func(i int, c cell) {
+		if i >= cursor {
+			stream.cell(i, c)
+			flush()
+		}
+	})
+	stream.finish()
+	return "resume", true
+}
+
+// newStream builds the response renderer for a (possibly cursored)
+// stream plus its flush hook. A cursor > 0 skips the CSV header so
+// stitched responses concatenate cleanly; the NDJSON header line is
+// always sent (resumed clients drop it — it carries the id they
+// already have).
+func (s *Server) newStream(w http.ResponseWriter, format, id string, jobs, cursor int) (streamRenderer, func()) {
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	var stream streamRenderer
+	switch format {
+	case "csv":
+		stream = newCSVRenderer(w, cursor == 0)
+	default:
+		stream = newNDJSONRenderer(w, wire.StreamHeader{Version: wire.V1, ID: id, Jobs: jobs})
+	}
+	return stream, flush
+}
+
+// renderFrom replays a completed sweep's cells starting at cursor.
+func (s *Server) renderFrom(w http.ResponseWriter, e *sweepEntry, format string, cursor int) {
+	stream, _ := s.newStream(w, format, e.id, e.jobs, cursor)
+	for i := cursor; i < len(e.cells); i++ {
+		stream.cell(i, e.cells[i])
+	}
+	stream.finish()
+}
+
+// jobBlobGet consults the disk job cache; ok only for a decodable
+// entry.
+func (s *Server) jobBlobGet(key string) (jobResult, bool) {
+	if s.blob == nil {
+		return jobResult{}, false
+	}
+	raw, ok := s.blob.Get(key)
+	if !ok {
+		return jobResult{}, false
+	}
+	var pj persistedJob
+	if err := json.Unmarshal(raw, &pj); err != nil {
+		return jobResult{}, false
+	}
+	jr := jobResult{err: pj.Err}
+	if pj.Report != nil {
+		jr.report = *pj.Report
+	}
+	return jr, true
+}
+
+// jobBlobPut writes one job result to the disk cache (best-effort).
+func (s *Server) jobBlobPut(key string, jr jobResult) {
+	if s.blob == nil {
+		return
+	}
+	pj := persistedJob{Err: jr.err}
+	if jr.err == "" {
+		rep := jr.report
+		pj.Report = &rep
+	}
+	raw, err := json.Marshal(pj)
+	if err == nil {
+		err = s.blob.Put(key, raw)
+	}
+	if err != nil {
+		s.persistError()
+	}
+}

@@ -46,13 +46,17 @@ func (r *ndjsonRenderer) finish() {}
 
 // csvRenderer emits exactly the cmd/sweep CSV (sweeprun's shared
 // helpers): header, one row per successful cell, failed cells skipped.
+// withHeader false suppresses the header row, so a cursored
+// continuation concatenates onto an interrupted response cleanly.
 type csvRenderer struct {
 	w *csv.Writer
 }
 
-func newCSVRenderer(w io.Writer) *csvRenderer {
+func newCSVRenderer(w io.Writer, withHeader bool) *csvRenderer {
 	r := &csvRenderer{w: csv.NewWriter(w)}
-	_ = r.w.Write(sweeprun.CSVHeader())
+	if withHeader {
+		_ = r.w.Write(sweeprun.CSVHeader())
+	}
 	return r
 }
 

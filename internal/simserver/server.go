@@ -40,11 +40,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"taskalloc"
+	"taskalloc/internal/store"
 	"taskalloc/internal/sweeprun"
 	"taskalloc/internal/wire"
 )
@@ -86,6 +89,31 @@ type Options struct {
 	// endpoint reuses cells through (reports only — a few hundred bytes
 	// each); <= 0 means 4096. Eviction is FIFO.
 	JobCacheEntries int
+	// DataDir enables durability: sweep journals are checkpointed under
+	// DataDir/sweeps so a restart can replay completed sweeps and
+	// resume interrupted ones (GET /v1/sweeps/{id}?cursor=N). Empty
+	// keeps the service memory-only (the default — no existing behavior
+	// changes).
+	DataDir string
+	// DataBytes caps the journals' disk usage (least-recently-committed
+	// complete journals are evicted past it); <= 0 means 4 GiB.
+	DataBytes int64
+	// CacheDir enables the disk job-result cache (bisect cells), keyed
+	// by wire.SemanticHash and shared across restarts — and across
+	// processes: several backends may mount one directory. Empty
+	// defaults to DataDir/jobcache when DataDir is set, else disabled.
+	CacheDir string
+	// CacheDiskBytes caps the disk job cache; <= 0 means 1 GiB.
+	CacheDiskBytes int64
+	// SyncWrites fsyncs every journal append. Off (the default),
+	// checkpoints survive a process kill but not a machine crash; on,
+	// both, at a large append cost.
+	SyncWrites bool
+	// Tenants enables bearer-token auth: requests (except healthz and
+	// version) must carry a configured token, and each tenant gets its
+	// own job quota and request rate limit. Empty leaves the server
+	// open.
+	Tenants []TenantConfig
 }
 
 // maxWorkersPerRequest bounds the goroutines one submission's
@@ -115,7 +143,28 @@ type Server struct {
 	jobOrder      []string // insertion order, for FIFO eviction
 	bisectFlights map[string]*bisectFlight
 
+	// Durability layer (nil when Options.DataDir / CacheDir are empty):
+	// the journal store, the disk job cache, and the index of on-disk
+	// sweeps (guarded by mu).
+	store   *store.Store
+	blob    *store.BlobCache
+	diskIdx map[string]*diskSweep
+
+	// auth is the tenant layer, nil when Options.Tenants is empty.
+	auth *authState
+	// nowFn is the tenant rate limiter's clock, injectable in tests;
+	// nil means time.Now.
+	nowFn func() time.Time
+
 	stats Stats
+}
+
+// now is the server's clock (rate limiting only).
+func (s *Server) now() time.Time {
+	if s.nowFn != nil {
+		return s.nowFn()
+	}
+	return time.Now()
 }
 
 // Stats counts cache dispositions since the server started. All
@@ -139,18 +188,37 @@ type Stats struct {
 	BisectJobHits   uint64 `json:"bisect_job_hits"`
 	BisectJobMisses uint64 `json:"bisect_job_misses"`
 	BisectCoalesced uint64 `json:"bisect_coalesced"`
+	// DiskSweepHits counts sweeps served entirely from an on-disk
+	// journal after a restart (POST submissions so served are
+	// reclassified from SweepMisses to SweepHits); DiskResumes counts
+	// incomplete journals resumed (checkpointed prefix replayed from
+	// disk, remaining cells executed). JobCacheDiskHits counts bisect
+	// cells served from the disk job cache. PersistErrors counts
+	// best-effort durability failures — the request is still served
+	// from memory, but its checkpoints stopped.
+	DiskSweepHits    uint64 `json:"disk_sweep_hits"`
+	DiskResumes      uint64 `json:"disk_resumes"`
+	JobCacheDiskHits uint64 `json:"job_cache_disk_hits"`
+	PersistErrors    uint64 `json:"persist_errors"`
 	// CacheEntries / CacheBytes are the sweep cache's current size.
 	CacheEntries int   `json:"cache_entries"`
 	CacheBytes   int64 `json:"cache_bytes"`
+	// DiskJournals / DiskBytes are the journal store's current size
+	// (zero when durability is off).
+	DiskJournals int   `json:"disk_journals"`
+	DiskBytes    int64 `json:"disk_bytes"`
 }
 
 // Stats snapshots the server's cache counters.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	out := s.stats
 	out.CacheEntries = len(s.cache)
 	out.CacheBytes = s.cacheSize
+	s.mu.Unlock()
+	if s.store != nil {
+		out.DiskJournals, out.DiskBytes = s.store.Stats()
+	}
 	return out
 }
 
@@ -178,8 +246,23 @@ type cell struct {
 	traj   []byte
 }
 
-// New builds a Server with a fresh shared worker pool.
+// New builds a memory-only Server with a fresh shared worker pool. It
+// panics if opts enables durability or tenants and that setup fails
+// (bad directory, invalid tenant config) — prefer Open when using
+// those options.
 func New(opts Options) *Server {
+	s, err := Open(opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Open builds a Server, setting up the durability layer (journal
+// store + disk job cache) and the tenant registry when their options
+// are set. With a zero Options it is equivalent to New: memory-only,
+// open to all callers.
+func Open(opts Options) (*Server, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -217,6 +300,46 @@ func New(opts Options) *Server {
 		cache:         make(map[string]*sweepEntry),
 		jobCache:      make(map[string]jobResult),
 		bisectFlights: make(map[string]*bisectFlight),
+		diskIdx:       make(map[string]*diskSweep),
+	}
+	if opts.DataDir != "" {
+		if opts.DataBytes <= 0 {
+			opts.DataBytes = 4 << 30
+		}
+		st, err := store.Open(filepath.Join(opts.DataDir, "sweeps"),
+			store.Options{MaxBytes: opts.DataBytes, Sync: opts.SyncWrites})
+		if err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		s.store = st
+		for _, e := range st.Entries() {
+			s.diskIdx[e.ID] = &diskSweep{complete: e.Complete}
+		}
+		if opts.CacheDir == "" {
+			opts.CacheDir = filepath.Join(opts.DataDir, "jobcache")
+		}
+		s.opts = opts
+	}
+	if opts.CacheDir != "" {
+		if opts.CacheDiskBytes <= 0 {
+			opts.CacheDiskBytes = 1 << 30
+		}
+		bc, err := store.OpenBlobCache(opts.CacheDir, opts.CacheDiskBytes)
+		if err != nil {
+			s.pool.Close()
+			return nil, err
+		}
+		s.blob = bc
+	}
+	if len(opts.Tenants) > 0 {
+		for i, t := range opts.Tenants {
+			if t.Name == "" || t.Token == "" {
+				s.pool.Close()
+				return nil, fmt.Errorf("simserver: tenant %d needs a name and a token", i)
+			}
+		}
+		s.auth = newAuthState(opts.Tenants)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
@@ -224,11 +347,17 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
-	return s
+	return s, nil
 }
 
 // ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.auth != nil {
+		s.middleware(w, r)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // begin registers an in-flight request; false once Close has started.
 func (s *Server) begin() bool {
@@ -435,6 +564,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The tenant job quota is charged at admission, whatever the cache
+	// disposition ends up being (a hit still consumed a submission).
+	if t := tenantFrom(r); t != nil && !t.chargeJobs(len(sweep.Jobs)) {
+		writeErrorBody(w, http.StatusForbidden, wire.ErrorBody{
+			Error: fmt.Sprintf("job quota exceeded (%d jobs over tenant limit)", len(sweep.Jobs)),
+			Kind:  "quota",
+		})
+		return
+	}
+
 	entry, disposition := s.lookupOrCreate(id, synID, len(sweep.Jobs))
 	if disposition != "miss" {
 		// An equivalent grid already ran (or is running): coalesce onto
@@ -450,68 +589,40 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		s.setStreamHeaders(w, format, id, disposition)
-		s.renderCached(w, entry, format)
+		s.renderFrom(w, entry, format, 0)
 		return
 	}
 
-	// We own the entry: decode to runnable jobs, stream while recording.
-	// Until published, any exit (validation error, panic) must drop the
-	// placeholder so coalesced waiters unblock and a corrected
-	// resubmission is not welded to the broken one.
+	// We own the entry. Until published, any exit (validation error,
+	// panic) must drop the placeholder so coalesced waiters unblock and
+	// a corrected resubmission is not welded to the broken one.
 	published := false
 	defer func() {
 		if !published {
 			s.drop(entry)
 		}
 	}()
+
+	// A journal from a previous process lifetime serves (or resumes)
+	// this submission byte-identically to its creator's run.
+	if _, handled := s.serveFromDisk(w, r, entry, synID, format, 0, workers); handled {
+		published = true // serveFromDisk publishes or drops the entry itself
+		return
+	}
+
 	jobs, recs, err := buildRunnable(sweep)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	j := s.createJournal(id, synID, sweep)
 	s.setStreamHeaders(w, format, id, "miss")
-
-	cells := make([]cell, len(jobs))
-	flusher, _ := w.(http.Flusher)
-	flush := func() {
-		if flusher != nil {
-			flusher.Flush()
-		}
-	}
-
-	var stream streamRenderer
-	switch format {
-	case "csv":
-		stream = newCSVRenderer(w)
-	default:
-		stream = newNDJSONRenderer(w, wire.StreamHeader{Version: wire.V1, ID: id, Jobs: len(jobs)})
-	}
-
-	results := sweeprun.Stream(jobs, sweeprun.Options{
-		Workers: workers,
-		Pool:    s.pool,
-		Gate:    s.gate,
-	}, func(res sweeprun.Result) {
-		c := cell{
-			meta:   res.Job.Meta,
-			rounds: res.Job.Rounds,
-			report: res.Report,
-		}
-		if res.Err != nil {
-			c.err = res.Err.Error()
-		} else if rec := recs[res.Index]; rec != nil {
-			// Only successful cells carry a trajectory: a failed cell's
-			// recorder holds just the pre-written header, which would
-			// read as a legitimate zero-round run.
-			c.traj = rec.Bytes()
-		}
-		cells[res.Index] = c
-		stream.cell(res.Index, c)
+	stream, flush := s.newStream(w, format, id, len(jobs), 0)
+	s.executeOwned(entry, jobs, recs, nil, j, workers, func(i int, c cell) {
+		stream.cell(i, c)
 		flush()
 	})
 	stream.finish()
-
-	s.publish(entry, cells, sweeprun.Summarize(results))
 	published = true
 }
 
@@ -560,21 +671,6 @@ func (s *Server) setStreamHeaders(w http.ResponseWriter, format, id, disposition
 	}
 }
 
-// renderCached replays a completed sweep from its cells.
-func (s *Server) renderCached(w http.ResponseWriter, e *sweepEntry, format string) {
-	var stream streamRenderer
-	switch format {
-	case "csv":
-		stream = newCSVRenderer(w)
-	default:
-		stream = newNDJSONRenderer(w, wire.StreamHeader{Version: wire.V1, ID: e.id, Jobs: e.jobs})
-	}
-	for i, c := range e.cells {
-		stream.cell(i, c)
-	}
-	stream.finish()
-}
-
 // buildRunnable decodes the wire grid into sweeprun jobs (via
 // wire.ToJobs, which shares identical frozen snapshots across cells),
 // attaching a trajectory recorder to every job that asked for one.
@@ -604,10 +700,27 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	defer s.inflight.Done()
 
 	id := r.PathValue("id")
+	if q := r.URL.Query(); q.Has("cursor") || q.Has("format") {
+		// Stream mode: replay the response body from a cursor — how a
+		// client reconnects to a half-streamed sweep after a restart.
+		s.handleGetStream(w, r, id)
+		return
+	}
 	s.mu.Lock()
 	e := s.cache[id]
+	var jobsNow int
+	if e != nil {
+		jobsNow = e.jobs
+	}
 	s.mu.Unlock()
 	if e == nil {
+		if exists, _ := s.hasJournal(id); exists {
+			// On disk but not loaded: a cursored GET (or an equivalent
+			// POST) will replay or resume it.
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(wire.SweepStatus{ID: id, Status: "resumable"})
+			return
+		}
 		httpError(w, http.StatusNotFound, "unknown sweep %q", id)
 		return
 	}
@@ -616,7 +729,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	case <-e.done:
 	default:
 		w.WriteHeader(http.StatusAccepted)
-		_ = json.NewEncoder(w).Encode(wire.SweepStatus{ID: e.id, Status: "running", Jobs: e.jobs})
+		_ = json.NewEncoder(w).Encode(wire.SweepStatus{ID: e.id, Status: "running", Jobs: jobsNow})
 		return
 	}
 	if e.cells == nil {
@@ -636,12 +749,86 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	_ = json.NewEncoder(w).Encode(status)
 }
 
+// handleGetStream serves GET /v1/sweeps/{id}?cursor=N[&format=...]:
+// the response body from cell N on, byte-identical to the tail of an
+// uninterrupted POST response (for NDJSON, preceded by the header line
+// a resuming client drops; for CSV, the header row only at cursor 0).
+// A sweep that lives only in a journal is loaded — or, if its journal
+// is incomplete, resumed: the checkpointed prefix replays from disk
+// and the remaining cells execute, streaming as they complete.
+func (s *Server) handleGetStream(w http.ResponseWriter, r *http.Request, id string) {
+	q := r.URL.Query()
+	format := q.Get("format")
+	if format == "" {
+		format = "ndjson"
+	}
+	if format != "ndjson" && format != "csv" {
+		httpError(w, http.StatusBadRequest, "unknown format %q (want ndjson or csv)", format)
+		return
+	}
+	cursor := 0
+	if v := q.Get("cursor"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, "bad cursor %q", v)
+			return
+		}
+		cursor = n
+	}
+
+	// Memory first; fall back to adopting the on-disk journal (the
+	// adopter becomes the entry owner, so concurrent readers coalesce
+	// instead of double-resuming).
+	s.mu.Lock()
+	e := s.cache[id]
+	owner := false
+	if e == nil {
+		if _, ok := s.diskIdx[id]; ok {
+			e = &sweepEntry{id: id, done: make(chan struct{})}
+			s.cache[id] = e
+			s.order = append(s.order, id)
+			owner = true
+		}
+	}
+	s.mu.Unlock()
+	if e == nil {
+		httpError(w, http.StatusNotFound, "unknown sweep %q", id)
+		return
+	}
+	if owner {
+		if _, handled := s.serveFromDisk(w, r, e, "", format, cursor, s.opts.Workers); handled {
+			return
+		}
+		// The journal vanished (evicted) or was undecodable.
+		s.drop(e)
+		httpError(w, http.StatusNotFound, "sweep %q is not recoverable", id)
+		return
+	}
+	select {
+	case <-e.done:
+	case <-r.Context().Done():
+		return
+	}
+	if e.cells == nil {
+		httpError(w, http.StatusNotFound, "sweep %q failed validation", id)
+		return
+	}
+	if cursor > len(e.cells) {
+		httpError(w, http.StatusBadRequest,
+			"cursor %d past end of sweep (%d jobs)", cursor, len(e.cells))
+		return
+	}
+	s.setStreamHeaders(w, format, id, "hit")
+	s.renderFrom(w, e, format, cursor)
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(struct {
-		Status string `json:"status"`
-		Stats  Stats  `json:"stats"`
-	}{Status: "ok", Stats: s.Stats()})
+		Status  string                 `json:"status"`
+		Stats   Stats                  `json:"stats"`
+		Tenants map[string]TenantStats `json:"tenants,omitempty"`
+	}{Status: "ok", Stats: s.Stats(), Tenants: s.tenantStats()})
 }
 
 func (s *Server) handleVersion(w http.ResponseWriter, _ *http.Request) {

@@ -1,0 +1,222 @@
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// blobMagic leads every cache entry file, so a foreign file in the
+// cache directory is never misread as an entry.
+const blobMagic uint32 = 0x7441424c // "tABL"
+
+// blobHeaderSize is the entry file prefix: magic + CRC-32 (IEEE) of
+// the payload.
+const blobHeaderSize = 8
+
+// BlobCache is a disk-backed content-addressed cache: one CRC-framed
+// file per entry under a two-hex-digit fanout directory, written via
+// temp file + atomic rename, with a byte-budgeted LRU index rebuilt
+// from the directory on open (recency approximated by file mtime).
+//
+// Entries are keyed by canonical hashes of deterministic computations,
+// so writes are idempotent and the directory can be mounted
+// read-write by several processes at once (every grid backend sharing
+// one cache): concurrent Puts of one key produce identical bytes, and
+// a Get racing another process's eviction is an ordinary miss.
+type BlobCache struct {
+	dir      string
+	maxBytes int64
+
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	bytes   int64
+}
+
+// blobEntry is one LRU element.
+type blobEntry struct {
+	key  string
+	size int64
+}
+
+// OpenBlobCache opens (creating if needed) the cache rooted at dir
+// with the given byte budget (<= 0 means 1 GiB) and rebuilds the LRU
+// index by scanning the fanout directories in mtime order.
+func OpenBlobCache(dir string, maxBytes int64) (*BlobCache, error) {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 30
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	c := &BlobCache{
+		dir:      dir,
+		maxBytes: maxBytes,
+		entries:  make(map[string]*list.Element),
+		lru:      list.New(),
+	}
+	type scanned struct {
+		key   string
+		size  int64
+		mtime time.Time
+	}
+	var found []scanned
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		key := d.Name()
+		if !ValidID(key) {
+			return nil // temp file or foreign debris; Put cleans its own temps
+		}
+		info, err := d.Info()
+		if err != nil {
+			return nil
+		}
+		found = append(found, scanned{key: key, size: info.Size(), mtime: info.ModTime()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	sort.Slice(found, func(i, j int) bool {
+		if !found[i].mtime.Equal(found[j].mtime) {
+			return found[i].mtime.Before(found[j].mtime)
+		}
+		return found[i].key < found[j].key
+	})
+	c.mu.Lock()
+	for _, f := range found {
+		c.entries[f.key] = c.lru.PushFront(&blobEntry{key: f.key, size: f.size})
+		c.bytes += f.size
+	}
+	c.evictLocked()
+	c.mu.Unlock()
+	return c, nil
+}
+
+func (c *BlobCache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key)
+}
+
+// Get returns the payload stored under key. A missing, corrupt, or
+// concurrently evicted entry is a miss; corrupt files are removed.
+func (c *BlobCache) Get(key string) ([]byte, bool) {
+	if !ValidID(key) {
+		return nil, false
+	}
+	raw, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.forget(key)
+		return nil, false
+	}
+	if len(raw) < blobHeaderSize ||
+		binary.LittleEndian.Uint32(raw[0:4]) != blobMagic ||
+		crc32.ChecksumIEEE(raw[blobHeaderSize:]) != binary.LittleEndian.Uint32(raw[4:8]) {
+		_ = os.Remove(c.path(key))
+		c.forget(key)
+		return nil, false
+	}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+	} else {
+		// Another process wrote it after our index scan: adopt it.
+		c.entries[key] = c.lru.PushFront(&blobEntry{key: key, size: int64(len(raw))})
+		c.bytes += int64(len(raw))
+		c.evictLocked()
+	}
+	c.mu.Unlock()
+	// Best-effort mtime touch, so cross-process LRU rebuilds see the use.
+	now := time.Now()
+	_ = os.Chtimes(c.path(key), now, now)
+	return raw[blobHeaderSize:], true
+}
+
+// Put stores payload under key via temp file + atomic rename, then
+// evicts least-recently-used entries past the byte budget.
+func (c *BlobCache) Put(key string, payload []byte) error {
+	if !ValidID(key) {
+		return fmt.Errorf("store: invalid cache key %q", key)
+	}
+	shard := filepath.Join(c.dir, key[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(shard, "put-*.tmp")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	var hdr [blobHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], blobMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	_, werr := tmp.Write(hdr[:])
+	if werr == nil {
+		_, werr = tmp.Write(payload)
+	}
+	if cerr := tmp.Close(); werr == nil && cerr != nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	size := int64(blobHeaderSize + len(payload))
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.bytes += size - el.Value.(*blobEntry).size
+		el.Value.(*blobEntry).size = size
+		c.lru.MoveToFront(el)
+	} else {
+		c.entries[key] = c.lru.PushFront(&blobEntry{key: key, size: size})
+		c.bytes += size
+	}
+	c.evictLocked()
+	c.mu.Unlock()
+	return nil
+}
+
+// forget drops key from the index (the file is already gone or bad).
+func (c *BlobCache) forget(key string) {
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.bytes -= el.Value.(*blobEntry).size
+		c.lru.Remove(el)
+		delete(c.entries, key)
+	}
+	c.mu.Unlock()
+}
+
+// evictLocked removes least-recently-used entries while over budget,
+// never the most recent one (a single oversized entry stays usable).
+// Caller holds c.mu.
+func (c *BlobCache) evictLocked() {
+	for c.bytes > c.maxBytes && c.lru.Len() > 1 {
+		el := c.lru.Back()
+		be := el.Value.(*blobEntry)
+		_ = os.Remove(c.path(be.key))
+		c.bytes -= be.size
+		c.lru.Remove(el)
+		delete(c.entries, be.key)
+	}
+}
+
+// Stats reports the index's entry count and total bytes (including
+// per-entry framing overhead).
+func (c *BlobCache) Stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.bytes
+}

@@ -1,0 +1,659 @@
+// Package store is the durability layer of the simulation service: a
+// crash-safe, append-only journal store for sweep checkpoints and a
+// disk-backed content-addressed blob cache for job results. Everything
+// the service keeps in memory dies with the process; this package is
+// what lets a sweep survive a restart (internal/simserver re-runs only
+// the jobs past the last checkpoint and replays the rest from disk,
+// byte-identical to an uninterrupted run) and lets result caches stay
+// warm across process lifetimes and be shared by several grid backends
+// mounting one directory.
+//
+// Durability model:
+//
+//   - A Journal is one sweep's write-ahead log: a header record (the
+//     submitted document), one checkpoint record per completed cell in
+//     index order, and a terminal commit record. Records are
+//     length-prefixed and CRC-framed; recovery reads the longest valid
+//     prefix and truncates the torn tail, so a crash mid-append loses
+//     at most the record being written — never an earlier checkpoint.
+//   - Journal creation stages the header in a temp file and renames it
+//     into place, so a journal either exists with a complete header or
+//     not at all. Completion is marked by a sidecar ".ok" file written
+//     the same way (content: the committed byte size), so "complete"
+//     is itself an atomic, crash-safe property.
+//   - The BlobCache stores each entry as its own CRC-framed file under
+//     a two-hex-digit fanout directory, written via temp file + atomic
+//     rename. Entries are idempotent (content-addressed by a canonical
+//     hash of a deterministic computation), so concurrent writers —
+//     several backends sharing one mount — cannot corrupt each other.
+//
+// Both stores enforce byte budgets by evicting least-recently-used
+// complete entries; in-flight journals are never evicted.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record kinds, the first byte of every frame.
+const (
+	kindHeader byte = 0
+	kindRecord byte = 1
+	kindCommit byte = 2
+)
+
+// journalMagic leads every journal file; a file without it is not a
+// journal (a foreign file, or a header rename that never happened —
+// impossible by construction, but checked anyway).
+const journalMagic = "TAJRNL1\n"
+
+// frameHeaderSize is the fixed per-record overhead: kind byte, 4-byte
+// little-endian payload length, 4-byte CRC-32 (IEEE) over kind+payload.
+const frameHeaderSize = 1 + 4 + 4
+
+// maxFrameBytes bounds one record's payload so a corrupt length field
+// cannot make recovery allocate without bound.
+const maxFrameBytes = 1 << 30
+
+// okSuffix marks a committed journal: "<id>.wal" + "<id>.ok".
+const (
+	walSuffix = ".wal"
+	okSuffix  = ".ok"
+)
+
+// Sentinel errors callers branch on.
+var (
+	// ErrNotExist reports a journal id with no file behind it.
+	ErrNotExist = errors.New("store: journal does not exist")
+	// ErrExists reports a Create for an id that already has a journal.
+	ErrExists = errors.New("store: journal already exists")
+	// ErrCorrupt reports a journal whose header cannot be recovered (or
+	// whose commit marker contradicts the file). The caller should
+	// Remove it and start over; checkpoints in a corrupt journal are
+	// not trustworthy.
+	ErrCorrupt = errors.New("store: journal corrupt")
+)
+
+// Options tunes a Store.
+type Options struct {
+	// MaxBytes caps the journals' total disk usage; complete journals
+	// are evicted least-recently-committed past it. <= 0 means no cap.
+	// In-flight (uncommitted) journals are never evicted.
+	MaxBytes int64
+	// Sync fsyncs after every append and commit. Off, the OS page cache
+	// still survives a process kill (SIGKILL-safe); on, checkpoints
+	// additionally survive a machine crash, at a large append cost.
+	Sync bool
+}
+
+// Store manages the sweep journals under one directory. It is safe for
+// concurrent use within a process; the directory must not be shared by
+// several Store instances writing the same ids.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	journals map[string]*journalInfo
+	bytes    int64
+}
+
+// journalInfo is the Store's index entry for one journal.
+type journalInfo struct {
+	size     int64 // wal + ok marker bytes
+	mtime    time.Time
+	complete bool
+	open     bool // an un-Closed Journal handle exists
+}
+
+// EntryInfo describes one journal in the store's index.
+type EntryInfo struct {
+	// ID is the journal's identity (the sweep's semantic hash).
+	ID string
+	// Complete reports whether the journal has a commit marker.
+	Complete bool
+	// Bytes is the journal's on-disk size (log + marker).
+	Bytes int64
+}
+
+// Open opens (creating if needed) the journal store rooted at dir and
+// rebuilds its index by scanning the fanout directories.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{dir: dir, opts: opts, journals: make(map[string]*journalInfo)}
+	shards, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		files, err := os.ReadDir(filepath.Join(dir, sh.Name()))
+		if err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+		for _, f := range files {
+			name := f.Name()
+			id, isWal := strings.CutSuffix(name, walSuffix)
+			if !isWal {
+				if !strings.HasSuffix(name, okSuffix) {
+					_ = os.Remove(filepath.Join(dir, sh.Name(), name)) // stale temp
+				}
+				continue
+			}
+			if !ValidID(id) {
+				continue
+			}
+			info, err := f.Info()
+			if err != nil {
+				continue
+			}
+			ji := &journalInfo{size: info.Size(), mtime: info.ModTime()}
+			if ok, err := os.Stat(s.okPath(id)); err == nil {
+				ji.complete = true
+				ji.size += ok.Size()
+				ji.mtime = ok.ModTime()
+			}
+			s.journals[id] = ji
+			s.bytes += ji.size
+		}
+	}
+	s.mu.Lock()
+	s.evictLocked("")
+	s.mu.Unlock()
+	return s, nil
+}
+
+// ValidID reports whether id is usable as a journal or blob key: at
+// least 8 lowercase hex digits (the canonical hashes are 64), so ids
+// can never traverse paths.
+func ValidID(id string) bool {
+	if len(id) < 8 || len(id) > 128 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) walPath(id string) string {
+	return filepath.Join(s.dir, id[:2], id+walSuffix)
+}
+
+func (s *Store) okPath(id string) string {
+	return filepath.Join(s.dir, id[:2], id+okSuffix)
+}
+
+// Entries snapshots the index: every journal id with its completeness
+// and size, in unspecified order.
+func (s *Store) Entries() []EntryInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]EntryInfo, 0, len(s.journals))
+	for id, ji := range s.journals {
+		out = append(out, EntryInfo{ID: id, Complete: ji.complete, Bytes: ji.size})
+	}
+	return out
+}
+
+// Stats reports the index's journal count and total bytes.
+func (s *Store) Stats() (journals int, bytes int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.journals), s.bytes
+}
+
+// Create starts a new journal for id with the given header payload.
+// The header is staged in a temp file and renamed into place, so a
+// crash can never leave a journal without a recoverable header.
+// Returns ErrExists if the id already has a journal.
+func (s *Store) Create(id string, header []byte) (*Journal, error) {
+	if !ValidID(id) {
+		return nil, fmt.Errorf("store: invalid journal id %q", id)
+	}
+	s.mu.Lock()
+	if _, ok := s.journals[id]; ok {
+		s.mu.Unlock()
+		return nil, ErrExists
+	}
+	// Reserve the id so a concurrent Create cannot race the rename.
+	s.journals[id] = &journalInfo{open: true, mtime: time.Now()}
+	s.mu.Unlock()
+
+	fail := func(err error) (*Journal, error) {
+		s.mu.Lock()
+		delete(s.journals, id)
+		s.mu.Unlock()
+		return nil, err
+	}
+	shard := filepath.Join(s.dir, id[:2])
+	if err := os.MkdirAll(shard, 0o755); err != nil {
+		return fail(fmt.Errorf("store: %w", err))
+	}
+	tmp, err := os.CreateTemp(shard, "tmp-*")
+	if err != nil {
+		return fail(fmt.Errorf("store: %w", err))
+	}
+	if _, err := tmp.Write([]byte(journalMagic)); err == nil {
+		err = writeFrame(tmp, kindHeader, header)
+	} else {
+		err = fmt.Errorf("store: %w", err)
+	}
+	if err == nil && s.opts.Sync {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("store: %w", cerr)
+	}
+	if err != nil {
+		_ = os.Remove(tmp.Name())
+		return fail(err)
+	}
+	if err := os.Rename(tmp.Name(), s.walPath(id)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fail(fmt.Errorf("store: %w", err))
+	}
+	f, err := os.OpenFile(s.walPath(id), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fail(fmt.Errorf("store: %w", err))
+	}
+	size := int64(len(journalMagic) + frameHeaderSize + len(header))
+	s.mu.Lock()
+	s.journals[id].size = size
+	s.bytes += size
+	s.evictLocked(id)
+	s.mu.Unlock()
+	return &Journal{s: s, id: id, f: f, size: size}, nil
+}
+
+// Load recovers a journal read-only: the longest valid record prefix,
+// whether a torn tail was dropped, and — when the commit marker is
+// present — the final commit payload. The file is not modified; use
+// OpenAppend to truncate the tail and continue appending.
+func (s *Store) Load(id string) (*Recovered, error) {
+	rec, _, err := s.recover(id)
+	return rec, err
+}
+
+// OpenAppend recovers a journal and reopens it for appending: the torn
+// tail (if any) is truncated so subsequent Appends extend the valid
+// prefix. It fails with ErrCorrupt on an unrecoverable journal and
+// ErrExists if the journal is already committed (append after commit
+// would violate the commit-is-terminal contract).
+func (s *Store) OpenAppend(id string) (*Journal, *Recovered, error) {
+	rec, validBytes, err := s.recover(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.Complete {
+		return nil, nil, fmt.Errorf("%w (already committed)", ErrExists)
+	}
+	f, err := os.OpenFile(s.walPath(id), os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	if err := f.Truncate(validBytes); err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	if _, err := f.Seek(validBytes, io.SeekStart); err != nil {
+		_ = f.Close()
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	s.mu.Lock()
+	ji, ok := s.journals[id]
+	if !ok {
+		ji = &journalInfo{}
+		s.journals[id] = ji
+	}
+	s.bytes += validBytes - ji.size
+	ji.size = validBytes
+	ji.open = true
+	s.mu.Unlock()
+	return &Journal{s: s, id: id, f: f, size: validBytes}, rec, nil
+}
+
+// Remove deletes a journal and its commit marker.
+func (s *Store) Remove(id string) error {
+	if !ValidID(id) {
+		return fmt.Errorf("store: invalid journal id %q", id)
+	}
+	err1 := os.Remove(s.walPath(id))
+	err2 := os.Remove(s.okPath(id))
+	s.mu.Lock()
+	if ji, ok := s.journals[id]; ok {
+		s.bytes -= ji.size
+		delete(s.journals, id)
+	}
+	s.mu.Unlock()
+	if err1 != nil && !errors.Is(err1, os.ErrNotExist) {
+		return fmt.Errorf("store: %w", err1)
+	}
+	_ = err2
+	return nil
+}
+
+// evictLocked drops least-recently-committed complete journals while
+// over the byte budget. keep (the id being written, if any) and open
+// or incomplete journals are never evicted. Caller holds s.mu.
+func (s *Store) evictLocked(keep string) {
+	if s.opts.MaxBytes <= 0 {
+		return
+	}
+	type cand struct {
+		id    string
+		mtime time.Time
+	}
+	var cands []cand
+	for id, ji := range s.journals {
+		if ji.complete && !ji.open && id != keep {
+			cands = append(cands, cand{id, ji.mtime})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if !cands[i].mtime.Equal(cands[j].mtime) {
+			return cands[i].mtime.Before(cands[j].mtime)
+		}
+		return cands[i].id < cands[j].id
+	})
+	for _, c := range cands {
+		if s.bytes <= s.opts.MaxBytes {
+			return
+		}
+		ji := s.journals[c.id]
+		_ = os.Remove(s.walPath(c.id))
+		_ = os.Remove(s.okPath(c.id))
+		s.bytes -= ji.size
+		delete(s.journals, c.id)
+	}
+}
+
+// Recovered is a journal's recovered state.
+type Recovered struct {
+	// ID is the journal's identity.
+	ID string
+	// Header is the creation payload (record 0).
+	Header []byte
+	// Records are the checkpoint payloads after the header, in append
+	// order — for a sweep journal, cell 0..len(Records)-1.
+	Records [][]byte
+	// Complete reports a terminal commit record (and its sidecar
+	// marker); Final is its payload.
+	Complete bool
+	// Final is the commit payload when Complete.
+	Final []byte
+	// Truncated reports that a torn tail (a partially written record)
+	// was found past the valid prefix.
+	Truncated bool
+}
+
+// recover reads the journal's longest valid prefix. validBytes is the
+// offset the file should be truncated to before further appends.
+func (s *Store) recover(id string) (*Recovered, int64, error) {
+	if !ValidID(id) {
+		return nil, 0, fmt.Errorf("store: invalid journal id %q", id)
+	}
+	f, err := os.Open(s.walPath(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, ErrNotExist
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: %w", err)
+	}
+	defer f.Close()
+
+	var committedSize int64 = -1
+	if ok, err := os.ReadFile(s.okPath(id)); err == nil {
+		n, perr := strconv.ParseInt(strings.TrimSpace(string(ok)), 10, 64)
+		if perr != nil {
+			return nil, 0, fmt.Errorf("%w: unreadable commit marker", ErrCorrupt)
+		}
+		committedSize = n
+	}
+
+	r := &reader{r: f}
+	magic := make([]byte, len(journalMagic))
+	if _, err := io.ReadFull(f, magic); err != nil || string(magic) != journalMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	r.off = int64(len(journalMagic))
+
+	rec := &Recovered{ID: id}
+	valid := r.off
+	for {
+		kind, payload, ok := r.next()
+		if !ok {
+			rec.Truncated = r.sawTail
+			break
+		}
+		switch {
+		case kind == kindHeader && rec.Header == nil && len(rec.Records) == 0 && !rec.Complete:
+			rec.Header = payload
+		case kind == kindRecord && rec.Header != nil && !rec.Complete:
+			rec.Records = append(rec.Records, payload)
+		case kind == kindCommit && rec.Header != nil && !rec.Complete:
+			rec.Complete = true
+			rec.Final = payload
+		default:
+			// Frame kinds out of protocol order (a second header, a
+			// record after commit): treat like a torn tail — keep the
+			// valid prefix, drop the rest.
+			rec.Truncated = true
+			kind = 0xff
+		}
+		if kind == 0xff {
+			break
+		}
+		valid = r.off
+		if rec.Complete {
+			break
+		}
+	}
+	if rec.Header == nil {
+		return nil, 0, fmt.Errorf("%w: no recoverable header", ErrCorrupt)
+	}
+	if committedSize >= 0 {
+		// The marker says the journal committed; the log must agree, or
+		// data the marker promised has been lost.
+		if !rec.Complete || valid != committedSize {
+			return nil, 0, fmt.Errorf("%w: commit marker disagrees with log", ErrCorrupt)
+		}
+	} else if rec.Complete {
+		// Commit frame present but the marker rename never happened:
+		// the commit did not complete. Treat the journal as incomplete
+		// and drop the commit frame, so the owner recommits.
+		rec.Complete = false
+		rec.Final = nil
+		rec.Truncated = true
+		valid = r.commitStart
+	}
+	return rec, valid, nil
+}
+
+// reader decodes frames sequentially, tracking the valid offset.
+type reader struct {
+	r           io.Reader
+	off         int64
+	commitStart int64
+	sawTail     bool
+}
+
+// next reads one frame; ok=false at EOF or at the first invalid frame
+// (sawTail distinguishes the two).
+func (r *reader) next() (kind byte, payload []byte, ok bool) {
+	var hdr [frameHeaderSize]byte
+	n, err := io.ReadFull(r.r, hdr[:])
+	if err != nil {
+		r.sawTail = n > 0
+		return 0, nil, false
+	}
+	kind = hdr[0]
+	length := binary.LittleEndian.Uint32(hdr[1:5])
+	crc := binary.LittleEndian.Uint32(hdr[5:9])
+	if kind > kindCommit || length > maxFrameBytes {
+		r.sawTail = true
+		return 0, nil, false
+	}
+	payload = make([]byte, length)
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		r.sawTail = true
+		return 0, nil, false
+	}
+	if frameCRC(kind, payload) != crc {
+		r.sawTail = true
+		return 0, nil, false
+	}
+	if kind == kindCommit {
+		r.commitStart = r.off
+	}
+	r.off += int64(frameHeaderSize) + int64(length)
+	return kind, payload, true
+}
+
+// frameCRC covers the kind byte and the payload.
+func frameCRC(kind byte, payload []byte) uint32 {
+	crc := crc32.Update(0, crc32.IEEETable, []byte{kind})
+	return crc32.Update(crc, crc32.IEEETable, payload)
+}
+
+// writeFrame appends one framed record to w.
+func writeFrame(w io.Writer, kind byte, payload []byte) error {
+	var hdr [frameHeaderSize]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:9], frameCRC(kind, payload))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	return nil
+}
+
+// Journal is one sweep's open write-ahead log. Append and Commit are
+// not safe for concurrent use (the service serializes checkpoints in
+// cell order by construction).
+type Journal struct {
+	s      *Store
+	id     string
+	f      *os.File
+	size   int64
+	closed bool
+}
+
+// ID returns the journal's identity.
+func (j *Journal) ID() string { return j.id }
+
+// Append writes one checkpoint record and flushes it to the OS (so the
+// record survives a process kill; Options.Sync extends that to a
+// machine crash).
+func (j *Journal) Append(payload []byte) error {
+	if j.closed {
+		return errors.New("store: append to closed journal")
+	}
+	if err := writeFrame(j.f, kindRecord, payload); err != nil {
+		return err
+	}
+	if j.s.opts.Sync {
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+	}
+	grow := int64(frameHeaderSize + len(payload))
+	j.size += grow
+	j.s.mu.Lock()
+	if ji, ok := j.s.journals[j.id]; ok {
+		ji.size += grow
+		j.s.bytes += grow
+		j.s.evictLocked(j.id)
+	}
+	j.s.mu.Unlock()
+	return nil
+}
+
+// Commit writes the terminal commit record, then the sidecar marker
+// via temp file + atomic rename, and closes the journal. After Commit
+// the journal is complete: OpenAppend refuses it and recovery returns
+// every record plus the commit payload.
+func (j *Journal) Commit(payload []byte) error {
+	if j.closed {
+		return errors.New("store: commit on closed journal")
+	}
+	if err := writeFrame(j.f, kindCommit, payload); err != nil {
+		return err
+	}
+	if err := j.f.Sync(); err != nil && !j.s.opts.Sync {
+		// Best-effort when Sync is off; the marker below is what makes
+		// completion durable, and it is ordered after this write.
+		_ = err
+	}
+	committed := j.size + int64(frameHeaderSize+len(payload))
+	shard := filepath.Join(j.s.dir, j.id[:2])
+	tmp, err := os.CreateTemp(shard, "tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	_, werr := fmt.Fprintf(tmp, "%d\n", committed)
+	if werr == nil && j.s.opts.Sync {
+		werr = tmp.Sync()
+	}
+	if cerr := tmp.Close(); werr == nil && cerr != nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", werr)
+	}
+	if err := os.Rename(tmp.Name(), j.s.okPath(j.id)); err != nil {
+		_ = os.Remove(tmp.Name())
+		return fmt.Errorf("store: %w", err)
+	}
+	markerSize := int64(len(strconv.FormatInt(committed, 10)) + 1)
+	grow := committed - j.size + markerSize
+	j.size = committed
+	j.s.mu.Lock()
+	if ji, ok := j.s.journals[j.id]; ok {
+		ji.size += grow
+		ji.complete = true
+		ji.open = false
+		ji.mtime = time.Now()
+		j.s.bytes += grow
+		j.s.evictLocked(j.id)
+	}
+	j.s.mu.Unlock()
+	j.closed = true
+	return j.f.Close()
+}
+
+// Close releases the handle without committing; the journal stays
+// incomplete and OpenAppend can continue it. Idempotent.
+func (j *Journal) Close() error {
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	j.s.mu.Lock()
+	if ji, ok := j.s.journals[j.id]; ok {
+		ji.open = false
+	}
+	j.s.mu.Unlock()
+	return j.f.Close()
+}

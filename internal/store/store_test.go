@@ -1,0 +1,450 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+const testID = "ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12cd34ef56ab12"
+
+func payloads(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf(`{"index":%d,"body":"record body %d with some padding"}`, i, i))
+	}
+	return out
+}
+
+// writeJournal builds a journal with n records; commit selects whether
+// it is completed. Returns the store.
+func writeJournal(t *testing.T, dir string, n int, commit bool) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := s.Create(testID, []byte(`{"header":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range payloads(n) {
+		if err := j.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if commit {
+		if err := j.Commit([]byte(`{"done":true}`)); err != nil {
+			t.Fatal(err)
+		}
+	} else if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, 5, true)
+
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Load(testID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Complete || rec.Truncated {
+		t.Fatalf("complete=%v truncated=%v, want complete, untruncated", rec.Complete, rec.Truncated)
+	}
+	if string(rec.Header) != `{"header":true}` || string(rec.Final) != `{"done":true}` {
+		t.Fatalf("header/final mismatch: %q / %q", rec.Header, rec.Final)
+	}
+	want := payloads(5)
+	if len(rec.Records) != len(want) {
+		t.Fatalf("recovered %d records, want %d", len(rec.Records), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(rec.Records[i], want[i]) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	ents := s.Entries()
+	if len(ents) != 1 || ents[0].ID != testID || !ents[0].Complete {
+		t.Fatalf("index: %+v", ents)
+	}
+}
+
+// TestTornTailEveryTruncation is the crash-consistency core: for EVERY
+// byte-truncation point of an uncommitted journal, recovery returns an
+// exact prefix of the records — never a divergent or corrupted one —
+// and appending after OpenAppend extends that prefix cleanly.
+func TestTornTailEveryTruncation(t *testing.T) {
+	golden := t.TempDir()
+	writeJournal(t, golden, 4, false)
+	walRel := filepath.Join(testID[:2], testID+walSuffix)
+	full, err := os.ReadFile(filepath.Join(golden, walRel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payloads(4)
+
+	for cut := 0; cut <= len(full); cut++ {
+		dir := t.TempDir()
+		if err := os.MkdirAll(filepath.Join(dir, testID[:2]), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, walRel), full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := s.Load(testID)
+		if err != nil {
+			// Cut inside magic or the header frame: the journal is
+			// unrecoverable, and must say so rather than invent state.
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("cut=%d: unexpected error %v", cut, err)
+			}
+			continue
+		}
+		if len(rec.Records) > len(want) {
+			t.Fatalf("cut=%d: recovered %d records from a 4-record journal", cut, len(rec.Records))
+		}
+		for i, p := range rec.Records {
+			if !bytes.Equal(p, want[i]) {
+				t.Fatalf("cut=%d: record %d diverges after truncation", cut, i)
+			}
+		}
+		if cut < len(full) && !rec.Truncated && len(rec.Records) != recordsBelow(t, full, cut) {
+			t.Fatalf("cut=%d: clean recovery of a torn file", cut)
+		}
+
+		// Recover-then-append must behave exactly like never-crashed:
+		// continue the journal to 4 records + commit and compare the
+		// full recovery against the golden content.
+		j, rec2, err := s.OpenAppend(testID)
+		if err != nil {
+			t.Fatalf("cut=%d: openappend: %v", cut, err)
+		}
+		if len(rec2.Records) != len(rec.Records) {
+			t.Fatalf("cut=%d: OpenAppend recovered %d records, Load %d",
+				cut, len(rec2.Records), len(rec.Records))
+		}
+		for i := len(rec2.Records); i < 4; i++ {
+			if err := j.Append(want[i]); err != nil {
+				t.Fatalf("cut=%d: append: %v", cut, err)
+			}
+		}
+		if err := j.Commit([]byte(`{"done":true}`)); err != nil {
+			t.Fatalf("cut=%d: commit: %v", cut, err)
+		}
+		final, err := s.Load(testID)
+		if err != nil {
+			t.Fatalf("cut=%d: reload: %v", cut, err)
+		}
+		if !final.Complete || len(final.Records) != 4 {
+			t.Fatalf("cut=%d: after repair: complete=%v records=%d", cut, final.Complete, len(final.Records))
+		}
+		for i := range want {
+			if !bytes.Equal(final.Records[i], want[i]) {
+				t.Fatalf("cut=%d: repaired record %d diverges from never-crashed", cut, i)
+			}
+		}
+	}
+}
+
+// recordsBelow counts how many full record frames fit under cut bytes.
+func recordsBelow(t *testing.T, full []byte, cut int) int {
+	t.Helper()
+	off := len(journalMagic)
+	// skip header frame
+	frames := -1
+	for off+frameHeaderSize <= cut {
+		n := int(uint32(full[off+1]) | uint32(full[off+2])<<8 | uint32(full[off+3])<<16 | uint32(full[off+4])<<24)
+		if off+frameHeaderSize+n > cut {
+			break
+		}
+		off += frameHeaderSize + n
+		frames++
+	}
+	if frames < 0 {
+		return 0
+	}
+	return frames
+}
+
+// TestCorruptMiddleRecord: a bit flip inside an early record must stop
+// recovery at the last record before it — never emit the corrupted
+// record or anything after it.
+func TestCorruptMiddleRecord(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, 4, false)
+	path := filepath.Join(dir, testID[:2], testID+walSuffix)
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte inside record 2's payload: locate frame offsets.
+	off := len(journalMagic)
+	for skip := 0; skip < 3; skip++ { // header + records 0,1
+		n := int(uint32(full[off+1]) | uint32(full[off+2])<<8 | uint32(full[off+3])<<16 | uint32(full[off+4])<<24)
+		off += frameHeaderSize + n
+	}
+	full[off+frameHeaderSize+5] ^= 0xff
+	if err := os.WriteFile(path, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := s.Load(testID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Truncated || len(rec.Records) != 2 {
+		t.Fatalf("recovered %d records (truncated=%v), want exactly 2, truncated",
+			len(rec.Records), rec.Truncated)
+	}
+	want := payloads(4)
+	for i := 0; i < 2; i++ {
+		if !bytes.Equal(rec.Records[i], want[i]) {
+			t.Fatalf("surviving record %d diverges", i)
+		}
+	}
+}
+
+// TestCommitMarkerContract: a commit marker that contradicts the log
+// (log truncated after commit) is ErrCorrupt; a commit frame without
+// its marker (crash between frame write and rename) recovers as
+// incomplete with the commit frame dropped.
+func TestCommitMarkerContract(t *testing.T) {
+	dir := t.TempDir()
+	writeJournal(t, dir, 3, true)
+	wal := filepath.Join(dir, testID[:2], testID+walSuffix)
+	okf := filepath.Join(dir, testID[:2], testID+okSuffix)
+
+	t.Run("marker-without-full-log", func(t *testing.T) {
+		full, err := os.ReadFile(wal)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(wal, full[:len(full)-3], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := s.Load(testID); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("want ErrCorrupt for marker/log disagreement, got %v", err)
+		}
+		if err := os.WriteFile(wal, full, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	t.Run("commit-frame-without-marker", func(t *testing.T) {
+		if err := os.Remove(okf); err != nil {
+			t.Fatal(err)
+		}
+		s, err := Open(dir, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := s.Load(testID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Complete || len(rec.Records) != 3 {
+			t.Fatalf("complete=%v records=%d, want incomplete with 3 records",
+				rec.Complete, len(rec.Records))
+		}
+		// The journal must accept a recommit.
+		j, _, err := s.OpenAppend(testID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Commit([]byte(`{"done":"again"}`)); err != nil {
+			t.Fatal(err)
+		}
+		rec, err = s.Load(testID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rec.Complete || string(rec.Final) != `{"done":"again"}` {
+			t.Fatalf("recommit not recovered: complete=%v final=%q", rec.Complete, rec.Final)
+		}
+	})
+}
+
+func TestOpenAppendRefusesCommitted(t *testing.T) {
+	dir := t.TempDir()
+	s := writeJournal(t, dir, 2, true)
+	if _, _, err := s.OpenAppend(testID); !errors.Is(err, ErrExists) {
+		t.Fatalf("OpenAppend on a committed journal: %v, want ErrExists", err)
+	}
+}
+
+func TestCreateRefusesExisting(t *testing.T) {
+	dir := t.TempDir()
+	s := writeJournal(t, dir, 1, false)
+	if _, err := s.Create(testID, nil); !errors.Is(err, ErrExists) {
+		t.Fatalf("Create over an existing journal: %v, want ErrExists", err)
+	}
+}
+
+func TestStoreEviction(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{MaxBytes: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(i int, commit bool) string {
+		id := fmt.Sprintf("%064x", 0xe0+i)
+		j, err := s.Create(id, []byte(`{"h":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(bytes.Repeat([]byte("x"), 120)); err != nil {
+			t.Fatal(err)
+		}
+		if commit {
+			if err := j.Commit(nil); err != nil {
+				t.Fatal(err)
+			}
+		} else if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct commit mtimes so LRU order is deterministic.
+		now := time.Now().Add(time.Duration(i) * time.Second)
+		_ = os.Chtimes(filepath.Join(dir, id[:2], id+okSuffix), now, now)
+		_ = os.Chtimes(filepath.Join(dir, id[:2], id+walSuffix), now, now)
+		s.mu.Lock()
+		if ji := s.journals[id]; ji != nil {
+			ji.mtime = now
+		}
+		s.mu.Unlock()
+		return id
+	}
+	incomplete := mk(0, false)
+	var complete []string
+	for i := 1; i <= 5; i++ {
+		complete = append(complete, mk(i, true))
+	}
+	s.mu.Lock()
+	s.evictLocked("")
+	s.mu.Unlock()
+
+	if _, err := s.Load(incomplete); err != nil {
+		t.Fatalf("incomplete journal evicted: %v", err)
+	}
+	_, bytesNow := s.Stats()
+	if bytesNow > 600+200 { // one in-flight journal may keep it slightly over
+		t.Fatalf("store holds %d bytes, budget 600", bytesNow)
+	}
+	if _, err := s.Load(complete[len(complete)-1]); err != nil {
+		t.Fatalf("newest complete journal evicted: %v", err)
+	}
+	if _, err := s.Load(complete[0]); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("oldest complete journal not evicted: %v", err)
+	}
+}
+
+func TestBlobCacheRoundTripAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenBlobCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := fmt.Sprintf("%064x", 42)
+	val := []byte(`{"report":{"avg_regret":0.25}}`)
+	if err := c.Put(key, val); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, val) {
+		t.Fatalf("get: %q ok=%v", got, ok)
+	}
+
+	// Corrupt the payload on disk: Get must miss and remove the file.
+	path := filepath.Join(dir, key[:2], key)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("corrupt entry not removed")
+	}
+}
+
+func TestBlobCacheIndexRebuildAndEviction(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenBlobCache(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	for i := 0; i < 6; i++ {
+		key := fmt.Sprintf("%064x", 0xa0+i)
+		keys = append(keys, key)
+		if err := c.Put(key, bytes.Repeat([]byte{byte(i)}, 100)); err != nil {
+			t.Fatal(err)
+		}
+		// Distinct mtimes so the rebuilt LRU order is deterministic.
+		mt := time.Now().Add(time.Duration(i-10) * time.Hour)
+		_ = os.Chtimes(filepath.Join(dir, key[:2], key), mt, mt)
+	}
+
+	// Reopen with a budget that holds ~3 entries: the 3 oldest by
+	// mtime must be evicted at open, the 3 newest kept.
+	c2, err := OpenBlobCache(dir, 340)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, bytesNow := c2.Stats()
+	if entries != 3 || bytesNow > 340 {
+		t.Fatalf("after reopen: %d entries, %d bytes (budget 340)", entries, bytesNow)
+	}
+	for _, key := range keys[:3] {
+		if _, ok := c2.Get(key); ok {
+			t.Fatalf("old entry %s survived eviction", key[:8])
+		}
+	}
+	for _, key := range keys[3:] {
+		if _, ok := c2.Get(key); !ok {
+			t.Fatalf("new entry %s evicted", key[:8])
+		}
+	}
+}
+
+func TestValidID(t *testing.T) {
+	good := []string{"abcdef12", testID}
+	bad := []string{"", "short", "ABCDEF12", "../../etc/passwd", "abcdef1g", "abc def12"}
+	for _, id := range good {
+		if !ValidID(id) {
+			t.Errorf("ValidID(%q) = false", id)
+		}
+	}
+	for _, id := range bad {
+		if ValidID(id) {
+			t.Errorf("ValidID(%q) = true", id)
+		}
+	}
+}

@@ -38,6 +38,7 @@ func TestAPIDocExamples(t *testing.T) {
 		"stream-header":   strict[StreamHeader],
 		"result-line":     strict[Result],
 		"sweep-status":    strict[SweepStatus],
+		"error-body":      strict[ErrorBody],
 		// untyped: ad-hoc JSON (healthz/version) — validity only.
 		"untyped": func(b []byte) error {
 			if !json.Valid(b) {

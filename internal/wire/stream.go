@@ -37,7 +37,7 @@ type Result struct {
 // SweepStatus is the GET /v1/sweeps/{id} body.
 type SweepStatus struct {
 	ID     string `json:"id"`
-	Status string `json:"status"` // "running" | "done"
+	Status string `json:"status"` // "running" | "done" | "resumable"
 	Jobs   int    `json:"jobs"`
 	Failed int    `json:"failed,omitempty"`
 	// Summary aggregates the completed grid (sweeprun.Summarize).
@@ -45,4 +45,19 @@ type SweepStatus struct {
 	// Results are the per-cell outcomes, trajectories elided (fetch
 	// them from the submit stream).
 	Results []Result `json:"results,omitempty"`
+}
+
+// ErrorBody is the JSON error envelope the service returns for tenant
+// rejections (401 unauthorized, 403 quota, 429 rate_limited). Plain
+// validation errors keep their text/plain bodies; only the tenant layer
+// speaks this envelope, so clients can branch on Kind.
+type ErrorBody struct {
+	// Error is the human-readable message.
+	Error string `json:"error"`
+	// Kind discriminates the rejection: "unauthorized" | "quota" |
+	// "rate_limited".
+	Kind string `json:"kind"`
+	// RetryAfterMS is set only for rate_limited: how long until the
+	// token bucket readmits this tenant.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
 }

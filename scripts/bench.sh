@@ -24,6 +24,8 @@ go test -run '^$' \
   echo "  \"date\": \"$(date -u +%Y-%m-%d)\","
   echo "  \"go\": \"$(go env GOVERSION)\","
   echo "  \"cpu\": \"$(awk -F: '/model name/ {gsub(/^ +/, "", $2); print $2; exit}' /proc/cpuinfo 2>/dev/null || echo unknown)\","
+  echo "  \"num_cpu\": $(go run ./scripts/numcpu),"
+  echo "  \"host\": \"$(uname -srm)\","
   echo "  \"benchtime\": \"${BENCHTIME}\","
   echo '  "results": ['
   awk 'BEGIN { first = 1 }

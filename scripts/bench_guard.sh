@@ -25,6 +25,21 @@ trap 'rm -f "$TMP"' EXIT
 
 [ -f "$BASE" ] || { echo "bench_guard: missing baseline $BASE" >&2; exit 2; }
 
+# The engine's headline numbers are parallel-speedup claims; on a
+# starved host they are noise. Warn loudly rather than fail — CI
+# runners vary — but make the verdict's weakness impossible to miss.
+NCPU="$(go run ./scripts/numcpu)"
+if [ "$NCPU" -lt 4 ]; then
+  echo "bench_guard: ############################################################" >&2
+  echo "bench_guard: WARNING: only ${NCPU} logical CPUs on this host." >&2
+  echo "bench_guard: BenchmarkEngineParallel is a parallel-speedup measurement;" >&2
+  echo "bench_guard: under 4 cores its ns/op (and any regression verdict drawn" >&2
+  echo "bench_guard: from it) does not reflect the engine. Treat this run as" >&2
+  echo "bench_guard: smoke only and re-run on a >=4-core host before trusting" >&2
+  echo "bench_guard: or recording numbers (see BENCH_*.json \"num_cpu\")." >&2
+  echo "bench_guard: ############################################################" >&2
+fi
+
 # Sweep-runner smoke: one iteration of both worker counts. No baseline
 # comparison (grid wall-clock is hardware-bound); this exists so the
 # multi-simulation batch runner and its shared-pool path can never

@@ -1,0 +1,12 @@
+// Command numcpu prints runtime.NumCPU() — the logical core count the
+// Go runtime will actually schedule on — so the bench scripts can
+// record it without parsing /proc (which containers and cpuset limits
+// routinely make wrong).
+package main
+
+import (
+	"fmt"
+	"runtime"
+)
+
+func main() { fmt.Println(runtime.NumCPU()) }
