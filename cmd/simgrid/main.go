@@ -14,6 +14,12 @@
 // stderr with -v. A job whose attempt budget is exhausted (or a
 // backend rejection) fails the whole run: partial output would
 // silently diverge from a single-host run.
+//
+// Observability: each run mints a trace ID sent to every backend as
+// X-Trace-Id (printed by -v; grep it in the backends' access logs).
+// -metrics-addr serves the coordinator's own GET /v1/metrics and
+// -pprof-addr serves net/http/pprof — both announce their bound
+// address on stderr, keeping stdout byte-clean for the merged stream.
 package main
 
 import (
@@ -22,10 +28,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
+	"time"
 
 	"taskalloc/internal/gridcoord"
+	"taskalloc/internal/obs"
 	"taskalloc/internal/wire"
 )
 
@@ -39,6 +50,8 @@ func main() {
 		attempts    = flag.Int("attempts", 3, "per-job attempt budget across backend failures")
 		verbose     = flag.Bool("v", false, "log progress, backend losses, and retries to stderr")
 		token       = flag.String("token", "", "tenant bearer token sent to every backend (empty for open backends; $SIMGRID_TOKEN overrides)")
+		metricsAdr  = flag.String("metrics-addr", "", "serve the coordinator's GET /v1/metrics on this address (empty = disabled)")
+		pprofAdr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 	if env := os.Getenv("SIMGRID_TOKEN"); env != "" {
@@ -62,9 +75,38 @@ func main() {
 	if *verbose {
 		opts.Observe = logEvent
 	}
+	if *metricsAdr != "" {
+		opts.Registry = obs.NewRegistry()
+	}
 	coord, err := gridcoord.New(opts)
 	if err != nil {
 		fatal("%v", err)
+	}
+	// Both side listeners announce on stderr: stdout is the merged
+	// result stream and must stay byte-identical to a single-host run.
+	if *metricsAdr != "" {
+		mln, err := net.Listen("tcp", *metricsAdr)
+		if err != nil {
+			fatal("metrics: %v", err)
+		}
+		mm := http.NewServeMux()
+		mm.Handle("GET /v1/metrics", opts.Registry)
+		fmt.Fprintf(os.Stderr, "simgrid: metrics listening on %s\n", mln.Addr())
+		go func() { _ = http.Serve(mln, mm) }()
+	}
+	if *pprofAdr != "" {
+		pln, err := net.Listen("tcp", *pprofAdr)
+		if err != nil {
+			fatal("pprof: %v", err)
+		}
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		fmt.Fprintf(os.Stderr, "simgrid: pprof listening on %s\n", pln.Addr())
+		go func() { _ = http.Serve(pln, pm) }()
 	}
 	ctx := context.Background()
 
@@ -94,8 +136,9 @@ func main() {
 		fatal("%v", err)
 	}
 	if *verbose {
-		fmt.Fprintf(os.Stderr, "simgrid: %d jobs over %d backends %v; %d retried, %d backends lost\n",
-			len(sweep.Jobs), len(backends), stats.JobsPerBackend, stats.Retried, stats.BackendsLost)
+		fmt.Fprintf(os.Stderr, "simgrid: %d jobs over %d backends %v, delivered %v; %d retried, %d backends lost; trace %s\n",
+			len(sweep.Jobs), len(backends), stats.JobsPerBackend, stats.Delivered,
+			stats.Retried, stats.BackendsLost, stats.TraceID)
 	}
 }
 
@@ -143,6 +186,14 @@ func logEvent(ev gridcoord.Event) {
 			ev.Backend, ev.Jobs, ev.Err)
 	case gridcoord.EventRedispatch:
 		fmt.Fprintf(os.Stderr, "simgrid: re-dispatched %d jobs to backend %d\n", ev.Jobs, ev.Backend)
+	case gridcoord.EventBackendDone:
+		if ev.Err != nil {
+			fmt.Fprintf(os.Stderr, "simgrid: backend %d stream ended after %d jobs in %v: %v\n",
+				ev.Backend, ev.Jobs, ev.Elapsed.Round(time.Millisecond), ev.Err)
+		} else {
+			fmt.Fprintf(os.Stderr, "simgrid: backend %d done: %d jobs in %v\n",
+				ev.Backend, ev.Jobs, ev.Elapsed.Round(time.Millisecond))
+		}
 	}
 }
 

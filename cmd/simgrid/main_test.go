@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"taskalloc/internal/gridcoord"
+	"taskalloc/internal/obs"
 	"taskalloc/internal/wire"
 )
 
@@ -157,6 +158,109 @@ func TestE2EGridParity(t *testing.T) {
 			t.Errorf("simgrid %s stream differs from the single-host response (%d vs %d bytes)",
 				format, out.Len(), len(want))
 		}
+	}
+}
+
+// TestE2EGridMetricsScrape boots two real backends and the simgrid
+// binary with -metrics-addr, scrapes the coordinator's /v1/metrics
+// mid-sweep (poll until the run's sweep counter appears), lints the
+// exposition, and checks the -v summary carries the run's trace ID.
+func TestE2EGridMetricsScrape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots service binaries")
+	}
+	tmp := t.TempDir()
+	serveBin := buildBinary(t, tmp, "simserve", "../simserve")
+	gridBin := buildBinary(t, tmp, "simgrid", ".")
+
+	var backends []*serveProc
+	for i := 0; i < 2; i++ {
+		backends = append(backends, startServe(t, serveBin))
+	}
+	sweep := e2eSweep(201)
+	doc, err := wire.MarshalSweep(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobsFile := filepath.Join(tmp, "grid.json")
+	if err := os.WriteFile(jobsFile, doc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd := exec.Command(gridBin,
+		"-backends", backends[0].addr+","+backends[1].addr,
+		"-jobs", jobsFile, "-metrics-addr", "127.0.0.1:0", "-v")
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_, _ = cmd.Process.Wait()
+	})
+
+	// The metrics listener announces on stderr before the run starts.
+	sc := bufio.NewScanner(stderr)
+	var metricsAddr string
+	for sc.Scan() {
+		if a, ok := strings.CutPrefix(sc.Text(), "simgrid: metrics listening on "); ok {
+			metricsAddr = a
+			break
+		}
+	}
+	if metricsAddr == "" {
+		t.Fatalf("no metrics listen line from simgrid: %v", sc.Err())
+	}
+	var stderrMu sync.Mutex
+	var stderrRest []string
+	go func() {
+		for sc.Scan() {
+			stderrMu.Lock()
+			stderrRest = append(stderrRest, sc.Text())
+			stderrMu.Unlock()
+		}
+	}()
+
+	// Poll until a scrape sees this run's sweep counter — i.e. the
+	// coordinator is mid-sweep (the fresh grid takes seconds to run).
+	var body []byte
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + metricsAddr + "/v1/metrics")
+		if err == nil {
+			b, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil && resp.StatusCode == http.StatusOK &&
+				strings.Contains(string(b), "taskalloc_grid_sweeps_total 1") {
+				body = b
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if body == nil {
+		t.Fatal("never scraped a live coordinator exposition mid-sweep")
+	}
+	if problems := obs.Lint(body); len(problems) != 0 {
+		t.Fatalf("coordinator metrics lint: %v", problems)
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("simgrid: %v", err)
+	}
+	if out.Len() == 0 {
+		t.Fatal("simgrid produced no merged output")
+	}
+	stderrMu.Lock()
+	summary := strings.Join(stderrRest, "\n")
+	stderrMu.Unlock()
+	if !strings.Contains(summary, "; trace ") {
+		t.Errorf("-v summary missing the run's trace ID:\n%s", summary)
 	}
 }
 

@@ -14,6 +14,11 @@
 // restarts. -tenants FILE enables bearer-token auth with per-tenant
 // quotas and rate limits (a JSON array of tenant objects; see API.md).
 //
+// Observability: GET /v1/metrics serves Prometheus text exposition,
+// -access-log emits one JSON line per request to stderr, and
+// -pprof-addr serves net/http/pprof on its own listener. On shutdown
+// the lifetime cache/durability totals are logged to stderr.
+//
 // The bound address is printed on stdout as "listening on <addr>" once
 // the listener is up (with -addr :0 this is how callers learn the
 // port). SIGINT/SIGTERM trigger a graceful drain: in-flight sweeps
@@ -30,6 +35,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -59,6 +65,8 @@ func main() {
 		cacheDB  = flag.Int64("cache-disk-bytes", 1<<30, "disk budget for the job-result cache")
 		syncWr   = flag.Bool("sync", false, "fsync every journal append (survives machine crash, not just process kill; slow)")
 		tenants  = flag.String("tenants", "", "JSON file of tenant configs enabling bearer-token auth (empty = open server)")
+		logReqs  = flag.Bool("access-log", false, "emit one JSON line per request (method, route, status, request/trace IDs) to stderr")
+		pprofAdr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled; never exposed on the API listener)")
 	)
 	flag.Parse()
 
@@ -72,7 +80,7 @@ func main() {
 			log.Fatalf("simserve: parse -tenants: %v", err)
 		}
 	}
-	srv, err := simserver.Open(simserver.Options{
+	opts := simserver.Options{
 		Workers:         *workers,
 		MaxConcurrent:   *maxConc,
 		CacheEntries:    *cacheCap,
@@ -89,11 +97,32 @@ func main() {
 		CacheDiskBytes:  *cacheDB,
 		SyncWrites:      *syncWr,
 		Tenants:         tenantCfgs,
-	})
+	}
+	if *logReqs {
+		opts.AccessLog = os.Stderr
+	}
+	srv, err := simserver.Open(opts)
 	if err != nil {
 		log.Fatalf("simserve: %v", err)
 	}
 	hs := &http.Server{Handler: srv}
+
+	if *pprofAdr != "" {
+		// pprof gets its own listener and an explicit mux: the profiling
+		// surface is opt-in and never reachable through the API address.
+		pl, err := net.Listen("tcp", *pprofAdr)
+		if err != nil {
+			log.Fatalf("simserve: pprof: %v", err)
+		}
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		log.Printf("simserve: pprof listening on %s", pl.Addr())
+		go func() { _ = http.Serve(pl, pm) }()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -123,5 +152,9 @@ func main() {
 		log.Printf("simserve: shutdown: %v", err)
 	}
 	srv.Close() // drain + return every checked-out shard worker
+	st := srv.Stats()
+	log.Printf("simserve: totals: sweeps hit=%d miss=%d coalesced=%d; disk sweep_hits=%d resumes=%d job_cache_hits=%d; persist_errors=%d",
+		st.SweepHits, st.SweepMisses, st.SweepCoalesced,
+		st.DiskSweepHits, st.DiskResumes, st.JobCacheDiskHits, st.PersistErrors)
 	log.Printf("simserve: drained, exiting")
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"taskalloc/internal/goldencases"
+	"taskalloc/internal/obs"
 	"taskalloc/internal/simserver/client"
 	"taskalloc/internal/wire"
 )
@@ -42,7 +43,8 @@ func TestE2ESmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cmd.Stderr = os.Stderr
+	var errBuf bytes.Buffer
+	cmd.Stderr = io.MultiWriter(os.Stderr, &errBuf)
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
@@ -125,6 +127,31 @@ func TestE2ESmoke(t *testing.T) {
 		t.Fatalf("get sweep: %v", err)
 	}
 
+	// Telemetry scrape against the live binary: the exposition is
+	// lint-clean and the core families are populated by the sweeps above.
+	mresp, err := http.Get("http://" + addr + "/v1/metrics")
+	if err != nil {
+		t.Fatalf("scrape metrics: %v", err)
+	}
+	mbody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil || mresp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape metrics: status %d, err %v", mresp.StatusCode, err)
+	}
+	if problems := obs.Lint(mbody); len(problems) != 0 {
+		t.Fatalf("metrics lint: %v", problems)
+	}
+	for _, want := range []string{
+		`taskalloc_sweep_requests_total{disposition="miss"} 1`,
+		`taskalloc_sweep_requests_total{disposition="hit"} 1`,
+		`taskalloc_stage_seconds_count{stage="engine_run"}`,
+		`taskalloc_http_requests_total{route="POST /v1/sweeps",code="200"} 2`,
+	} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+
 	// Graceful drain: SIGTERM → clean exit.
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -138,6 +165,11 @@ func TestE2ESmoke(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("simserve did not drain within 30s of SIGTERM")
+	}
+	// The shutdown log summarizes the lifetime cache/durability totals.
+	if logs := errBuf.String(); !strings.Contains(logs, "simserve: totals: sweeps hit=1 miss=1") ||
+		!strings.Contains(logs, "persist_errors=0") {
+		t.Errorf("shutdown summary missing or wrong:\n%s", logs)
 	}
 }
 

@@ -18,6 +18,7 @@ func TestExportedDocsComplete(t *testing.T) {
 		"internal/scenario",
 		"internal/sweeprun",
 		"internal/store",
+		"internal/obs",
 	}
 	root := filepath.Join("..", "..")
 	for _, dir := range gated {

@@ -43,7 +43,9 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"time"
 
+	"taskalloc/internal/obs"
 	"taskalloc/internal/simserver/client"
 	"taskalloc/internal/sweeprun"
 	"taskalloc/internal/wire"
@@ -84,6 +86,12 @@ type Options struct {
 	// backend call authenticates as the coordinator's tenant). Empty
 	// for open backends.
 	Token string
+	// Registry, if non-nil, receives the coordinator's metric families
+	// (run counts, redispatches, per-backend delivery/stream-latency/
+	// throughput) for the caller to expose — cmd/simgrid serves it on
+	// -metrics-addr. Families register at New, so use one Registry per
+	// Coordinator. Nil records to a private, unexposed registry.
+	Registry *obs.Registry
 }
 
 // EventKind discriminates Event.
@@ -100,6 +108,12 @@ const (
 	// EventRedispatch: a failed range's remaining jobs were submitted
 	// to a surviving backend.
 	EventRedispatch
+	// EventBackendDone: one backend sub-sweep stream ended. Emitted
+	// exactly once per launched stream — success or failure, even when
+	// the backend died before delivering its first job — with the
+	// delivered count, the stream's wall-clock duration, and the
+	// failure (nil on success).
+	EventBackendDone
 )
 
 // Event is one coordinator progress notification.
@@ -111,17 +125,29 @@ type Event struct {
 	// Index is the delivered job's global index (EventResult only).
 	Index int
 	// Jobs counts the jobs involved (EventBackendLost: undelivered;
-	// EventRedispatch: re-submitted).
+	// EventRedispatch: re-submitted; EventBackendDone: delivered).
 	Jobs int
-	// Err is the backend failure (EventBackendLost only).
+	// Elapsed is the stream's wall-clock duration (EventBackendDone
+	// only).
+	Elapsed time.Duration
+	// Err is the backend failure (EventBackendLost, and EventBackendDone
+	// for a stream that ended in failure).
 	Err error
 }
 
 // Stats summarizes one Run.
 type Stats struct {
+	// TraceID is the run's trace identifier, sent to every backend as
+	// X-Trace-Id — grep it in the backends' request logs to follow one
+	// sweep across the grid.
+	TraceID string
 	// JobsPerBackend is the initial hash-range assignment size per
 	// backend.
 	JobsPerBackend []int
+	// Delivered counts the job results each backend actually delivered
+	// (summing to the sweep size on success; redistributed under
+	// failover).
+	Delivered []int
 	// Retried counts job re-submissions after backend failures.
 	Retried int
 	// BackendsLost counts backends marked dead during the run.
@@ -133,6 +159,7 @@ type Stats struct {
 type Coordinator struct {
 	opts    Options
 	clients []*client.Client
+	metrics *gridMetrics
 }
 
 // New builds a Coordinator. At least one backend is required.
@@ -151,6 +178,7 @@ func New(opts Options) (*Coordinator, error) {
 		}
 		c.clients = append(c.clients, cl)
 	}
+	c.metrics = newGridMetrics(opts.Registry, len(c.clients))
 	return c, nil
 }
 
@@ -238,12 +266,23 @@ func (c *Coordinator) Run(ctx context.Context, sweep wire.Sweep, format Format, 
 	// report by the slowest sub-sweep.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	// One trace ID per run: every backend call this sweep makes carries
+	// it as X-Trace-Id, so the backends' request logs can be joined on
+	// it to reconstruct the whole grid run. Clients are copy-on-write,
+	// so stamping is per-run, not per-Coordinator.
+	traceID := obs.NewID()
 	st := &runState{
-		alive:    make([]bool, len(c.clients)),
-		attempts: make([]int, len(sweep.Jobs)),
-		cancel:   cancel,
+		clients:   make([]*client.Client, len(c.clients)),
+		alive:     make([]bool, len(c.clients)),
+		attempts:  make([]int, len(sweep.Jobs)),
+		delivered: make([]int, len(c.clients)),
+		cancel:    cancel,
 	}
-	stats := Stats{JobsPerBackend: make([]int, len(c.clients))}
+	for b, cl := range c.clients {
+		st.clients[b] = cl.WithTraceID(traceID)
+	}
+	c.metrics.sweeps.Inc()
+	stats := Stats{TraceID: traceID, JobsPerBackend: make([]int, len(c.clients))}
 	for b, idxs := range assign {
 		st.alive[b] = true
 		stats.JobsPerBackend[b] = len(idxs)
@@ -264,6 +303,7 @@ func (c *Coordinator) Run(ctx context.Context, sweep wire.Sweep, format Format, 
 	st.mu.Lock()
 	stats.Retried = st.retried
 	stats.BackendsLost = st.lost
+	stats.Delivered = st.delivered
 	fatal := st.fatal
 	st.mu.Unlock()
 	if fatal != nil {
@@ -275,15 +315,20 @@ func (c *Coordinator) Run(ctx context.Context, sweep wire.Sweep, format Format, 
 	return stats, nil
 }
 
-// runState is one Run's shared failure-handling state.
+// runState is one Run's shared failure-handling state, plus the run's
+// trace-stamped clients (one per backend, all carrying the run's
+// X-Trace-Id).
 type runState struct {
-	mu       sync.Mutex
-	alive    []bool
-	attempts []int
-	retried  int
-	lost     int
-	fatal    error
-	cancel   context.CancelFunc // aborts in-flight streams on fatal
+	clients []*client.Client
+
+	mu        sync.Mutex
+	alive     []bool
+	attempts  []int
+	delivered []int // per-backend delivered-result counts
+	retried   int
+	lost      int
+	fatal     error
+	cancel    context.CancelFunc // aborts in-flight streams on fatal
 }
 
 // fail records the run's fatal error (first one wins) and cancels the
@@ -307,10 +352,11 @@ func (c *Coordinator) launch(ctx context.Context, wg *sync.WaitGroup, st *runSta
 	go func() {
 		defer wg.Done()
 		delivered := 0
+		start := time.Now()
 		var protoErr error
 		// DiscardResults: the merger owns buffering (released on
 		// emission), so the client must not retain a second full copy.
-		_, err := c.clients[b].SubmitSweep(ctx, sub,
+		_, err := st.clients[b].SubmitSweep(ctx, sub,
 			client.SubmitOptions{Workers: c.opts.Workers, DiscardResults: true},
 			func(res wire.Result) {
 				// The service streams its sub-sweep strictly in order; a
@@ -339,6 +385,15 @@ func (c *Coordinator) launch(ctx context.Context, wg *sync.WaitGroup, st *runSta
 		if err == nil {
 			err = protoErr
 		}
+		elapsed := time.Since(start)
+		st.mu.Lock()
+		st.delivered[b] += delivered
+		st.mu.Unlock()
+		c.metrics.streamDone(b, delivered, elapsed)
+		// The terminal stream event fires on every path — a backend that
+		// dies before its first delivered job still reports, with the
+		// failure attached.
+		c.observe(Event{Kind: EventBackendDone, Backend: b, Jobs: delivered, Elapsed: elapsed, Err: err})
 		if err == nil {
 			return
 		}
@@ -359,6 +414,7 @@ func (c *Coordinator) redispatch(ctx context.Context, wg *sync.WaitGroup, st *ru
 	if st.alive[b] {
 		st.alive[b] = false
 		st.lost++
+		c.metrics.lost.Inc()
 	}
 	if len(remaining) == 0 {
 		return
@@ -395,6 +451,8 @@ func (c *Coordinator) redispatch(ctx context.Context, wg *sync.WaitGroup, st *ru
 		}
 	}
 	st.retried += len(remaining)
+	c.metrics.redispatches.Inc()
+	c.metrics.retried.Add(uint64(len(remaining)))
 	c.observe(Event{Kind: EventRedispatch, Backend: next, Jobs: len(remaining)})
 	c.launch(ctx, wg, st, m, sweep, next, remaining)
 }
@@ -413,10 +471,12 @@ func (c *Coordinator) Bisect(ctx context.Context, req wire.BisectRequest) (*wire
 	if err != nil {
 		return nil, fmt.Errorf("gridcoord: %w", err)
 	}
+	c.metrics.bisects.Inc()
+	traceID := obs.NewID()
 	var lastErr error
 	for k := 0; k < len(c.clients); k++ {
 		b := (start + k) % len(c.clients)
-		resp, err := c.clients[b].Bisect(ctx, req)
+		resp, err := c.clients[b].WithTraceID(traceID).Bisect(ctx, req)
 		if err == nil {
 			return resp, nil
 		}

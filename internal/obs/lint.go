@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Lint validates a Prometheus text exposition (version 0.0.4) against
+// the invariants this package promises: every sample belongs to a
+// family with both HELP and TYPE metadata, no family is declared
+// twice, histogram bucket counts are cumulative and end in an +Inf
+// bucket equal to _count, and every histogram carries _sum and _count.
+// It returns one human-readable problem per violation (empty = clean).
+// The simserver and gridcoord scrape tests run every /v1/metrics body
+// through it, so the renderer and the linter keep each other honest.
+func Lint(exposition []byte) []string {
+	var problems []string
+	type famState struct {
+		typ     string
+		hasHelp bool
+		hasType bool
+		// histogram bookkeeping, keyed by the non-le label signature
+		buckets map[string][]bucketSample
+		sums    map[string]bool
+		counts  map[string]float64
+	}
+	fams := make(map[string]*famState)
+	order := []string{}
+	get := func(name string) *famState {
+		if f, ok := fams[name]; ok {
+			return f
+		}
+		f := &famState{
+			buckets: make(map[string][]bucketSample),
+			sums:    make(map[string]bool),
+			counts:  make(map[string]float64),
+		}
+		fams[name] = f
+		order = append(order, name)
+		return f
+	}
+
+	lines := strings.Split(string(exposition), "\n")
+	for i, line := range lines {
+		lineNo := i + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# ") {
+			fields := strings.SplitN(line[2:], " ", 3)
+			if len(fields) < 2 {
+				problems = append(problems, fmt.Sprintf("line %d: malformed comment %q", lineNo, line))
+				continue
+			}
+			switch fields[0] {
+			case "HELP":
+				f := get(fields[1])
+				if f.hasHelp {
+					problems = append(problems, fmt.Sprintf("line %d: duplicate HELP for family %s", lineNo, fields[1]))
+				}
+				f.hasHelp = true
+			case "TYPE":
+				if len(fields) != 3 {
+					problems = append(problems, fmt.Sprintf("line %d: TYPE without a type: %q", lineNo, line))
+					continue
+				}
+				f := get(fields[1])
+				if f.hasType {
+					problems = append(problems, fmt.Sprintf("line %d: duplicate TYPE for family %s", lineNo, fields[1]))
+				}
+				f.hasType = true
+				f.typ = fields[2]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("line %d: %v", lineNo, err))
+			continue
+		}
+		// Resolve the sample's family: histogram samples carry
+		// _bucket/_sum/_count suffixes on top of the family name.
+		fam, suffix := name, ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			base := strings.TrimSuffix(name, sfx)
+			if base != name {
+				if bf, ok := fams[base]; ok && bf.typ == "histogram" {
+					fam, suffix = base, sfx
+					break
+				}
+			}
+		}
+		f, ok := fams[fam]
+		if !ok || !f.hasHelp || !f.hasType {
+			problems = append(problems, fmt.Sprintf("line %d: sample %s lacks HELP/TYPE metadata for family %s", lineNo, name, fam))
+			continue
+		}
+		if f.typ == "histogram" {
+			le, rest := splitLE(labels)
+			switch suffix {
+			case "_bucket":
+				if le == "" {
+					problems = append(problems, fmt.Sprintf("line %d: histogram bucket without le label: %q", lineNo, line))
+					continue
+				}
+				f.buckets[rest] = append(f.buckets[rest], bucketSample{le: le, count: value, line: lineNo})
+			case "_sum":
+				f.sums[rest] = true
+			case "_count":
+				f.counts[rest] = value
+			default:
+				problems = append(problems, fmt.Sprintf("line %d: unexpected histogram sample %s", lineNo, name))
+			}
+		}
+	}
+
+	for _, name := range order {
+		f := fams[name]
+		if !f.hasHelp {
+			problems = append(problems, fmt.Sprintf("family %s has no HELP", name))
+		}
+		if !f.hasType {
+			problems = append(problems, fmt.Sprintf("family %s has no TYPE", name))
+		}
+		if f.typ != "histogram" {
+			continue
+		}
+		series := make([]string, 0, len(f.buckets))
+		for sig := range f.buckets {
+			series = append(series, sig)
+		}
+		sort.Strings(series)
+		for _, sig := range series {
+			bs := f.buckets[sig]
+			prev := math.Inf(-1)
+			prevCount := -1.0
+			sawInf := false
+			for _, b := range bs {
+				bound := math.Inf(1)
+				if b.le != "+Inf" {
+					v, err := strconv.ParseFloat(b.le, 64)
+					if err != nil {
+						problems = append(problems, fmt.Sprintf("line %d: histogram %s has unparseable le=%q", b.line, name, b.le))
+						continue
+					}
+					bound = v
+				} else {
+					sawInf = true
+				}
+				if bound <= prev {
+					problems = append(problems, fmt.Sprintf("line %d: histogram %s buckets out of order (le=%s)", b.line, name, b.le))
+				}
+				if b.count < prevCount {
+					problems = append(problems, fmt.Sprintf("line %d: histogram %s bucket counts not cumulative (le=%s: %v < %v)", b.line, name, b.le, b.count, prevCount))
+				}
+				prev, prevCount = bound, b.count
+			}
+			if !sawInf {
+				problems = append(problems, fmt.Sprintf("histogram %s{%s} has no +Inf bucket", name, sig))
+			}
+			total, ok := f.counts[sig]
+			if !ok {
+				problems = append(problems, fmt.Sprintf("histogram %s{%s} has no _count", name, sig))
+			} else if sawInf && len(bs) > 0 && bs[len(bs)-1].count != total {
+				problems = append(problems, fmt.Sprintf("histogram %s{%s}: +Inf bucket %v != _count %v", name, sig, bs[len(bs)-1].count, total))
+			}
+			if !f.sums[sig] {
+				problems = append(problems, fmt.Sprintf("histogram %s{%s} has no _sum", name, sig))
+			}
+		}
+	}
+	return problems
+}
+
+// splitLE pulls the le="..." pair out of a raw label block, returning
+// its value and the remaining label signature (used to group one
+// histogram series' buckets with its _sum/_count).
+func splitLE(labels string) (le, rest string) {
+	if labels == "" {
+		return "", ""
+	}
+	var kept []string
+	for _, pair := range splitLabelPairs(labels) {
+		if v, ok := strings.CutPrefix(pair, `le="`); ok {
+			le = strings.TrimSuffix(v, `"`)
+			continue
+		}
+		kept = append(kept, pair)
+	}
+	return le, strings.Join(kept, ",")
+}
+
+// splitLabelPairs splits a label block on commas outside quotes.
+func splitLabelPairs(labels string) []string {
+	var out []string
+	inQuote, escaped, start := false, false, 0
+	for i := 0; i < len(labels); i++ {
+		c := labels[i]
+		switch {
+		case escaped:
+			escaped = false
+		case c == '\\' && inQuote:
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case c == ',' && !inQuote:
+			out = append(out, labels[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, labels[start:])
+}
+
+// bucketSample is one parsed _bucket line of a histogram series.
+type bucketSample struct {
+	le    string
+	count float64
+	line  int
+}
+
+// parseSample splits a sample line into name, raw label block, value.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.LastIndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimSpace(rest[j+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", "", 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", "", 0, fmt.Errorf("sample %q has no value", line)
+	}
+	v, perr := strconv.ParseFloat(fields[0], 64)
+	if perr != nil {
+		return "", "", 0, fmt.Errorf("sample %q has unparseable value: %v", line, perr)
+	}
+	return name, labels, v, nil
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"taskalloc/internal/obs"
 	"taskalloc/internal/wire"
 )
 
@@ -18,8 +19,8 @@ import (
 // token-bucket rate limits, layered on the existing admission bounds.
 // It is opt-in — with no Options.Tenants the server stays open, so
 // every existing client and test sees the unauthenticated surface
-// unchanged. GET /v1/healthz and GET /v1/version stay open even with
-// tenants configured (probes and version sniffing don't carry work).
+// unchanged. GET /v1/healthz, /v1/version, and /v1/metrics stay open
+// even with tenants configured (probes and scrapes don't carry work).
 //
 // Rejections speak wire.ErrorBody (Kind "unauthorized" | "quota" |
 // "rate_limited") so clients can branch without parsing prose; the
@@ -59,14 +60,21 @@ type TenantStats struct {
 
 // tenant is one tenant's live state: its config, token bucket, and
 // counters. The bucket uses the server's clock (injectable in tests).
+// The disposition counters are obs children cached at construction —
+// they are the single source of truth, read back by snapshot() for the
+// healthz JSON and exposed by name on /v1/metrics.
 type tenant struct {
 	cfg TenantConfig
+
+	mRequests      *obs.Counter
+	mRateLimited   *obs.Counter
+	mQuotaRejected *obs.Counter
+	mJobs          *obs.Counter
 
 	mu     sync.Mutex
 	tokens float64 // current bucket level
 	last   time.Time
 	jobs   int64 // cumulative jobs, for the quota
-	stats  TenantStats
 }
 
 // authState is the tenant registry, scanned (constant-time per token)
@@ -75,7 +83,7 @@ type authState struct {
 	tenants []*tenant
 }
 
-func newAuthState(cfgs []TenantConfig) *authState {
+func newAuthState(cfgs []TenantConfig, m *serverMetrics) *authState {
 	a := &authState{}
 	for _, cfg := range cfgs {
 		burst := cfg.Burst
@@ -85,7 +93,14 @@ func newAuthState(cfgs []TenantConfig) *authState {
 		cfg.Burst = burst
 		// last stays zero: the first admit sees a huge elapsed time and
 		// clamps the bucket to its (already full) burst capacity.
-		a.tenants = append(a.tenants, &tenant{cfg: cfg, tokens: float64(burst)})
+		a.tenants = append(a.tenants, &tenant{
+			cfg:            cfg,
+			tokens:         float64(burst),
+			mRequests:      m.tenantRequests.With(cfg.Name),
+			mRateLimited:   m.tenantRateLimited.With(cfg.Name),
+			mQuotaRejected: m.tenantQuotaRejected.With(cfg.Name),
+			mJobs:          m.tenantJobs.With(cfg.Name),
+		})
 	}
 	return a
 }
@@ -114,7 +129,7 @@ func (t *tenant) admit(now time.Time) (bool, time.Duration) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.cfg.RatePerSec <= 0 {
-		t.stats.Requests++
+		t.mRequests.Inc()
 		return true, 0
 	}
 	elapsed := now.Sub(t.last).Seconds()
@@ -123,12 +138,12 @@ func (t *tenant) admit(now time.Time) (bool, time.Duration) {
 		t.last = now
 	}
 	if t.tokens < 1 {
-		t.stats.RateLimited++
+		t.mRateLimited.Inc()
 		wait := time.Duration((1 - t.tokens) / t.cfg.RatePerSec * float64(time.Second))
 		return false, wait
 	}
 	t.tokens--
-	t.stats.Requests++
+	t.mRequests.Inc()
 	return true, 0
 }
 
@@ -138,19 +153,22 @@ func (t *tenant) chargeJobs(n int) bool {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.cfg.MaxJobs > 0 && t.jobs+int64(n) > t.cfg.MaxJobs {
-		t.stats.QuotaRejected++
+		t.mQuotaRejected.Inc()
 		return false
 	}
 	t.jobs += int64(n)
-	t.stats.JobsSubmitted += uint64(n)
+	t.mJobs.Add(uint64(n))
 	return true
 }
 
-// snapshot copies the tenant's counters.
+// snapshot reads the tenant's counters back into the healthz schema.
 func (t *tenant) snapshot() TenantStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.stats
+	return TenantStats{
+		Requests:      t.mRequests.Value(),
+		RateLimited:   t.mRateLimited.Value(),
+		QuotaRejected: t.mQuotaRejected.Value(),
+		JobsSubmitted: t.mJobs.Value(),
+	}
 }
 
 // tenantKey is the context key the middleware stores the caller under.
@@ -164,9 +182,12 @@ func tenantFrom(r *http.Request) *tenant {
 }
 
 // openPath reports whether the endpoint stays unauthenticated.
+// Metrics stay open alongside healthz: scrapers don't carry work, and
+// the exposition names tenants but never tokens.
 func openPath(r *http.Request) bool {
 	return r.Method == http.MethodGet &&
-		(r.URL.Path == "/v1/healthz" || r.URL.Path == "/v1/version")
+		(r.URL.Path == "/v1/healthz" || r.URL.Path == "/v1/version" ||
+			r.URL.Path == "/v1/metrics")
 }
 
 // middleware enforces auth + rate limits in front of the mux.

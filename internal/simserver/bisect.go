@@ -143,8 +143,8 @@ type bisectFlight struct {
 func (s *Server) runBisectCoalesced(r *http.Request, id string, req wire.BisectRequest, workers int) (*wire.BisectResponse, string, error) {
 	s.mu.Lock()
 	if f := s.bisectFlights[id]; f != nil {
-		s.stats.BisectCoalesced++
 		s.mu.Unlock()
+		s.metrics.bisectCoalesced.Inc()
 		select {
 		case <-f.done:
 		case <-r.Context().Done():
@@ -235,17 +235,15 @@ func (s *Server) bisect(req wire.BisectRequest, workers int) (wire.BisectRespons
 					hit, ok = jr, true
 					s.mu.Lock()
 					s.storeJobLocked(key, jr)
-					s.stats.JobCacheDiskHits++
 					s.mu.Unlock()
+					s.metrics.jobCacheDiskHits.Inc()
 				}
 			}
-			s.mu.Lock()
 			if ok {
-				s.stats.BisectJobHits++
+				s.metrics.bisectJobHits.Inc()
 			} else {
-				s.stats.BisectJobMisses++
+				s.metrics.bisectJobMisses.Inc()
 			}
-			s.mu.Unlock()
 			if ok {
 				cell.Cached = true
 				if hit.err != "" {
@@ -273,9 +271,10 @@ func (s *Server) bisect(req wire.BisectRequest, workers int) (wire.BisectRespons
 			jobs[i] = p.job
 		}
 		results := sweeprun.Run(jobs, sweeprun.Options{
-			Workers: workers,
-			Pool:    s.pool,
-			Gate:    s.gate,
+			Workers:  workers,
+			Pool:     s.pool,
+			Gate:     s.gate,
+			OnTiming: s.observeJobTiming,
 		})
 		computed := make([]jobResult, len(results))
 		s.mu.Lock()

@@ -22,9 +22,10 @@ import (
 
 // Client talks to one simulation service instance.
 type Client struct {
-	base  string
-	hc    *http.Client
-	token string
+	base    string
+	hc      *http.Client
+	token   string
+	traceID string
 }
 
 // New builds a client for the service at base (e.g.
@@ -45,7 +46,18 @@ func (c *Client) WithToken(token string) *Client {
 	return &out
 }
 
-// newRequest builds a request with the client's auth applied.
+// WithTraceID returns a copy of the client that stamps every request
+// with the X-Trace-Id header — the correlation ID the grid coordinator
+// mints per sweep so one distributed run can be followed through every
+// backend's request log. An empty id clears it.
+func (c *Client) WithTraceID(id string) *Client {
+	out := *c
+	out.traceID = id
+	return &out
+}
+
+// newRequest builds a request with the client's auth and trace
+// propagation applied.
 func (c *Client) newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
 	req, err := http.NewRequestWithContext(ctx, method, url, body)
 	if err != nil {
@@ -53,6 +65,9 @@ func (c *Client) newRequest(ctx context.Context, method, url string, body io.Rea
 	}
 	if c.token != "" {
 		req.Header.Set("Authorization", "Bearer "+c.token)
+	}
+	if c.traceID != "" {
+		req.Header.Set("X-Trace-Id", c.traceID)
 	}
 	return req, nil
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
 	"taskalloc"
 	"taskalloc/internal/store"
@@ -95,9 +96,7 @@ func recordToCell(rec cellRecord) cell {
 // around the in-memory serving path: a journal that cannot be written
 // degrades the sweep to memory-only, never fails the request.
 func (s *Server) persistError() {
-	s.mu.Lock()
-	s.stats.PersistErrors++
-	s.mu.Unlock()
+	s.metrics.persistErrors.Inc()
 }
 
 // createJournal starts a sweep's journal; nil when durability is off
@@ -254,9 +253,10 @@ func (s *Server) executeOwned(entry *sweepEntry, jobs []sweeprun.Job, recs []*wi
 	off := len(prefix)
 	journal := j
 	rest := sweeprun.Stream(jobs[off:], sweeprun.Options{
-		Workers: workers,
-		Pool:    s.pool,
-		Gate:    s.gate,
+		Workers:  workers,
+		Pool:     s.pool,
+		Gate:     s.gate,
+		OnTiming: s.observeJobTiming,
 	}, func(res sweeprun.Result) {
 		i := off + res.Index
 		c := cell{meta: res.Job.Meta, rounds: res.Job.Rounds, report: res.Report}
@@ -269,10 +269,12 @@ func (s *Server) executeOwned(entry *sweepEntry, jobs []sweeprun.Job, recs []*wi
 			c.traj = rec.Bytes()
 		}
 		if journal != nil {
+			appendStart := time.Now()
 			payload, err := json.Marshal(cellToRecord(i, c))
 			if err == nil {
 				err = journal.Append(payload)
 			}
+			s.metrics.stageJournalAppend.ObserveSince(appendStart)
 			if err != nil {
 				// Degrade to memory-only; the journal keeps its valid
 				// prefix for a later resume.
@@ -327,22 +329,20 @@ func (s *Server) serveFromDisk(w http.ResponseWriter, r *http.Request, entry *sw
 	s.mu.Lock()
 	entry.jobs = rec.header.Jobs
 	entry.synID = rec.header.SynID // the creator whose bytes we replay
-	if synID != "" && rec.header.SynID != synID {
-		s.stats.SemanticAliasHits++
-	}
 	s.mu.Unlock()
+	if synID != "" && rec.header.SynID != synID {
+		s.metrics.aliasHits.Inc()
+	}
 
 	if rec.journal == nil {
 		// Complete: publish the recovered cells and replay from cursor.
-		// A POST so served never executed — reclassify its
-		// lookupOrCreate miss as a hit.
-		s.mu.Lock()
-		s.stats.DiskSweepHits++
+		// A POST so served never executed — it is a sweep hit (the
+		// lookup deferred the hit-or-miss call to here, keeping the
+		// counters monotone).
+		s.metrics.diskSweepHits.Inc()
 		if synID != "" {
-			s.stats.SweepMisses--
-			s.stats.SweepHits++
+			s.metrics.sweepHits.Inc()
 		}
-		s.mu.Unlock()
 		s.publish(entry, rec.cells, rec.summary)
 		if cursor > len(rec.cells) {
 			httpError(w, http.StatusBadRequest,
@@ -366,8 +366,16 @@ func (s *Server) serveFromDisk(w http.ResponseWriter, r *http.Request, entry *sw
 		jobs, recs, err = buildRunnable(sweep)
 	}
 	if err != nil || len(rec.cells) > len(jobs) || len(jobs) != rec.header.Jobs {
+		// Unusable journal: the caller executes fresh and charges the
+		// miss itself.
 		s.discardRecovered(entry.id, rec.journal)
 		return "", false
+	}
+	// A resuming POST still executes work, so it counts as the miss the
+	// lookup deferred (GET adoptions, synID "", count neither way — as
+	// before).
+	if synID != "" {
+		s.metrics.sweepMisses.Inc()
 	}
 	if cursor > rec.header.Jobs {
 		_ = rec.journal.Close()
@@ -377,9 +385,7 @@ func (s *Server) serveFromDisk(w http.ResponseWriter, r *http.Request, entry *sw
 		s.drop(entry)
 		return "resume", true
 	}
-	s.mu.Lock()
-	s.stats.DiskResumes++
-	s.mu.Unlock()
+	s.metrics.diskResumes.Inc()
 	s.setStreamHeaders(w, format, entry.id, "resume")
 	stream, flush := s.newStream(w, format, entry.id, rec.header.Jobs, cursor)
 	s.executeOwned(entry, jobs, recs, rec.cells, rec.journal, workers, func(i int, c cell) {

@@ -39,6 +39,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"path/filepath"
 	"runtime"
@@ -109,11 +111,16 @@ type Options struct {
 	// checkpoints survive a process kill but not a machine crash; on,
 	// both, at a large append cost.
 	SyncWrites bool
-	// Tenants enables bearer-token auth: requests (except healthz and
-	// version) must carry a configured token, and each tenant gets its
-	// own job quota and request rate limit. Empty leaves the server
-	// open.
+	// Tenants enables bearer-token auth: requests (except healthz,
+	// version, and metrics) must carry a configured token, and each
+	// tenant gets its own job quota and request rate limit. Empty leaves
+	// the server open.
 	Tenants []TenantConfig
+	// AccessLog, if non-nil, receives one structured JSON line per
+	// request (log/slog): method, path, route, status, bytes, duration,
+	// a per-request ID, the propagated X-Trace-Id (when present), and
+	// the cache disposition. Nil disables request logging.
+	AccessLog io.Writer
 }
 
 // maxWorkersPerRequest bounds the goroutines one submission's
@@ -156,7 +163,12 @@ type Server struct {
 	// nil means time.Now.
 	nowFn func() time.Time
 
-	stats Stats
+	// metrics is the telemetry layer (always non-nil; see metrics.go).
+	// Every counter the Stats snapshot reports lives here.
+	metrics *serverMetrics
+	// accessLog is the structured request logger, nil when
+	// Options.AccessLog is nil.
+	accessLog *slog.Logger
 }
 
 // now is the server's clock (rate limiting only).
@@ -209,10 +221,25 @@ type Stats struct {
 	DiskBytes    int64 `json:"disk_bytes"`
 }
 
-// Stats snapshots the server's cache counters.
+// Stats snapshots the server's cache counters. The counters live on
+// the telemetry registry (GET /v1/metrics renders the same values);
+// this snapshot re-derives the stable JSON schema healthz serves.
 func (s *Server) Stats() Stats {
+	m := s.metrics
+	out := Stats{
+		SweepHits:         m.sweepHits.Value(),
+		SweepMisses:       m.sweepMisses.Value(),
+		SweepCoalesced:    m.sweepCoalesced.Value(),
+		SemanticAliasHits: m.aliasHits.Value(),
+		BisectJobHits:     m.bisectJobHits.Value(),
+		BisectJobMisses:   m.bisectJobMisses.Value(),
+		BisectCoalesced:   m.bisectCoalesced.Value(),
+		DiskSweepHits:     m.diskSweepHits.Value(),
+		DiskResumes:       m.diskResumes.Value(),
+		JobCacheDiskHits:  m.jobCacheDiskHits.Value(),
+		PersistErrors:     m.persistErrors.Value(),
+	}
 	s.mu.Lock()
-	out := s.stats
 	out.CacheEntries = len(s.cache)
 	out.CacheBytes = s.cacheSize
 	s.mu.Unlock()
@@ -332,6 +359,10 @@ func Open(opts Options) (*Server, error) {
 		}
 		s.blob = bc
 	}
+	s.metrics = newServerMetrics(s)
+	if opts.AccessLog != nil {
+		s.accessLog = slog.New(slog.NewJSONHandler(opts.AccessLog, nil))
+	}
 	if len(opts.Tenants) > 0 {
 		for i, t := range opts.Tenants {
 			if t.Name == "" || t.Token == "" {
@@ -339,7 +370,7 @@ func Open(opts Options) (*Server, error) {
 				return nil, fmt.Errorf("simserver: tenant %d needs a name and a token", i)
 			}
 		}
-		s.auth = newAuthState(opts.Tenants)
+		s.auth = newAuthState(opts.Tenants, s.metrics)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
@@ -347,16 +378,15 @@ func Open(opts Options) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
+	s.mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: every request flows through the
+// instrumentation wrapper (metrics.go) and then the tenant middleware
+// or the mux.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.auth != nil {
-		s.middleware(w, r)
-		return
-	}
-	s.mux.ServeHTTP(w, r)
+	s.instrumented(w, r)
 }
 
 // begin registers an in-flight request; false once Close has started.
@@ -390,29 +420,35 @@ func (s *Server) Close() {
 // absent. The disposition is "miss" for the owner, "hit" when the entry
 // was already complete, and "coalesced" when its execution is still in
 // flight; non-owners whose syntactic hash differs from the creator's
-// count as semantic-alias hits.
+// count as semantic-alias hits. The owner's hit-or-miss counter is NOT
+// charged here: whether a "miss" really executes — or is served from an
+// on-disk journal and counts as a hit — is only known after the disk
+// check, and the Prometheus counters must stay monotone (no
+// reclassifying decrement).
 func (s *Server) lookupOrCreate(id, synID string, jobs int) (entry *sweepEntry, disposition string) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if e, ok := s.cache[id]; ok {
 		disposition = "coalesced"
+		var counter = s.metrics.sweepCoalesced
 		select {
 		case <-e.done:
 			disposition = "hit"
-			s.stats.SweepHits++
+			counter = s.metrics.sweepHits
 		default:
-			s.stats.SweepCoalesced++
 		}
-		if e.synID != synID {
-			s.stats.SemanticAliasHits++
+		alias := e.synID != synID
+		s.mu.Unlock()
+		counter.Inc()
+		if alias {
+			s.metrics.aliasHits.Inc()
 		}
 		return e, disposition
 	}
-	s.stats.SweepMisses++
 	e := &sweepEntry{id: id, synID: synID, jobs: jobs, done: make(chan struct{})}
 	s.cache[id] = e
 	s.order = append(s.order, id)
 	s.evictLocked()
+	s.mu.Unlock()
 	return e, "miss"
 }
 
@@ -469,6 +505,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.inflight.Done()
+
+	// Admission stage: everything from here to the cache lookup —
+	// decode, bounds, hashing, quota. Observed only for admitted
+	// submissions (rejections show up in the per-route status counters).
+	admissionStart := time.Now()
 
 	format := r.URL.Query().Get("format")
 	if format == "" {
@@ -574,7 +615,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	s.metrics.stageAdmission.ObserveSince(admissionStart)
+
+	lookupStart := time.Now()
 	entry, disposition := s.lookupOrCreate(id, synID, len(sweep.Jobs))
+	s.metrics.stageCacheLookup.ObserveSince(lookupStart)
 	if disposition != "miss" {
 		// An equivalent grid already ran (or is running): coalesce onto
 		// its result and replay it byte-identically.
@@ -604,11 +649,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}()
 
 	// A journal from a previous process lifetime serves (or resumes)
-	// this submission byte-identically to its creator's run.
+	// this submission byte-identically to its creator's run;
+	// serveFromDisk charges the hit/miss counter for the paths it
+	// handles.
 	if _, handled := s.serveFromDisk(w, r, entry, synID, format, 0, workers); handled {
 		published = true // serveFromDisk publishes or drops the entry itself
 		return
 	}
+	// No usable journal: this submission executes fresh — the miss the
+	// lookup provisionally was is now definite.
+	s.metrics.sweepMisses.Inc()
 
 	jobs, recs, err := buildRunnable(sweep)
 	if err != nil {
@@ -619,8 +669,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.setStreamHeaders(w, format, id, "miss")
 	stream, flush := s.newStream(w, format, id, len(jobs), 0)
 	s.executeOwned(entry, jobs, recs, nil, j, workers, func(i int, c cell) {
+		renderStart := time.Now()
 		stream.cell(i, c)
 		flush()
+		s.metrics.stageRender.ObserveSince(renderStart)
 	})
 	stream.finish()
 	published = true

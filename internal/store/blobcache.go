@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -39,6 +40,10 @@ type BlobCache struct {
 	entries map[string]*list.Element
 	lru     *list.List // front = most recently used
 	bytes   int64
+
+	// Monotone activity counters, exported for the telemetry layer.
+	puts      atomic.Uint64
+	evictions atomic.Uint64
 }
 
 // blobEntry is one LRU element.
@@ -173,6 +178,7 @@ func (c *BlobCache) Put(key string, payload []byte) error {
 		_ = os.Remove(tmp.Name())
 		return fmt.Errorf("store: %w", err)
 	}
+	c.puts.Add(1)
 	size := int64(blobHeaderSize + len(payload))
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -210,6 +216,7 @@ func (c *BlobCache) evictLocked() {
 		c.bytes -= be.size
 		c.lru.Remove(el)
 		delete(c.entries, be.key)
+		c.evictions.Add(1)
 	}
 }
 
@@ -219,4 +226,11 @@ func (c *BlobCache) Stats() (entries int, bytes int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.entries), c.bytes
+}
+
+// Counters reports the cache's monotone activity counters since open:
+// successful Puts and budget evictions. The telemetry layer exposes
+// them as Prometheus counters.
+func (c *BlobCache) Counters() (puts, evictions uint64) {
+	return c.puts.Load(), c.evictions.Load()
 }

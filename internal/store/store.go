@@ -43,6 +43,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -107,6 +108,10 @@ type Store struct {
 	mu       sync.Mutex
 	journals map[string]*journalInfo
 	bytes    int64
+
+	// Monotone activity counters, exported for the telemetry layer.
+	appends   atomic.Uint64
+	evictions atomic.Uint64
 }
 
 // journalInfo is the Store's index entry for one journal.
@@ -218,6 +223,14 @@ func (s *Store) Stats() (journals int, bytes int64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.journals), s.bytes
+}
+
+// Counters reports the store's monotone activity counters since Open:
+// journal record appends (checkpoint frames, not headers or commits)
+// and complete journals evicted past the byte budget. The telemetry
+// layer exposes them as Prometheus counters.
+func (s *Store) Counters() (appends, evictions uint64) {
+	return s.appends.Load(), s.evictions.Load()
 }
 
 // Create starts a new journal for id with the given header payload.
@@ -382,6 +395,7 @@ func (s *Store) evictLocked(keep string) {
 		_ = os.Remove(s.okPath(c.id))
 		s.bytes -= ji.size
 		delete(s.journals, c.id)
+		s.evictions.Add(1)
 	}
 }
 
@@ -577,6 +591,7 @@ func (j *Journal) Append(payload []byte) error {
 			return fmt.Errorf("store: %w", err)
 		}
 	}
+	j.s.appends.Add(1)
 	grow := int64(frameHeaderSize + len(payload))
 	j.size += grow
 	j.s.mu.Lock()

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"taskalloc"
 	"taskalloc/internal/stats"
@@ -72,6 +73,24 @@ type Options struct {
 	// simulation service bounds total load across concurrent requests;
 	// emission order (and therefore output bytes) is unaffected.
 	Gate chan struct{}
+	// OnTiming, if non-nil, receives one Timing per job as its execution
+	// finishes. It is called from worker goroutines (it must be safe for
+	// concurrent use) and never affects results, emission order, or
+	// output bytes — it is the measurement hook the simulation service
+	// feeds its per-stage latency histograms from. Nil costs nothing.
+	OnTiming func(Timing)
+}
+
+// Timing is one job's execution timing: how long the job waited for
+// the admission gate (zero when Options.Gate is nil or uncontended)
+// and how long the simulation itself ran.
+type Timing struct {
+	// Index is the job's position in the input slice.
+	Index int
+	// QueueWait is the time spent blocked acquiring Options.Gate.
+	QueueWait time.Duration
+	// Run is the simulation's wall-clock execution time.
+	Run time.Duration
 }
 
 // Ordered runs fn(0..n-1) on at most workers goroutines and invokes
@@ -143,11 +162,21 @@ func Stream(jobs []Job, opts Options, emit func(Result)) []Result {
 		defer pool.Close()
 	}
 	Ordered(len(jobs), opts.Workers, func(i int) {
+		var queued time.Time
+		if opts.OnTiming != nil {
+			queued = time.Now()
+		}
 		if opts.Gate != nil {
 			opts.Gate <- struct{}{}
 			defer func() { <-opts.Gate }()
 		}
+		if opts.OnTiming == nil {
+			results[i] = runJob(i, jobs[i], pool)
+			return
+		}
+		started := time.Now()
 		results[i] = runJob(i, jobs[i], pool)
+		opts.OnTiming(Timing{Index: i, QueueWait: started.Sub(queued), Run: time.Since(started)})
 	}, func(i int) {
 		if emit != nil {
 			emit(results[i])
