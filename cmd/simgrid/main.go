@@ -1,19 +1,29 @@
 // Command simgrid is the multi-host grid coordinator front end: it
 // shards a wire-format job grid across several simserve backends by
-// canonical job-hash range, merges the ordered result streams, and
-// writes output byte-identical to the same sweep POSTed to a single
-// backend. See internal/gridcoord for the partitioning, merge-order,
-// and failure-handling contracts.
+// canonical job-hash range — ranges sized by per-backend throughput
+// weights, with idle backends stealing pending chunks from slow ones —
+// merges the ordered result streams, and writes output byte-identical
+// to the same sweep POSTed to a single backend. See internal/gridcoord
+// for the partitioning, stealing, merge-order, and failure-handling
+// contracts.
 //
 //	simgrid -backends http://h1:8080,http://h2:8080,http://h3:8080 -jobs grid.json
 //	simgrid -backends ... -jobs grid.json -format csv
 //	simgrid -backends ... -bisect request.json
+//	simgrid -backends ... -serve :8090
 //
 // -jobs/-bisect read "-" as stdin. The merged stream (or the bisect
 // response JSON) goes to stdout; progress and retry notices go to
 // stderr with -v. A job whose attempt budget is exhausted (or a
 // backend rejection) fails the whole run: partial output would
 // silently diverge from a single-host run.
+//
+// -serve runs the coordinator as a service instead: POST /v1/sweeps
+// streams merged grids, POST /v1/bisect runs the sharded refinement
+// search, GET /v1/sweeps/{id} fans the summary query out to the
+// backends and fuses the answers. -weights-file persists the learned
+// per-backend throughput across processes, so a restarted coordinator
+// starts with warm placement instead of equal ranges.
 //
 // Observability: each run mints a trace ID sent to every backend as
 // X-Trace-Id (printed by -v; grep it in the backends' access logs).
@@ -42,16 +52,20 @@ import (
 
 func main() {
 	var (
-		backendsArg = flag.String("backends", "", "comma-separated simserve base URLs (required)")
-		jobsFile    = flag.String("jobs", "", "wire-format sweep document to shard (\"-\" = stdin)")
-		bisectFile  = flag.String("bisect", "", "wire-format bisect request to forward (\"-\" = stdin)")
-		format      = flag.String("format", "ndjson", "merged output format: ndjson | csv")
-		workers     = flag.Int("workers", 0, "per-backend ?workers override (0 = backend default)")
-		attempts    = flag.Int("attempts", 3, "per-job attempt budget across backend failures")
-		verbose     = flag.Bool("v", false, "log progress, backend losses, and retries to stderr")
-		token       = flag.String("token", "", "tenant bearer token sent to every backend (empty for open backends; $SIMGRID_TOKEN overrides)")
-		metricsAdr  = flag.String("metrics-addr", "", "serve the coordinator's GET /v1/metrics on this address (empty = disabled)")
-		pprofAdr    = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+		backendsArg  = flag.String("backends", "", "comma-separated simserve base URLs (required)")
+		jobsFile     = flag.String("jobs", "", "wire-format sweep document to shard (\"-\" = stdin)")
+		bisectFile   = flag.String("bisect", "", "wire-format bisect request to run sharded (\"-\" = stdin)")
+		serveAddr    = flag.String("serve", "", "run as an HTTP service on this address instead of a one-shot CLI run")
+		format       = flag.String("format", "ndjson", "merged output format: ndjson | csv")
+		workers      = flag.Int("workers", 0, "per-backend ?workers override (0 = backend default)")
+		attempts     = flag.Int("attempts", 3, "per-job attempt budget across backend failures")
+		stealChunk   = flag.Int("steal-chunk", 0, "work-stealing chunk size in jobs (0 = auto, negative = static ranges, no stealing)")
+		stallTimeout = flag.Duration("stall-timeout", 0, "abort a backend stream delivering no result for this long (0 = disabled)")
+		weightsFile  = flag.String("weights-file", "", "JSON snapshot of per-backend throughput: loaded as initial partition weights, rewritten after successful runs")
+		verbose      = flag.Bool("v", false, "log progress, steals, backend losses, and retries to stderr")
+		token        = flag.String("token", "", "tenant bearer token sent to every backend (empty for open backends; $SIMGRID_TOKEN overrides)")
+		metricsAdr   = flag.String("metrics-addr", "", "serve the coordinator's GET /v1/metrics on this address (empty = disabled)")
+		pprofAdr     = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 	if env := os.Getenv("SIMGRID_TOKEN"); env != "" {
@@ -62,21 +76,34 @@ func main() {
 	if len(backends) == 0 {
 		fatal("need -backends (comma-separated simserve base URLs)")
 	}
-	if (*jobsFile == "") == (*bisectFile == "") {
-		fatal("need exactly one of -jobs or -bisect")
+	modes := 0
+	for _, set := range []bool{*jobsFile != "", *bisectFile != "", *serveAddr != ""} {
+		if set {
+			modes++
+		}
+	}
+	if modes != 1 {
+		fatal("need exactly one of -jobs, -bisect, or -serve")
 	}
 
 	opts := gridcoord.Options{
-		Backends: backends,
-		Workers:  *workers,
-		Attempts: *attempts,
-		Token:    *token,
+		Backends:     backends,
+		Workers:      *workers,
+		Attempts:     *attempts,
+		StealChunk:   *stealChunk,
+		StallTimeout: *stallTimeout,
+		Token:        *token,
 	}
 	if *verbose {
 		opts.Observe = logEvent
 	}
-	if *metricsAdr != "" {
+	if *metricsAdr != "" || *serveAddr != "" {
 		opts.Registry = obs.NewRegistry()
+	}
+	if *weightsFile != "" {
+		if w, ok := loadWeights(*weightsFile, backends); ok {
+			opts.Weights = w
+		}
 	}
 	coord, err := gridcoord.New(opts)
 	if err != nil {
@@ -110,6 +137,20 @@ func main() {
 	}
 	ctx := context.Background()
 
+	if *serveAddr != "" {
+		ln, err := net.Listen("tcp", *serveAddr)
+		if err != nil {
+			fatal("%v", err)
+		}
+		// The bound address goes to stdout (like cmd/simserve), so a
+		// parent process can parse it back under :0.
+		fmt.Printf("listening on %s\n", ln.Addr())
+		if err := http.Serve(ln, coord.Handler()); err != nil {
+			fatal("%v", err)
+		}
+		return
+	}
+
 	if *bisectFile != "" {
 		req, err := readBisect(*bisectFile)
 		if err != nil {
@@ -135,10 +176,63 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	if *weightsFile != "" {
+		saveWeights(*weightsFile, backends, coord.Throughput())
+	}
 	if *verbose {
-		fmt.Fprintf(os.Stderr, "simgrid: %d jobs over %d backends %v, delivered %v; %d retried, %d backends lost; trace %s\n",
+		fmt.Fprintf(os.Stderr, "simgrid: %d jobs over %d backends %v, delivered %v; %d stolen, %d retried, %d backends lost; trace %s\n",
 			len(sweep.Jobs), len(backends), stats.JobsPerBackend, stats.Delivered,
-			stats.Retried, stats.BackendsLost, stats.TraceID)
+			stats.Steals, stats.Retried, stats.BackendsLost, stats.TraceID)
+	}
+}
+
+// weightsSnapshot is the -weights-file document: the backend list the
+// throughput was measured against (a changed fleet invalidates it) and
+// the per-backend delivery rates.
+type weightsSnapshot struct {
+	Backends   []string  `json:"backends"`
+	Throughput []float64 `json:"throughput"`
+}
+
+// loadWeights reads a throughput snapshot, returning ok only when it
+// matches the current backend list. A missing or stale file is not an
+// error — the run just starts cold (equal ranges).
+func loadWeights(path string, backends []string) ([]float64, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, false
+	}
+	var snap weightsSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		fmt.Fprintf(os.Stderr, "simgrid: ignoring malformed weights file %s: %v\n", path, err)
+		return nil, false
+	}
+	if len(snap.Backends) != len(backends) || len(snap.Throughput) != len(backends) {
+		fmt.Fprintf(os.Stderr, "simgrid: ignoring weights file %s: recorded for a different backend set\n", path)
+		return nil, false
+	}
+	for i, b := range snap.Backends {
+		if b != backends[i] {
+			fmt.Fprintf(os.Stderr, "simgrid: ignoring weights file %s: recorded for a different backend set\n", path)
+			return nil, false
+		}
+	}
+	return snap.Throughput, true
+}
+
+// saveWeights persists the learned throughput for the next process.
+// Best-effort: a write failure is reported, never fatal (the run's
+// output is already complete).
+func saveWeights(path string, backends []string, throughput []float64) {
+	if len(throughput) != len(backends) {
+		return
+	}
+	data, err := json.MarshalIndent(weightsSnapshot{Backends: backends, Throughput: throughput}, "", "  ")
+	if err != nil {
+		return
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "simgrid: write weights file: %v\n", err)
 	}
 }
 
@@ -181,6 +275,9 @@ func readBisect(path string) (wire.BisectRequest, error) {
 
 func logEvent(ev gridcoord.Event) {
 	switch ev.Kind {
+	case gridcoord.EventSteal:
+		fmt.Fprintf(os.Stderr, "simgrid: backend %d stole %d jobs from backend %d\n",
+			ev.Backend, ev.Jobs, ev.From)
 	case gridcoord.EventBackendLost:
 		fmt.Fprintf(os.Stderr, "simgrid: backend %d lost with %d jobs undelivered: %v\n",
 			ev.Backend, ev.Jobs, ev.Err)

@@ -348,3 +348,112 @@ func TestE2EKillBackendMidSweep(t *testing.T) {
 			gotCSV.Len(), len(wantCSV))
 	}
 }
+
+// chaosSweep is a light grid for the chaos test: the per-job simulation
+// is fast enough that the injected -test-job-delay dominates, so the
+// slow backend's handicap is exactly the configured ratio.
+func chaosSweep(seedBase uint64) wire.Sweep {
+	sweep := wire.Sweep{Version: wire.V1}
+	for i := 0; i < 24; i++ {
+		sweep.Jobs = append(sweep.Jobs, wire.Job{
+			Meta:   []string{"n", "500", "chaos", fmt.Sprint(seedBase + uint64(i))},
+			Rounds: 400,
+			Config: wire.Config{
+				Ants:    500,
+				Demands: []int{200, 250},
+				Gamma:   1.0 / 32,
+				Seed:    seedBase + uint64(i),
+				Shards:  1,
+				BurnIn:  100,
+			},
+		})
+	}
+	return sweep
+}
+
+// TestE2EGridChaosSlowBackend is the heterogeneous-fleet chaos gate:
+// three real simserve processes where one is artificially 10x slower
+// per job (the -test-job-delay hook), a work-stealing coordinator run,
+// and a byte-comparison of the merged NDJSON and CSV streams against
+// an undelayed single-host reference. The fast backends must actually
+// steal from the slow one (Stats.Steals > 0 and the
+// taskalloc_grid_steals_total counter both prove it), and the theft
+// schedule must not leak into the output bytes.
+func TestE2EGridChaosSlowBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and boots service binaries")
+	}
+	tmp := t.TempDir()
+	serveBin := buildBinary(t, tmp, "simserve", "../simserve")
+
+	const (
+		fastDelay = 20 * time.Millisecond
+		slowDelay = 10 * fastDelay
+		slow      = 1 // which backend gets the handicap
+	)
+	var backends []*serveProc
+	for i := 0; i < 3; i++ {
+		delay := fastDelay
+		if i == slow {
+			delay = slowDelay
+		}
+		backends = append(backends, startServe(t, serveBin,
+			"-test-job-delay", delay.String()))
+	}
+	reference := startServe(t, serveBin)
+
+	sweep := chaosSweep(301)
+	wantNDJSON := rawPost(t, reference.addr, sweep, "ndjson")
+	wantCSV := rawPost(t, reference.addr, sweep, "csv")
+
+	reg := obs.NewRegistry()
+	coord, err := gridcoord.New(gridcoord.Options{
+		Backends: []string{backends[0].addr, backends[1].addr, backends[2].addr},
+		// One simulation at a time per backend: throughput differences
+		// come from the injected delay alone, so the slow backend cannot
+		// hide its handicap behind parallelism.
+		Workers:  1,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+
+	var got bytes.Buffer
+	stats, err := coord.Run(ctx, sweep, gridcoord.FormatNDJSON, &got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Steals == 0 {
+		t.Fatalf("no work was stolen from the 10x-slowed backend: %+v", stats)
+	}
+	if stats.BackendsLost != 0 || stats.Retried != 0 {
+		t.Fatalf("chaos run saw failures, want pure stealing: %+v", stats)
+	}
+	if !bytes.Equal(got.Bytes(), wantNDJSON) {
+		t.Errorf("merged NDJSON with a slow backend differs from single host (%d vs %d bytes)",
+			got.Len(), len(wantNDJSON))
+	}
+
+	var exp bytes.Buffer
+	if err := reg.Render(&exp); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(exp.String(), "taskalloc_grid_steals_total 0\n") ||
+		!strings.Contains(exp.String(), "taskalloc_grid_steals_total ") {
+		t.Errorf("exposition does not show a positive steal counter:\n%s", exp.String())
+	}
+
+	// Same fleet, CSV rendering: a different steal schedule (timing is
+	// not reproducible) must still merge byte-identically.
+	var gotCSV bytes.Buffer
+	if _, err := coord.Run(ctx, sweep, gridcoord.FormatCSV, &gotCSV); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotCSV.Bytes(), wantCSV) {
+		t.Errorf("merged CSV with a slow backend differs from single host (%d vs %d bytes)",
+			gotCSV.Len(), len(wantCSV))
+	}
+}

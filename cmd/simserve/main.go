@@ -67,6 +67,7 @@ func main() {
 		tenants  = flag.String("tenants", "", "JSON file of tenant configs enabling bearer-token auth (empty = open server)")
 		logReqs  = flag.Bool("access-log", false, "emit one JSON line per request (method, route, status, request/trace IDs) to stderr")
 		pprofAdr = flag.String("pprof-addr", "", "serve net/http/pprof on this separate address (empty = disabled; never exposed on the API listener)")
+		jobDelay = flag.Duration("test-job-delay", 0, "TEST HOOK: sleep this long before every freshly computed job (models a slow host for grid chaos tests; 0 = off)")
 	)
 	flag.Parse()
 
@@ -97,6 +98,7 @@ func main() {
 		CacheDiskBytes:  *cacheDB,
 		SyncWrites:      *syncWr,
 		Tenants:         tenantCfgs,
+		JobDelay:        *jobDelay,
 	}
 	if *logReqs {
 		opts.AccessLog = os.Stderr

@@ -15,6 +15,7 @@ func TestExportedDocsComplete(t *testing.T) {
 		"internal/wire",
 		"internal/simserver/client",
 		"internal/gridcoord",
+		"internal/bisect",
 		"internal/scenario",
 		"internal/sweeprun",
 		"internal/store",

@@ -6,30 +6,38 @@
 // same sweep run on a single host — at any backend count, in both the
 // NDJSON and CSV formats.
 //
-// Partitioning is static: job i goes to the backend whose slice of the
-// 64-bit hash space contains the leading bits of wire.SemanticHash(job)
-// — the behavioral hash, under which equivalent spellings of one job
-// (a frozen snapshot and its generative schedule, say) collapse to the
-// same key. Static assignment keeps the placement deterministic and
-// cache-friendly — an identical OR behaviorally equivalent
-// re-submission sends every backend a sub-sweep it has already hashed
-// and cached, so the whole grid replays from the backends' result
-// caches even when the resubmitted document is spelled differently.
+// Placement is adaptive. The initial partition assigns job i to the
+// backend whose slice of the 64-bit hash space contains the leading
+// bits of wire.SemanticHash(job) — the behavioral hash, under which
+// equivalent spellings of one job (a frozen snapshot and its generative
+// schedule, say) collapse to the same key — with slice widths sized by
+// per-backend throughput weights (explicit, or learned from the
+// previous run's observed delivery rates; equal when cold). Each
+// backend's range is split into chunks that its worker streams in range
+// order; a worker that drains its own queue steals pending chunks from
+// the most-loaded peer's tail. Stealing moves only jobs that have not
+// started streaming, so no job ever runs twice because of a steal, and
+// the merged output is byte-identical at any steal schedule: the
+// collector orders results by global job index, never by arrival.
 //
-// Failure handling: when a backend dies mid-sweep (transport error,
-// truncated stream), its undelivered jobs are re-submitted to the next
-// surviving backend, bounded by a per-job attempt budget. Results
-// already delivered are kept — each job runs at most once per attempt,
-// and the merged order never depends on timing, so output bytes are
-// identical whether or not a retry happened. Rejections (HTTP 4xx) are
-// not retried: a backend that rejects a sub-sweep would reject it
-// identically everywhere.
+// Failure handling: when a backend dies mid-chunk (transport error,
+// truncated stream), the chunk's undelivered jobs are re-queued on the
+// next surviving backend, bounded by a per-job attempt budget; the dead
+// backend's pending chunks redistribute through the same stealing path
+// at no attempt cost. Results already delivered are kept — each job
+// runs at most once per attempt, and the merged order never depends on
+// timing, so output bytes are identical whether or not a retry
+// happened. Rejections (HTTP 4xx other than 429) are not retried: a
+// backend that rejects a sub-sweep would reject it identically
+// everywhere.
 //
-// Adaptive grids: Bisect forwards a γ-bisection request (POST
-// /v1/bisect) to the backend that owns the request's behavioral hash
-// (wire.SemanticBisectHash), failing over to the next surviving
-// backend — so repeat or behaviorally equivalent bisections land on
-// the backend whose job-level cache is already warm.
+// Adaptive grids: Bisect runs the shared refinement search
+// (internal/bisect) on the coordinator and shards each round's midpoint
+// batch across all backends by per-γ hash affinity — the search path is
+// deterministic, so a repeat request replays every γ from the backends'
+// warm job caches. SweepStatus fans a completed run's summary query out
+// to the backends that streamed its chunks and fuses the results into
+// the single-host response; Handler serves both over HTTP.
 package gridcoord
 
 import (
@@ -41,8 +49,10 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"taskalloc/internal/obs"
@@ -78,19 +88,43 @@ type Options struct {
 	// means 3. A job that fails its last attempt fails the whole run
 	// (partial output would silently diverge from a single-host run).
 	Attempts int
+	// Weights sizes the initial hash ranges: backend b's slice of the
+	// hash space is Weights[b]/sum(Weights) of it. Nil (or a length
+	// mismatch) falls back to throughput learned from this
+	// Coordinator's previous run, and to equal ranges when cold.
+	// Entries that are zero, negative, or non-finite are replaced by
+	// the mean of the valid ones.
+	Weights []float64
+	// StealChunk is the work-stealing granularity in jobs: each
+	// backend's range is split into chunks of this size, and idle
+	// backends steal pending chunks from the most-loaded peer. 0 picks
+	// a size automatically (about a quarter of the mean range, at least
+	// 1); negative disables stealing entirely — each range streams as
+	// one static chunk, the pre-adaptive behavior.
+	StealChunk int
+	// StallTimeout aborts a backend stream that delivers no result for
+	// this long (the transport alone cannot detect a peer that accepts
+	// the request and then hangs); the chunk's undelivered jobs
+	// re-dispatch under the attempt budget. 0 disables the watchdog.
+	StallTimeout time.Duration
+	// MaxBisectEvals is the default evaluation budget stamped on bisect
+	// requests that leave max_evals 0, mirroring the backends' own
+	// default; <= 0 means 128.
+	MaxBisectEvals int
 	// Observe, if non-nil, receives progress events (results delivered,
-	// backends lost, ranges re-dispatched). Called from coordinator
-	// goroutines; it must be safe for concurrent use.
+	// chunks stolen, backends lost, ranges re-dispatched). Called from
+	// coordinator goroutines; it must be safe for concurrent use.
 	Observe func(Event)
 	// Token is the tenant bearer token sent to every backend (each
 	// backend call authenticates as the coordinator's tenant). Empty
 	// for open backends.
 	Token string
 	// Registry, if non-nil, receives the coordinator's metric families
-	// (run counts, redispatches, per-backend delivery/stream-latency/
-	// throughput) for the caller to expose — cmd/simgrid serves it on
-	// -metrics-addr. Families register at New, so use one Registry per
-	// Coordinator. Nil records to a private, unexposed registry.
+	// (run counts, steals, redispatches, per-backend delivery/
+	// stream-latency/throughput/assignment) for the caller to expose —
+	// cmd/simgrid serves it on -metrics-addr. Families register at New,
+	// so use one Registry per Coordinator. Nil records to a private,
+	// unexposed registry.
 	Registry *obs.Registry
 }
 
@@ -102,11 +136,12 @@ const (
 	// EventResult: one job's result was delivered by a backend (before
 	// merge emission).
 	EventResult EventKind = iota
-	// EventBackendLost: a backend failed; its undelivered jobs will be
-	// re-dispatched if the attempt budget allows.
+	// EventBackendLost: a backend failed; the failed chunk's
+	// undelivered jobs will be re-dispatched if the attempt budget
+	// allows.
 	EventBackendLost
-	// EventRedispatch: a failed range's remaining jobs were submitted
-	// to a surviving backend.
+	// EventRedispatch: a failed chunk's remaining jobs were queued on a
+	// surviving backend.
 	EventRedispatch
 	// EventBackendDone: one backend sub-sweep stream ended. Emitted
 	// exactly once per launched stream — success or failure, even when
@@ -114,6 +149,9 @@ const (
 	// delivered count, the stream's wall-clock duration, and the
 	// failure (nil on success).
 	EventBackendDone
+	// EventSteal: an idle backend claimed a pending chunk from another
+	// backend's queue (From) before streaming it itself.
+	EventSteal
 )
 
 // Event is one coordinator progress notification.
@@ -122,10 +160,14 @@ type Event struct {
 	Kind EventKind
 	// Backend is the backend index the event concerns.
 	Backend int
+	// From is the backend index a stolen chunk was queued on
+	// (EventSteal only).
+	From int
 	// Index is the delivered job's global index (EventResult only).
 	Index int
 	// Jobs counts the jobs involved (EventBackendLost: undelivered;
-	// EventRedispatch: re-submitted; EventBackendDone: delivered).
+	// EventRedispatch: re-queued; EventSteal: stolen; EventBackendDone:
+	// delivered).
 	Jobs int
 	// Elapsed is the stream's wall-clock duration (EventBackendDone
 	// only).
@@ -142,12 +184,14 @@ type Stats struct {
 	// sweep across the grid.
 	TraceID string
 	// JobsPerBackend is the initial hash-range assignment size per
-	// backend.
+	// backend (before any stealing).
 	JobsPerBackend []int
 	// Delivered counts the job results each backend actually delivered
 	// (summing to the sweep size on success; redistributed under
-	// failover).
+	// stealing and failover).
 	Delivered []int
+	// Steals counts chunks claimed across backend queues.
+	Steals int
 	// Retried counts job re-submissions after backend failures.
 	Retried int
 	// BackendsLost counts backends marked dead during the run.
@@ -160,6 +204,16 @@ type Coordinator struct {
 	opts    Options
 	clients []*client.Client
 	metrics *gridMetrics
+
+	// wmu guards the throughput learned from completed runs (jobs per
+	// second per backend), the cold-start fallback for Options.Weights.
+	wmu     sync.Mutex
+	learned []float64
+
+	// rmu guards the completed-run registry SweepStatus fans out from.
+	rmu      sync.Mutex
+	runs     map[string]*runRecord
+	runOrder []string
 }
 
 // New builds a Coordinator. At least one backend is required.
@@ -170,7 +224,10 @@ func New(opts Options) (*Coordinator, error) {
 	if opts.Attempts <= 0 {
 		opts.Attempts = 3
 	}
-	c := &Coordinator{opts: opts}
+	if opts.MaxBisectEvals <= 0 {
+		opts.MaxBisectEvals = 128
+	}
+	c := &Coordinator{opts: opts, runs: make(map[string]*runRecord)}
 	for _, b := range opts.Backends {
 		cl := client.New(b, opts.HTTPClient)
 		if opts.Token != "" {
@@ -190,22 +247,94 @@ func New(opts Options) (*Coordinator, error) {
 // count reproduces it exactly, so equivalent jobs land on the backend
 // that already holds the result.
 func Partition(jobs []wire.Job, n int) ([][]int, error) {
+	return PartitionWeighted(jobs, n, nil)
+}
+
+// PartitionWeighted assigns each job to one of n backends by behavioral
+// job-hash range, with slice widths proportional to weights (a faster
+// backend gets a wider slice of the hash space and therefore, in
+// expectation, proportionally more jobs). Nil weights, a length
+// mismatch, or weights with no valid entry fall back to equal slices
+// (exactly Partition's assignment); zero, negative, or non-finite
+// entries are replaced by the mean of the valid ones. Like Partition,
+// the assignment is a pure function of (job behaviors, n, weights).
+func PartitionWeighted(jobs []wire.Job, n int, weights []float64) ([][]int, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("gridcoord: partition needs n >= 1, got %d", n)
 	}
+	bounds := weightBounds(weights, n)
 	out := make([][]int, n)
 	for i, j := range jobs {
 		h, err := wire.SemanticHash(j)
 		if err != nil {
 			return nil, fmt.Errorf("gridcoord: jobs[%d]: %w", i, err)
 		}
-		b, err := rangeIndex(h, n)
+		var b int
+		if bounds == nil {
+			b, err = rangeIndex(h, n)
+		} else {
+			b, err = weightedIndex(h, bounds)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("gridcoord: jobs[%d]: %w", i, err)
 		}
 		out[b] = append(out[b], i)
 	}
 	return out, nil
+}
+
+// weightBounds converts throughput weights into the first n-1 exclusive
+// upper boundaries of the hash space's slices (the last slice runs to
+// the top). Nil means "use equal slices via rangeIndex" — returned for
+// nil weights, a length mismatch, or no valid entry, so the unweighted
+// path stays bit-exactly the historical assignment.
+func weightBounds(weights []float64, n int) []uint64 {
+	if len(weights) != n || n <= 1 {
+		return nil
+	}
+	valid, sum := 0, 0.0
+	for _, w := range weights {
+		if w > 0 && !math.IsInf(w, 1) {
+			valid++
+			sum += w
+		}
+	}
+	if valid == 0 {
+		return nil
+	}
+	mean := sum / float64(valid)
+	total := 0.0
+	norm := make([]float64, n)
+	for b, w := range weights {
+		if !(w > 0) || math.IsInf(w, 1) {
+			w = mean
+		}
+		norm[b] = w
+		total += w
+	}
+	const maxU64 = float64(math.MaxUint64)
+	bounds := make([]uint64, n-1)
+	cum := 0.0
+	for b := 0; b < n-1; b++ {
+		cum += norm[b]
+		fv := cum / total * (maxU64 + 1)
+		if fv >= maxU64 {
+			bounds[b] = math.MaxUint64
+		} else {
+			bounds[b] = uint64(fv)
+		}
+	}
+	return bounds
+}
+
+// weightedIndex maps a canonical hash's 64-bit prefix to the slice
+// whose boundary first exceeds it.
+func weightedIndex(hash string, bounds []uint64) (int, error) {
+	v, err := strconv.ParseUint(hash[:16], 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parse hash: %w", err)
+	}
+	return sort.Search(len(bounds), func(b int) bool { return v < bounds[b] }), nil
 }
 
 // rangeIndex maps a canonical hash's 64-bit prefix to one of n equal
@@ -228,12 +357,75 @@ func (c *Coordinator) observe(ev Event) {
 	}
 }
 
+// effectiveWeights picks the partition weights for one run: explicit
+// Options.Weights when usable, else throughput learned from the
+// previous run, else nil (equal ranges — the cold start).
+func (c *Coordinator) effectiveWeights() []float64 {
+	if len(c.opts.Weights) == len(c.clients) {
+		return c.opts.Weights
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if len(c.learned) != len(c.clients) {
+		return nil
+	}
+	w := make([]float64, len(c.learned))
+	copy(w, c.learned)
+	return w
+}
+
+// Throughput returns the per-backend delivery rates (jobs per second)
+// learned from this Coordinator's most recent successful Run — the
+// snapshot cmd/simgrid persists with -weights-file so the next process
+// starts with warm placement. Nil before any run completes; entries for
+// backends that delivered nothing are 0 (PartitionWeighted substitutes
+// the mean).
+func (c *Coordinator) Throughput() []float64 {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.learned == nil {
+		return nil
+	}
+	w := make([]float64, len(c.learned))
+	copy(w, c.learned)
+	return w
+}
+
+// rates derives the run's observed per-backend delivery rates (jobs
+// per second), the raw material for the learned partition weights.
+func (st *runState) rates() []float64 {
+	w := make([]float64, len(st.delivered))
+	for b, d := range st.delivered {
+		if d > 0 && st.streamSecs[b] > 0 {
+			w[b] = float64(d) / st.streamSecs[b]
+		}
+	}
+	return w
+}
+
+// chunkSizeFor picks the stealing granularity: the configured size, or
+// about a quarter of the mean per-backend range (at least 1) — small
+// enough that a 10×-slow backend sheds most of its range, large enough
+// that per-chunk HTTP overhead stays negligible.
+func (c *Coordinator) chunkSizeFor(jobs int) int {
+	if c.opts.StealChunk > 0 {
+		return c.opts.StealChunk
+	}
+	size := (jobs + 4*len(c.clients) - 1) / (4 * len(c.clients))
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
 // Run shards sweep across the backends, merges the streams, and writes
 // the rendered output to w. The bytes written are identical to the
 // same sweep POSTed to one backend with the same format — the
 // coordinator recomputes the semantic sweep hash (the service's public
 // sweep ID) for the stream header, re-indexes each backend's local
-// results to their global positions, and emits in strict job order.
+// results to their global positions, and emits in strict job order —
+// whatever partition weights, steal schedule, or failover path the run
+// takes.
 func (c *Coordinator) Run(ctx context.Context, sweep wire.Sweep, format Format, w io.Writer) (Stats, error) {
 	if format != FormatNDJSON && format != FormatCSV {
 		return Stats{}, fmt.Errorf("gridcoord: unknown format %q", format)
@@ -245,7 +437,7 @@ func (c *Coordinator) Run(ctx context.Context, sweep wire.Sweep, format Format, 
 	if err != nil {
 		return Stats{}, err
 	}
-	assign, err := Partition(sweep.Jobs, len(c.clients))
+	assign, err := PartitionWeighted(sweep.Jobs, len(c.clients), c.effectiveWeights())
 	if err != nil {
 		return Stats{}, err
 	}
@@ -272,39 +464,57 @@ func (c *Coordinator) Run(ctx context.Context, sweep wire.Sweep, format Format, 
 	// so stamping is per-run, not per-Coordinator.
 	traceID := obs.NewID()
 	st := &runState{
-		clients:   make([]*client.Client, len(c.clients)),
-		alive:     make([]bool, len(c.clients)),
-		attempts:  make([]int, len(sweep.Jobs)),
-		delivered: make([]int, len(c.clients)),
-		cancel:    cancel,
+		clients:    make([]*client.Client, len(c.clients)),
+		queues:     make([][]chunk, len(c.clients)),
+		alive:      make([]bool, len(c.clients)),
+		attempts:   make([]int, len(sweep.Jobs)),
+		delivered:  make([]int, len(c.clients)),
+		streamSecs: make([]float64, len(c.clients)),
+		assigned:   make([]int, len(c.clients)),
+		stealOK:    c.opts.StealChunk >= 0,
+		cancel:     cancel,
 	}
+	st.cond = sync.NewCond(&st.mu)
 	for b, cl := range c.clients {
 		st.clients[b] = cl.WithTraceID(traceID)
 	}
 	c.metrics.sweeps.Inc()
 	stats := Stats{TraceID: traceID, JobsPerBackend: make([]int, len(c.clients))}
+	chunkSize := c.chunkSizeFor(len(sweep.Jobs))
 	for b, idxs := range assign {
 		st.alive[b] = true
+		st.assigned[b] = len(idxs)
 		stats.JobsPerBackend[b] = len(idxs)
+		c.metrics.assigned[b].Set(float64(len(idxs)))
+		if st.stealOK {
+			for len(idxs) > 0 {
+				k := chunkSize
+				if k > len(idxs) {
+					k = len(idxs)
+				}
+				st.queues[b] = append(st.queues[b], chunk{idxs: idxs[:k]})
+				idxs = idxs[k:]
+			}
+		} else if len(idxs) > 0 {
+			st.queues[b] = []chunk{{idxs: idxs}}
+		}
 	}
 
 	var wg sync.WaitGroup
-	for b, idxs := range assign {
-		if len(idxs) == 0 {
-			continue
-		}
-		for _, i := range idxs {
-			st.attempts[i] = 1
-		}
-		c.launch(ctx, &wg, st, m, sweep, b, idxs)
+	for b := range c.clients {
+		wg.Add(1)
+		go c.worker(ctx, &wg, st, m, sweep, b)
 	}
 	wg.Wait()
 
 	st.mu.Lock()
 	stats.Retried = st.retried
 	stats.BackendsLost = st.lost
+	stats.Steals = st.steals
 	stats.Delivered = st.delivered
 	fatal := st.fatal
+	rates := st.rates()
+	chunks := st.chunks
 	st.mu.Unlock()
 	if fatal != nil {
 		return stats, fatal
@@ -312,103 +522,271 @@ func (c *Coordinator) Run(ctx context.Context, sweep wire.Sweep, format Format, 
 	if err := m.finish(); err != nil {
 		return stats, err
 	}
+	// The run succeeded: fold its observed throughput into the learned
+	// weights and register it for SweepStatus fan-out.
+	c.wmu.Lock()
+	c.learned = rates
+	c.wmu.Unlock()
+	c.recordRun(id, sweep.Jobs, chunks)
 	return stats, nil
 }
 
-// runState is one Run's shared failure-handling state, plus the run's
+// chunk is one contiguous slice of a backend's assigned range: the unit
+// of streaming, stealing, and failover. idxs are global job indices in
+// ascending order.
+type chunk struct {
+	idxs []int
+}
+
+// chunkRecord remembers one successfully streamed chunk: which backend
+// ran it, the sub-sweep's semantic hash (the backend's public sweep ID
+// for it), and the global indices it covered — enough for SweepStatus
+// to fan the summary query back out.
+type chunkRecord struct {
+	backend int
+	id      string
+	idxs    []int
+}
+
+// runState is one Run's shared scheduling state, plus the run's
 // trace-stamped clients (one per backend, all carrying the run's
 // X-Trace-Id).
 type runState struct {
 	clients []*client.Client
 
-	mu        sync.Mutex
-	alive     []bool
-	attempts  []int
-	delivered []int // per-backend delivered-result counts
-	retried   int
-	lost      int
-	fatal     error
-	cancel    context.CancelFunc // aborts in-flight streams on fatal
+	mu         sync.Mutex
+	cond       *sync.Cond // claimable-work / inflight-drained signal
+	queues     [][]chunk  // pending chunks per backend, in range order
+	alive      []bool
+	attempts   []int
+	delivered  []int     // per-backend delivered-result counts
+	streamSecs []float64 // per-backend total stream wall-clock
+	assigned   []int     // per-backend current assignment (steals move it)
+	inflight   int       // chunks being streamed right now
+	steals     int
+	retried    int
+	lost       int
+	chunks     []chunkRecord
+	stealOK    bool
+	fatal      error
+	cancel     context.CancelFunc // aborts in-flight streams on fatal
 }
 
-// fail records the run's fatal error (first one wins) and cancels the
-// in-flight backend streams. Caller holds st.mu.
+// fail records the run's fatal error (first one wins), cancels the
+// in-flight backend streams, and wakes every waiting worker so they
+// exit. Caller holds st.mu.
 func (st *runState) fail(err error) {
 	if st.fatal == nil {
 		st.fatal = err
 		st.cancel()
+		st.cond.Broadcast()
 	}
 }
 
-// launch submits the jobs at global indices idxs to backend b on a new
-// goroutine, re-dispatching undelivered jobs on failure.
-func (c *Coordinator) launch(ctx context.Context, wg *sync.WaitGroup, st *runState,
-	m *merger, sweep wire.Sweep, b int, idxs []int) {
-	sub := wire.Sweep{Version: wire.V1, Jobs: make([]wire.Job, len(idxs))}
-	for k, i := range idxs {
+// claimLocked picks the next chunk for backend b: the head of its own
+// queue, else — when stealing is enabled — the tail chunk of the peer
+// with the most pending jobs (ties to the lowest index). Tail-stealing
+// takes the work the owner is farthest from reaching. Caller holds
+// st.mu.
+func (st *runState) claimLocked(b int) (chunk, int, bool) {
+	if q := st.queues[b]; len(q) > 0 {
+		ch := q[0]
+		st.queues[b] = q[1:]
+		return ch, b, true
+	}
+	if !st.stealOK {
+		return chunk{}, 0, false
+	}
+	victim, most := -1, 0
+	for v := range st.queues {
+		if v == b {
+			continue
+		}
+		pending := 0
+		for _, ch := range st.queues[v] {
+			pending += len(ch.idxs)
+		}
+		if pending > most {
+			victim, most = v, pending
+		}
+	}
+	if victim == -1 {
+		return chunk{}, 0, false
+	}
+	q := st.queues[victim]
+	ch := q[len(q)-1]
+	st.queues[victim] = q[:len(q)-1]
+	return ch, victim, true
+}
+
+// worker is backend b's streaming loop: claim a chunk (own queue first,
+// then steal), stream it, repeat — until the backend dies, the run
+// fails, or no work remains anywhere and nothing is in flight (an
+// in-flight chunk can still fail and re-queue, so idle workers wait
+// rather than exit).
+func (c *Coordinator) worker(ctx context.Context, wg *sync.WaitGroup, st *runState,
+	m *merger, sweep wire.Sweep, b int) {
+	defer wg.Done()
+	for {
+		st.mu.Lock()
+		var (
+			ch   chunk
+			from int
+		)
+		for {
+			if st.fatal != nil || !st.alive[b] {
+				st.mu.Unlock()
+				return
+			}
+			var ok bool
+			if ch, from, ok = st.claimLocked(b); ok {
+				break
+			}
+			if st.inflight == 0 {
+				// Nothing pending, nothing in flight: the run is drained.
+				// Wake the other idle workers so they see it too.
+				st.cond.Broadcast()
+				st.mu.Unlock()
+				return
+			}
+			st.cond.Wait()
+		}
+		// Claim and accounting are one critical section: every job is
+		// attempt-charged exactly once per stream it rides.
+		for _, i := range ch.idxs {
+			st.attempts[i]++
+		}
+		st.inflight++
+		stolen := from != b
+		if stolen {
+			st.steals++
+			st.assigned[from] -= len(ch.idxs)
+			st.assigned[b] += len(ch.idxs)
+			c.metrics.steals.Inc()
+			c.metrics.assigned[from].Set(float64(st.assigned[from]))
+			c.metrics.assigned[b].Set(float64(st.assigned[b]))
+		}
+		st.mu.Unlock()
+		if stolen {
+			c.observe(Event{Kind: EventSteal, Backend: b, From: from, Jobs: len(ch.idxs)})
+		}
+
+		c.stream(ctx, st, m, sweep, b, ch)
+
+		// A failed stream re-queues its remainder inside stream (before
+		// this decrement), so a waiter woken here always re-checks the
+		// queues before concluding the run is drained.
+		st.mu.Lock()
+		st.inflight--
+		st.cond.Broadcast()
+		st.mu.Unlock()
+	}
+}
+
+// stream submits one chunk to backend b and delivers its results to the
+// merger. On failure — transport error, broken stream order, stall —
+// the undelivered remainder goes through chunkFailed.
+func (c *Coordinator) stream(ctx context.Context, st *runState, m *merger,
+	sweep wire.Sweep, b int, ch chunk) {
+	sub := wire.Sweep{Version: wire.V1, Jobs: make([]wire.Job, len(ch.idxs))}
+	for k, i := range ch.idxs {
 		sub.Jobs[k] = sweep.Jobs[i]
 	}
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		delivered := 0
-		start := time.Now()
-		var protoErr error
-		// DiscardResults: the merger owns buffering (released on
-		// emission), so the client must not retain a second full copy.
-		_, err := st.clients[b].SubmitSweep(ctx, sub,
-			client.SubmitOptions{Workers: c.opts.Workers, DiscardResults: true},
-			func(res wire.Result) {
-				// The service streams its sub-sweep strictly in order; a
-				// line off that contract (a non-simserve peer, a
-				// version-skewed binary, a mangling proxy) is a backend
-				// failure like any other — never an index panic, and
-				// never a result merged under the wrong job.
-				if protoErr != nil {
-					return
-				}
-				if res.Index != delivered {
-					protoErr = fmt.Errorf("gridcoord: backend %d broke stream order: result index %d, want %d",
-						b, res.Index, delivered)
-					return
-				}
-				if delivered >= len(idxs) {
-					protoErr = fmt.Errorf("gridcoord: backend %d streamed more results than its %d jobs",
-						b, len(idxs))
-					return
-				}
-				global := idxs[res.Index]
-				delivered++
-				c.observe(Event{Kind: EventResult, Backend: b, Index: global})
-				m.deliver(global, res)
-			})
-		if err == nil {
-			err = protoErr
+	delivered := 0
+	start := time.Now()
+	var protoErr error
+	// The stall watchdog: a peer that accepts the request and then goes
+	// silent never surfaces a transport error, so the coordinator
+	// cancels the stream itself when no result lands for StallTimeout.
+	sctx := ctx
+	var stalled atomic.Bool
+	var watchdog *time.Timer
+	if d := c.opts.StallTimeout; d > 0 {
+		var cancelStream context.CancelFunc
+		sctx, cancelStream = context.WithCancel(ctx)
+		defer cancelStream()
+		watchdog = time.AfterFunc(d, func() {
+			stalled.Store(true)
+			cancelStream()
+		})
+		defer watchdog.Stop()
+	}
+	// DiscardResults: the merger owns buffering (released on emission),
+	// so the client must not retain a second full copy.
+	_, err := st.clients[b].SubmitSweep(sctx, sub,
+		client.SubmitOptions{Workers: c.opts.Workers, DiscardResults: true},
+		func(res wire.Result) {
+			if watchdog != nil {
+				watchdog.Reset(c.opts.StallTimeout)
+			}
+			// The service streams its sub-sweep strictly in order; a
+			// line off that contract (a non-simserve peer, a
+			// version-skewed binary, a mangling proxy) is a backend
+			// failure like any other — never an index panic, and
+			// never a result merged under the wrong job.
+			if protoErr != nil {
+				return
+			}
+			if res.Index != delivered {
+				protoErr = fmt.Errorf("gridcoord: backend %d broke stream order: result index %d, want %d",
+					b, res.Index, delivered)
+				return
+			}
+			if delivered >= len(ch.idxs) {
+				protoErr = fmt.Errorf("gridcoord: backend %d streamed more results than its %d jobs",
+					b, len(ch.idxs))
+				return
+			}
+			global := ch.idxs[res.Index]
+			delivered++
+			c.observe(Event{Kind: EventResult, Backend: b, Index: global})
+			m.deliver(global, res)
+		})
+	if err == nil {
+		err = protoErr
+	}
+	if err == nil && delivered != len(ch.idxs) {
+		// A backend whose header under-claims the job count produces a
+		// stream that decodes cleanly yet delivers too few results; left
+		// unchecked, the shortfall would silently vanish from the merge.
+		err = fmt.Errorf("gridcoord: backend %d stream ended after %d of %d results",
+			b, delivered, len(ch.idxs))
+	}
+	if err != nil && stalled.Load() && ctx.Err() == nil {
+		err = fmt.Errorf("gridcoord: backend %d stalled: no result in %v: %w",
+			b, c.opts.StallTimeout, err)
+	}
+	elapsed := time.Since(start)
+	st.mu.Lock()
+	st.delivered[b] += delivered
+	st.streamSecs[b] += elapsed.Seconds()
+	st.mu.Unlock()
+	c.metrics.streamDone(b, delivered, elapsed)
+	// The terminal stream event fires on every path — a backend that
+	// dies before its first delivered job still reports, with the
+	// failure attached.
+	c.observe(Event{Kind: EventBackendDone, Backend: b, Jobs: delivered, Elapsed: elapsed, Err: err})
+	if err == nil {
+		if subID, herr := wire.SemanticSweepHash(sub); herr == nil {
+			st.mu.Lock()
+			st.chunks = append(st.chunks, chunkRecord{backend: b, id: subID, idxs: ch.idxs})
+			st.mu.Unlock()
 		}
-		elapsed := time.Since(start)
-		st.mu.Lock()
-		st.delivered[b] += delivered
-		st.mu.Unlock()
-		c.metrics.streamDone(b, delivered, elapsed)
-		// The terminal stream event fires on every path — a backend that
-		// dies before its first delivered job still reports, with the
-		// failure attached.
-		c.observe(Event{Kind: EventBackendDone, Backend: b, Jobs: delivered, Elapsed: elapsed, Err: err})
-		if err == nil {
-			return
-		}
-		remaining := idxs[delivered:]
-		c.observe(Event{Kind: EventBackendLost, Backend: b, Jobs: len(remaining), Err: err})
-		c.redispatch(ctx, wg, st, m, sweep, b, remaining, err)
-	}()
+		return
+	}
+	remaining := ch.idxs[delivered:]
+	c.observe(Event{Kind: EventBackendLost, Backend: b, Jobs: len(remaining), Err: err})
+	c.chunkFailed(st, b, remaining, err)
 }
 
-// redispatch marks backend b dead and re-submits its undelivered jobs
-// to the next surviving backend, honoring the per-job attempt budget.
-// Rejections (HTTP 4xx) are fatal immediately: every backend shares the
-// admission rules, so a retry would be rejected identically.
-func (c *Coordinator) redispatch(ctx context.Context, wg *sync.WaitGroup, st *runState,
-	m *merger, sweep wire.Sweep, b int, remaining []int, cause error) {
+// chunkFailed marks backend b dead and re-queues the failed chunk's
+// undelivered jobs at the head of the next surviving backend's queue,
+// honoring the per-job attempt budget. The dead backend's still-pending
+// chunks stay where they are — the stealing path redistributes them at
+// no attempt cost. Rejections (HTTP 4xx other than 429) are fatal
+// immediately: every backend shares the admission rules, so a retry
+// would be rejected identically.
+func (c *Coordinator) chunkFailed(st *runState, b int, remaining []int, cause error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.alive[b] {
@@ -416,10 +794,7 @@ func (c *Coordinator) redispatch(ctx context.Context, wg *sync.WaitGroup, st *ru
 		st.lost++
 		c.metrics.lost.Inc()
 	}
-	if len(remaining) == 0 {
-		return
-	}
-	if st.fatal != nil {
+	if len(remaining) == 0 || st.fatal != nil {
 		return
 	}
 	var apiErr *client.APIError
@@ -429,6 +804,13 @@ func (c *Coordinator) redispatch(ctx context.Context, wg *sync.WaitGroup, st *ru
 		// its own); any other rejection is identical everywhere.
 		st.fail(fmt.Errorf("gridcoord: backend %d rejected sub-sweep: %w", b, cause))
 		return
+	}
+	for _, i := range remaining {
+		if st.attempts[i] >= c.opts.Attempts {
+			st.fail(fmt.Errorf("gridcoord: job %d exhausted its %d attempts (last: %w)",
+				i, c.opts.Attempts, cause))
+			return
+		}
 	}
 	next := -1
 	for k := 1; k <= len(st.alive); k++ {
@@ -442,52 +824,16 @@ func (c *Coordinator) redispatch(ctx context.Context, wg *sync.WaitGroup, st *ru
 			len(remaining), cause))
 		return
 	}
-	for _, i := range remaining {
-		st.attempts[i]++
-		if st.attempts[i] > c.opts.Attempts {
-			st.fail(fmt.Errorf("gridcoord: job %d exhausted its %d attempts (last: %w)",
-				i, c.opts.Attempts, cause))
-			return
-		}
-	}
 	st.retried += len(remaining)
 	c.metrics.redispatches.Inc()
 	c.metrics.retried.Add(uint64(len(remaining)))
+	st.assigned[b] -= len(remaining)
+	st.assigned[next] += len(remaining)
+	c.metrics.assigned[b].Set(float64(st.assigned[b]))
+	c.metrics.assigned[next].Set(float64(st.assigned[next]))
+	st.queues[next] = append([]chunk{{idxs: remaining}}, st.queues[next]...)
 	c.observe(Event{Kind: EventRedispatch, Backend: next, Jobs: len(remaining)})
-	c.launch(ctx, wg, st, m, sweep, next, remaining)
-}
-
-// Bisect forwards a γ-bisection request to the backend that owns the
-// request's behavioral hash, failing over to the next backend on
-// transport or 5xx errors. Affinity is deterministic and semantic, so
-// a repeat — or an equivalently spelled variant — of the same request
-// reaches the same backend's warm job cache.
-func (c *Coordinator) Bisect(ctx context.Context, req wire.BisectRequest) (*wire.BisectResponse, error) {
-	h, err := wire.SemanticBisectHash(req)
-	if err != nil {
-		return nil, err
-	}
-	start, err := rangeIndex(h, len(c.clients))
-	if err != nil {
-		return nil, fmt.Errorf("gridcoord: %w", err)
-	}
-	c.metrics.bisects.Inc()
-	traceID := obs.NewID()
-	var lastErr error
-	for k := 0; k < len(c.clients); k++ {
-		b := (start + k) % len(c.clients)
-		resp, err := c.clients[b].WithTraceID(traceID).Bisect(ctx, req)
-		if err == nil {
-			return resp, nil
-		}
-		var apiErr *client.APIError
-		if errors.As(err, &apiErr) && apiErr.StatusCode >= 400 && apiErr.StatusCode < 500 &&
-			apiErr.StatusCode != http.StatusTooManyRequests {
-			return nil, err // rejection: identical everywhere (429 is transient)
-		}
-		lastErr = err
-	}
-	return nil, fmt.Errorf("gridcoord: all backends failed bisect: %w", lastErr)
+	st.cond.Broadcast()
 }
 
 // --- merge: ordered collection + single-host-identical rendering ---

@@ -229,6 +229,12 @@ func TestBackendFailureMidSweep(t *testing.T) {
 	var lost, redispatched atomic.Int64
 	coord, err := New(Options{
 		Backends: urls[:3],
+		// Static mode (no chunking/stealing): the victim's whole range
+		// is one stream, so the exact retried-count assertion below —
+		// every undelivered job of the range re-dispatches — stays
+		// meaningful. Chunked failure accounting is covered by the
+		// property suite and TestStalledBackendMidSweep.
+		StealChunk: -1,
 		// workers=1 keeps each backend's emission on the HTTP handler
 		// goroutine, so the aborting writer's http.ErrAbortHandler panic
 		// is recovered by net/http (a real process kill is exercised by
@@ -380,9 +386,10 @@ func TestRejectionIsFatal(t *testing.T) {
 	}
 }
 
-// TestBisectThroughCoordinator: the coordinator forwards bisect
-// requests with deterministic backend affinity, so a repeat request
-// reaches a warm job cache; killing the owner fails over.
+// TestBisectThroughCoordinator: the coordinator shards each refinement
+// round across the backends with deterministic per-γ affinity, so a
+// repeat request replays every shard from a warm backend cache; killing
+// a backend fails its shards over to survivors.
 func TestBisectThroughCoordinator(t *testing.T) {
 	urls := bootBackends(t, 3, nil)
 	coord, err := New(Options{Backends: urls})

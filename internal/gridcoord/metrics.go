@@ -21,11 +21,13 @@ type gridMetrics struct {
 	redispatches *obs.Counter
 	retried      *obs.Counter
 	lost         *obs.Counter
+	steals       *obs.Counter
 
 	// Per-backend children, indexed like Options.Backends.
 	delivered  []*obs.Counter
 	streamSecs []*obs.Histogram
 	throughput []*obs.Gauge
+	assigned   []*obs.Gauge
 }
 
 func newGridMetrics(r *obs.Registry, backends int) *gridMetrics {
@@ -43,6 +45,8 @@ func newGridMetrics(r *obs.Registry, backends int) *gridMetrics {
 			"Job re-submissions after backend failures."),
 		lost: r.Counter("taskalloc_grid_backends_lost_total",
 			"Backends marked dead during runs."),
+		steals: r.Counter("taskalloc_grid_steals_total",
+			"Job chunks claimed from another backend's queue (work stealing)."),
 	}
 	deliveredVec := r.CounterVec("taskalloc_grid_jobs_delivered_total",
 		"Job results delivered, by backend index.", "backend")
@@ -50,11 +54,14 @@ func newGridMetrics(r *obs.Registry, backends int) *gridMetrics {
 		"Wall-clock duration of one backend sub-sweep stream.", nil, "backend")
 	thrVec := r.GaugeVec("taskalloc_grid_backend_throughput_jobs_per_second",
 		"Observed delivery rate of the backend's most recent stream.", "backend")
+	assignedVec := r.GaugeVec("taskalloc_grid_backend_assigned_jobs",
+		"Jobs currently assigned to the backend (initial range minus stolen away plus stolen in), for the most recent run.", "backend")
 	for b := 0; b < backends; b++ {
 		lbl := strconv.Itoa(b)
 		m.delivered = append(m.delivered, deliveredVec.With(lbl))
 		m.streamSecs = append(m.streamSecs, streamVec.With(lbl))
 		m.throughput = append(m.throughput, thrVec.With(lbl))
+		m.assigned = append(m.assigned, assignedVec.With(lbl))
 	}
 	return m
 }

@@ -3,12 +3,11 @@ package simserver
 import (
 	"encoding/json"
 	"errors"
-	"math"
 	"net/http"
-	"sort"
 	"strconv"
 
 	"taskalloc"
+	"taskalloc/internal/bisect"
 	"taskalloc/internal/sweeprun"
 	"taskalloc/internal/wire"
 )
@@ -16,7 +15,9 @@ import (
 // Adaptive γ-bisection (POST /v1/bisect): the server refines a γ
 // interval by repeated midpoint evaluation until every segment's regret
 // band — |ΔAvgRegret| across its endpoints — is at most the requested
-// target, or the evaluation budget runs out. Each evaluated cell is an
+// target, or the evaluation budget runs out. The refinement loop itself
+// lives in internal/bisect (shared with the grid coordinator's sharded
+// bisect); this file supplies its evaluator: each evaluated cell is an
 // ordinary job (the request's template with Gamma overridden), keyed by
 // its behavioral hash (wire.SemanticHash) in a job-level result cache
 // separate from the sweep cache, so a repeat bisection — or an
@@ -33,11 +34,6 @@ type jobResult struct {
 	report taskalloc.Report
 	err    string
 }
-
-// gammaWidthFloor stops refining a segment whose γ width cannot
-// meaningfully halve in float64 — without it, a regret band that never
-// narrows (a noise floor) would burn the whole budget on one segment.
-const gammaWidthFloor = 1e-9
 
 func (s *Server) handleBisect(w http.ResponseWriter, r *http.Request) {
 	if !s.begin() {
@@ -160,7 +156,7 @@ func (s *Server) runBisectCoalesced(r *http.Request, id string, req wire.BisectR
 	s.bisectFlights[id] = f
 	s.mu.Unlock()
 
-	f.resp, f.err = s.bisect(req, workers)
+	f.resp, f.err = bisect.Run(req, s.bisectEvaluator(req, workers))
 	f.resp.Version = wire.V1
 	f.resp.ID = id
 	s.mu.Lock()
@@ -174,42 +170,24 @@ func (s *Server) runBisectCoalesced(r *http.Request, id string, req wire.BisectR
 	return &resp, "", nil
 }
 
-// segment is one live interval of the refinement loop, holding the
-// evaluated cell indices of its endpoints.
-type segment struct {
-	lo, hi int // indices into cells
-}
-
-// bisect runs the refinement loop. It is deterministic: segment order,
-// midpoint arithmetic, and batch evaluation order are all functions of
-// the request alone, so a repeat request evaluates the same γ points in
-// the same order (and therefore hits the job cache on every one).
-func (s *Server) bisect(req wire.BisectRequest, workers int) (wire.BisectResponse, error) {
-	var (
-		resp  wire.BisectResponse
-		cells []wire.BisectCell
-	)
-	regret := func(i int) float64 {
-		if cells[i].Err != "" || cells[i].Report == nil {
-			return math.NaN()
-		}
-		return cells[i].Report.AvgRegret
-	}
-	band := func(seg segment) float64 {
-		return math.Abs(regret(seg.hi) - regret(seg.lo))
-	}
-
-	// evaluate appends one cell per γ, serving repeats from the job
-	// cache (keyed by the behavioral hash, so equivalent template
-	// spellings share entries) and running the misses as one sweeprun
-	// batch. The rendered cell carries the syntactic JobHash unchanged.
-	evaluate := func(gammas []float64) error {
+// bisectEvaluator returns the local evaluator for one search: one cell
+// per γ, serving repeats from the job cache (keyed by the behavioral
+// hash, so equivalent template spellings share entries) and running the
+// misses as one sweeprun batch. The rendered cell carries the syntactic
+// JobHash unchanged. The shared refinement loop (internal/bisect) walks
+// the same γ sequence every run, so a repeat request hits the cache on
+// every cell.
+func (s *Server) bisectEvaluator(req wire.BisectRequest, workers int) bisect.Evaluator {
+	return func(gammas []float64) ([]wire.BisectCell, error) {
 		type pending struct {
 			cell int
 			key  string
 			job  sweeprun.Job
 		}
-		var misses []pending
+		var (
+			cells  []wire.BisectCell
+			misses []pending
+		)
 		for _, g := range gammas {
 			wj := req.Job
 			cfg := wj.Config // value copy; Gamma override stays local
@@ -217,11 +195,11 @@ func (s *Server) bisect(req wire.BisectRequest, workers int) (wire.BisectRespons
 			wj.Config = cfg
 			hash, err := wire.JobHash(wj)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			key, err := wire.SemanticHash(wj)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			cell := wire.BisectCell{Gamma: g, JobHash: hash}
 			s.mu.Lock()
@@ -252,19 +230,17 @@ func (s *Server) bisect(req wire.BisectRequest, workers int) (wire.BisectRespons
 					rep := hit.report
 					cell.Report = &rep
 				}
-				resp.CacheHits++
 			} else {
 				job, err := wj.ToJob()
 				if err != nil {
-					return err
+					return nil, err
 				}
 				misses = append(misses, pending{cell: len(cells), key: key, job: job})
 			}
-			resp.Evals++
 			cells = append(cells, cell)
 		}
 		if len(misses) == 0 {
-			return nil
+			return cells, nil
 		}
 		jobs := make([]sweeprun.Job, len(misses))
 		for i, p := range misses {
@@ -298,84 +274,8 @@ func (s *Server) bisect(req wire.BisectRequest, workers int) (wire.BisectRespons
 		for i, p := range misses {
 			s.jobBlobPut(p.key, computed[i])
 		}
-		return nil
+		return cells, nil
 	}
-
-	if err := evaluate([]float64{req.GammaLo, req.GammaHi}); err != nil {
-		return wire.BisectResponse{}, err
-	}
-	segments := []segment{{lo: 0, hi: 1}}
-
-	for {
-		// Collect the midpoints of every refinable over-target segment;
-		// segments stay sorted by γ, so the batch is deterministic.
-		type split struct {
-			seg int
-			mid float64
-		}
-		var splits []split
-		for i, seg := range segments {
-			if b := band(seg); math.IsNaN(b) || b <= req.TargetBand {
-				continue
-			}
-			lo, hi := cells[seg.lo].Gamma, cells[seg.hi].Gamma
-			if hi-lo < gammaWidthFloor {
-				continue
-			}
-			mid := (lo + hi) / 2
-			if mid <= lo || mid >= hi {
-				continue
-			}
-			splits = append(splits, split{seg: i, mid: mid})
-		}
-		if len(splits) == 0 {
-			break
-		}
-		if budget := req.MaxEvals - resp.Evals; len(splits) > budget {
-			// Budget exhausted mid-round: refine the leading segments
-			// (deterministic truncation) and stop after this batch.
-			if budget <= 0 {
-				break
-			}
-			splits = splits[:budget]
-		}
-		gammas := make([]float64, len(splits))
-		for i, sp := range splits {
-			gammas[i] = sp.mid
-		}
-		first := len(cells)
-		if err := evaluate(gammas); err != nil {
-			return wire.BisectResponse{}, err
-		}
-		// Rebuild the segmentation with each split segment halved, in γ
-		// order (splits are in ascending segment order already).
-		next := make([]segment, 0, len(segments)+len(splits))
-		si := 0
-		for i, seg := range segments {
-			if si < len(splits) && splits[si].seg == i {
-				mid := first + si
-				next = append(next, segment{lo: seg.lo, hi: mid}, segment{lo: mid, hi: seg.hi})
-				si++
-			} else {
-				next = append(next, seg)
-			}
-		}
-		segments = next
-	}
-
-	resp.Converged = true
-	for _, seg := range segments {
-		b := band(seg)
-		resp.Intervals = append(resp.Intervals, wire.BisectInterval{
-			Lo: cells[seg.lo].Gamma, Hi: cells[seg.hi].Gamma, Band: b,
-		})
-		if math.IsNaN(b) || b > req.TargetBand {
-			resp.Converged = false
-		}
-	}
-	sort.Slice(cells, func(i, j int) bool { return cells[i].Gamma < cells[j].Gamma })
-	resp.Cells = cells
-	return resp, nil
 }
 
 // storeJobLocked inserts one job-cache entry, evicting FIFO past the
@@ -390,4 +290,25 @@ func (s *Server) storeJobLocked(hash string, jr jobResult) {
 		delete(s.jobCache, s.jobOrder[0])
 		s.jobOrder = s.jobOrder[1:]
 	}
+}
+
+// storeJobFromCell populates the bisect job cache from one completed
+// sweep cell, keyed by the job's behavioral hash — a sweep that covered
+// a γ point warms later bisections over the same template (and vice
+// versa: the caches converge on behavior, not on which endpoint
+// computed it). Trajectory output is irrelevant to the cached report,
+// so the entry is stored regardless of the job's Trajectory flag.
+func (s *Server) storeJobFromCell(wj wire.Job, c cell) {
+	wj.Trajectory = false
+	key, err := wire.SemanticHash(wj)
+	if err != nil {
+		return
+	}
+	jr := jobResult{report: c.report}
+	if c.err != "" {
+		jr = jobResult{err: c.err}
+	}
+	s.mu.Lock()
+	s.storeJobLocked(key, jr)
+	s.mu.Unlock()
 }

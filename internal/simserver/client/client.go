@@ -230,19 +230,33 @@ func (c *Client) SubmitSweep(ctx context.Context, sweep wire.Sweep, opts SubmitO
 	return consumeNDJSON(resp, 0, opts.DiscardResults, onResult)
 }
 
-// consumeNDJSON reads a sweep stream: the header line, then one
-// wire.Result line per cell. The stream is truncated unless exactly
-// Header.Jobs - cursor result lines arrive (a cursored stream carries
-// only the cells from the cursor on).
+// consumeNDJSON reads a sweep stream from an HTTP response, decorating
+// the decoded Submission with the response's cache headers.
 func consumeNDJSON(resp *http.Response, cursor int, discard bool, onResult func(wire.Result)) (*Submission, error) {
-	sub := &Submission{
-		Cached:      resp.Header.Get("X-Sweep-Cache") == "hit",
-		Disposition: resp.Header.Get("X-Cache"),
+	sub, err := DecodeStream(resp.Body, cursor, discard, onResult)
+	if sub != nil {
+		sub.Cached = resp.Header.Get("X-Sweep-Cache") == "hit"
+		sub.Disposition = resp.Header.Get("X-Cache")
 	}
+	return sub, err
+}
+
+// DecodeStream decodes a sweep NDJSON stream from r: the header line,
+// then one wire.Result line per cell, each handed to onResult (when
+// non-nil) as it is decoded. The stream is truncated unless exactly
+// Header.Jobs - cursor result lines arrive (a cursored stream carries
+// only the cells from the cursor on); any malformed, truncated, or
+// trailing-garbage input returns an error. The returned Submission
+// carries no cache headers — HTTP callers use SubmitSweep/ResumeSweep,
+// which decorate it; DecodeStream itself exists so non-HTTP consumers
+// (fuzzers, replay tools) can drive the exact decode path the client
+// uses.
+func DecodeStream(r io.Reader, cursor int, discard bool, onResult func(wire.Result)) (*Submission, error) {
+	sub := &Submission{}
 	// Lines are read through a growing reader, not a capped scanner:
 	// an inline trajectory for a multi-million-round job is one NDJSON
 	// line of arbitrary (memory-bounded) length.
-	lines := bufio.NewReaderSize(resp.Body, 64*1024)
+	lines := bufio.NewReaderSize(r, 64*1024)
 	header, err := readLine(lines)
 	if err != nil {
 		return nil, fmt.Errorf("client: read stream header: %w", err)

@@ -258,6 +258,11 @@ func (s *Server) executeOwned(entry *sweepEntry, jobs []sweeprun.Job, recs []*wi
 		Gate:     s.gate,
 		OnTiming: s.observeJobTiming,
 	}, func(res sweeprun.Result) {
+		if d := s.opts.JobDelay; d > 0 {
+			// Chaos/test hook: make every freshly computed cell cost at
+			// least d wall-clock, simulating a slow heterogeneous backend.
+			time.Sleep(d)
+		}
 		i := off + res.Index
 		c := cell{meta: res.Job.Meta, rounds: res.Job.Rounds, report: res.Report}
 		if res.Err != nil {

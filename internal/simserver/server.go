@@ -121,6 +121,13 @@ type Options struct {
 	// a per-request ID, the propagated X-Trace-Id (when present), and
 	// the cache disposition. Nil disables request logging.
 	AccessLog io.Writer
+	// JobDelay artificially sleeps before each freshly computed job (a
+	// chaos/test hook — cmd/simserve's -test-job-delay): it makes this
+	// backend uniformly slow without touching results, so grid tests can
+	// exercise work stealing against a real heterogeneous fleet. Cached
+	// and journal-replayed cells are not delayed. Zero (the default)
+	// disables it.
+	JobDelay time.Duration
 }
 
 // maxWorkersPerRequest bounds the goroutines one submission's
@@ -669,6 +676,9 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.setStreamHeaders(w, format, id, "miss")
 	stream, flush := s.newStream(w, format, id, len(jobs), 0)
 	s.executeOwned(entry, jobs, recs, nil, j, workers, func(i int, c cell) {
+		// Completed sweep cells warm the bisect job cache: a later
+		// bisection over a γ this sweep covered replays from it.
+		s.storeJobFromCell(sweep.Jobs[i], c)
 		renderStart := time.Now()
 		stream.cell(i, c)
 		flush()

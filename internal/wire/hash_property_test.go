@@ -1,0 +1,201 @@
+package wire_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"taskalloc/internal/wire"
+)
+
+// The canonical-hash property suite: JobHash must change exactly when a
+// semantic field changes. Each Config (and Job envelope) field has a
+// mutator that perturbs it; applying any one mutator to a random base
+// job must move the hash, while re-spelling a field as its configured
+// default (the alias table) must not. A reflection sweep pins the
+// mutator table to the Config struct, so a future field cannot be added
+// without declaring how it hashes.
+
+// hashMutator perturbs exactly one semantic field of a job.
+type hashMutator struct {
+	field  string // the wire.Config (or "Job.X") field it covers
+	name   string
+	mutate func(*wire.Job, *rand.Rand)
+}
+
+// hashMutators covers every semantic field. Perturbations are chosen to
+// stay inside the hashable space (JobHash validates nothing beyond
+// marshalability, but the values here mirror real documents).
+var hashMutators = []hashMutator{
+	{"Ants", "ants+1", func(j *wire.Job, _ *rand.Rand) { j.Config.Ants++ }},
+	{"Demands", "demand+1", func(j *wire.Job, _ *rand.Rand) { j.Config.Demands[0]++ }},
+	{"Algorithm", "algorithm=dutycycle", func(j *wire.Job, _ *rand.Rand) { j.Config.Algorithm = "dutycycle" }},
+	{"Gamma", "gamma/2", func(j *wire.Job, _ *rand.Rand) { j.Config.Gamma /= 2 }},
+	{"Epsilon", "epsilon+=1/64", func(j *wire.Job, _ *rand.Rand) { j.Config.Epsilon += 1.0 / 64 }},
+	{"Noise", "noise=adversarial", func(j *wire.Job, _ *rand.Rand) {
+		j.Config.Noise = &wire.Noise{Kind: "adversarial", GammaAd: 1.0 / 8}
+	}},
+	{"Init", "init=uniform", func(j *wire.Job, _ *rand.Rand) { j.Config.Init = "uniform" }},
+	{"DemandChanges", "demand change at 50", func(j *wire.Job, _ *rand.Rand) {
+		j.Config.DemandChanges = append(j.Config.DemandChanges,
+			wire.DemandChange{At: 50, Demands: []int{10, 20}})
+	}},
+	{"Schedule", "schedule=sinusoid", func(j *wire.Job, _ *rand.Rand) {
+		j.Config.Schedule = &wire.Schedule{
+			Kind: "sinusoid", Base: []int{40, 50}, Amp: []float64{4, 4}, Period: 64,
+		}
+	}},
+	{"SizeChanges", "resize at 60", func(j *wire.Job, _ *rand.Rand) {
+		j.Config.SizeChanges = append(j.Config.SizeChanges, wire.SizeChange{At: 60, To: 80})
+	}},
+	{"NoiseChanges", "noise switch at 70", func(j *wire.Job, _ *rand.Rand) {
+		j.Config.NoiseChanges = append(j.Config.NoiseChanges,
+			wire.NoiseChange{At: 70, Noise: wire.Noise{Kind: "perfect"}})
+	}},
+	{"Sequential", "sequential toggle", func(j *wire.Job, _ *rand.Rand) { j.Config.Sequential = !j.Config.Sequential }},
+	{"MeanField", "mean-field toggle", func(j *wire.Job, _ *rand.Rand) { j.Config.MeanField = !j.Config.MeanField }},
+	{"Seed", "seed+1", func(j *wire.Job, _ *rand.Rand) { j.Config.Seed++ }},
+	{"Shards", "shards+1", func(j *wire.Job, _ *rand.Rand) { j.Config.Shards++ }},
+	{"BurnIn", "burn-in+10", func(j *wire.Job, _ *rand.Rand) { j.Config.BurnIn += 10 }},
+	{"CheckAssumptions", "check-assumptions toggle", func(j *wire.Job, _ *rand.Rand) {
+		j.Config.CheckAssumptions = !j.Config.CheckAssumptions
+	}},
+	// The Job envelope fields are semantic too: they change the rendered
+	// response, so the result cache must not conflate them.
+	{"Job.Meta", "meta append", func(j *wire.Job, _ *rand.Rand) { j.Meta = append(j.Meta, "extra") }},
+	{"Job.Rounds", "rounds+1", func(j *wire.Job, _ *rand.Rand) { j.Rounds++ }},
+	{"Job.Trajectory", "trajectory toggle", func(j *wire.Job, _ *rand.Rand) { j.Trajectory = !j.Trajectory }},
+}
+
+// randomBaseJob builds a base job with every defaultable field pinned
+// to a non-default value, so any mutator's perturbation is visible.
+func randomBaseJob(rng *rand.Rand) wire.Job {
+	return wire.Job{
+		Meta:   []string{"seed", "1"},
+		Rounds: 100 + rng.Intn(400),
+		Config: wire.Config{
+			Ants:      50 + rng.Intn(200),
+			Demands:   []int{10 + rng.Intn(40), 20 + rng.Intn(40)},
+			Algorithm: "ant",
+			Gamma:     1.0 / float64(int(8)<<rng.Intn(3)),
+			Epsilon:   1.0 / 32,
+			Noise:     &wire.Noise{Kind: "sigmoid", Lambda: 4, GammaStar: 1.0 / 64},
+			Init:      "idle",
+			Seed:      uint64(rng.Intn(1000)) + 2,
+			Shards:    1 + rng.Intn(4),
+			BurnIn:    uint64(rng.Intn(50)),
+		},
+	}
+}
+
+// TestJobHashMutationProperties: for 200 random base jobs, applying any
+// single mutator changes JobHash (semantic sensitivity) and the
+// mutation is the only difference — reapplying JobHash to the untouched
+// base reproduces the original digest (hashing is pure and never
+// mutates its input).
+func TestJobHashMutationProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		base := randomBaseJob(rng)
+		baseHash, err := wire.JobHash(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range hashMutators {
+			mut := base
+			// Deep-enough copy: mutators touch slices in place.
+			mut.Meta = append([]string(nil), base.Meta...)
+			mut.Config.Demands = append([]int(nil), base.Config.Demands...)
+			mut.Config.DemandChanges = append([]wire.DemandChange(nil), base.Config.DemandChanges...)
+			mut.Config.SizeChanges = append([]wire.SizeChange(nil), base.Config.SizeChanges...)
+			mut.Config.NoiseChanges = append([]wire.NoiseChange(nil), base.Config.NoiseChanges...)
+			if base.Config.Noise != nil {
+				nz := *base.Config.Noise
+				mut.Config.Noise = &nz
+			}
+			m.mutate(&mut, rng)
+			mutHash, err := wire.JobHash(mut)
+			if err != nil {
+				t.Fatalf("%s: %v", m.name, err)
+			}
+			if mutHash == baseHash {
+				t.Errorf("trial %d: mutator %q (field %s) did not change JobHash", trial, m.name, m.field)
+			}
+			again, err := wire.JobHash(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again != baseHash {
+				t.Fatalf("trial %d: hashing after mutator %q changed the base job's digest — JobHash mutated its input", trial, m.name)
+			}
+		}
+	}
+}
+
+// TestJobHashAliasInsensitivity: re-spelling a field as its configured
+// default is not a semantic change, so the canonical hash must not
+// move. Each alias pair is one (explicit, elided) spelling of the same
+// behavior.
+func TestJobHashAliasInsensitivity(t *testing.T) {
+	base := wire.Job{
+		Meta:   []string{"alias", "base"},
+		Rounds: 200,
+		Config: wire.Config{
+			Ants:    100,
+			Demands: []int{40, 50},
+		},
+	}
+	aliases := []struct {
+		name  string
+		spell func(*wire.Job)
+	}{
+		{"algorithm=ant", func(j *wire.Job) { j.Config.Algorithm = "ant" }},
+		{"init=idle", func(j *wire.Job) { j.Config.Init = "idle" }},
+		{"gamma=1/16", func(j *wire.Job) { j.Config.Gamma = 1.0 / 16 }},
+		{"seed=1", func(j *wire.Job) { j.Config.Seed = 1 }},
+		{"noise=sigmoid", func(j *wire.Job) { j.Config.Noise = &wire.Noise{Kind: "sigmoid"} }},
+		{"noise=sigmoid gamma*/2", func(j *wire.Job) {
+			// The elided sigmoid defaults its γ* to half the (defaulted)
+			// learning rate.
+			j.Config.Noise = &wire.Noise{Kind: "sigmoid", GammaStar: 1.0 / 32}
+		}},
+	}
+	baseHash, err := wire.JobHash(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range aliases {
+		spelled := base
+		a.spell(&spelled)
+		h, err := wire.JobHash(spelled)
+		if err != nil {
+			t.Fatalf("%s: %v", a.name, err)
+		}
+		if h != baseHash {
+			t.Errorf("alias %q changed JobHash: default-spelling a field must digest identically", a.name)
+		}
+	}
+}
+
+// TestConfigFieldsHaveHashMutators pins the mutator table to the Config
+// struct by reflection: adding a wire field without declaring its hash
+// mutator fails here, so the semantic-sensitivity property cannot
+// silently lose coverage.
+func TestConfigFieldsHaveHashMutators(t *testing.T) {
+	covered := map[string]bool{}
+	for _, m := range hashMutators {
+		covered[m.field] = true
+	}
+	ct := reflect.TypeOf(wire.Config{})
+	for i := 0; i < ct.NumField(); i++ {
+		f := ct.Field(i)
+		if !covered[f.Name] {
+			t.Errorf("wire.Config field %s has no JobHash mutator — add one to hashMutators (or a deliberate exemption here)", f.Name)
+		}
+	}
+	for _, env := range []string{"Job.Meta", "Job.Rounds", "Job.Trajectory"} {
+		if !covered[env] {
+			t.Errorf("job envelope field %s has no JobHash mutator", env)
+		}
+	}
+}

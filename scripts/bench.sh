@@ -15,8 +15,8 @@ TMP="$(mktemp)"
 trap 'rm -f "$TMP"' EXIT
 
 go test -run '^$' \
-  -bench 'BenchmarkEngineStep$|BenchmarkEngineStepInterface$|BenchmarkEngineParallel$|BenchmarkSweepRunner$|BenchmarkServerSweep$|BenchmarkServerSweepCached$' \
-  -benchtime "$BENCHTIME" -count 1 . ./internal/simserver | tee "$TMP"
+  -bench 'BenchmarkEngineStep$|BenchmarkEngineStepInterface$|BenchmarkEngineParallel$|BenchmarkSweepRunner$|BenchmarkServerSweep$|BenchmarkServerSweepCached$|BenchmarkGridStaticSlowBackend$|BenchmarkGridAdaptiveSlowBackend$' \
+  -benchtime "$BENCHTIME" -count 1 . ./internal/simserver ./internal/gridcoord | tee "$TMP"
 
 {
   echo '{'

@@ -29,6 +29,27 @@ trap 'rm -f "$TMP"' EXIT
 # starved host they are noise. Warn loudly rather than fail — CI
 # runners vary — but make the verdict's weakness impossible to miss.
 NCPU="$(go run ./scripts/numcpu)"
+
+# ns/op baselines only transfer between hosts with the same logical CPU
+# count: BenchmarkEngineParallel's shape is a function of GOMAXPROCS,
+# so comparing a 1-vCPU recording against an 8-core run (or vice versa)
+# yields a verdict about the hardware, not the code. Baselines that
+# predate the "num_cpu" field (BENCH_1-6) were recorded on 1-vCPU CI
+# hosts. On a mismatch the regression comparison is SKIPPED — the
+# smokes below still run, so the benchmarks cannot silently rot.
+BASE_NCPU="$(sed -n 's/.*"num_cpu": *\([0-9][0-9]*\).*/\1/p' "$BASE" | head -1)"
+[ -n "$BASE_NCPU" ] || BASE_NCPU=1
+SKIP_COMPARE=0
+if [ "$NCPU" != "$BASE_NCPU" ]; then
+  SKIP_COMPARE=1
+  echo "bench_guard: ############################################################" >&2
+  echo "bench_guard: WARNING: ${BASE} was recorded on a ${BASE_NCPU}-CPU host;" >&2
+  echo "bench_guard: this host has ${NCPU} logical CPUs. The ns/op comparison" >&2
+  echo "bench_guard: would judge the hardware, not the code, so the regression" >&2
+  echo "bench_guard: check is SKIPPED. Re-record a local baseline with" >&2
+  echo "bench_guard: scripts/bench.sh and pass its N to restore the guard." >&2
+  echo "bench_guard: ############################################################" >&2
+fi
 if [ "$NCPU" -lt 4 ]; then
   echo "bench_guard: ############################################################" >&2
   echo "bench_guard: WARNING: only ${NCPU} logical CPUs on this host." >&2
@@ -58,6 +79,11 @@ go test -run '^$' -bench 'BenchmarkServerSweep$|BenchmarkServerSweepCached$' \
   || { echo "bench_guard: BenchmarkServerSweep smoke failed" >&2; exit 1; }
 
 go test -run '^$' -bench 'BenchmarkEngineParallel$' -benchtime "$BENCHTIME" -count 1 . | tee "$TMP"
+
+if [ "$SKIP_COMPARE" = 1 ]; then
+  echo "bench_guard: regression comparison skipped (CPU-count mismatch with $BASE); smokes passed"
+  exit 0
+fi
 
 awk -v base="$BASE" -v tol="$TOLERANCE" '
   BEGIN {
